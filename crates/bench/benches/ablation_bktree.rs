@@ -1,0 +1,45 @@
+//! Ablation: BK-tree vs radix trie vs flat scan on the city profile —
+//! how the classic metric-space index fares against the paper's
+//! contenders (BK-trees degrade towards a scan as k grows relative to
+//! string length).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsearch_bench::Scale;
+use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant, Strategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let preset = Scale::bench().city();
+    let workload = preset.workload.prefix(40);
+    let engines = [
+        ("flat_scan", EngineKind::Scan(SeqVariant::V4Flat)),
+        (
+            "radix_modern",
+            EngineKind::IndexModern(IdxVariant::I2Compressed),
+        ),
+        (
+            "bk_tree",
+            EngineKind::Bk {
+                strategy: Strategy::Sequential,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_bktree_city");
+    for (name, kind) in engines {
+        let engine = SearchEngine::build(&preset.dataset, kind);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| engine.run(&workload))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

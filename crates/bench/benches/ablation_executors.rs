@@ -1,0 +1,48 @@
+//! Ablation: executor strategies under a skewed workload — the paper's
+//! fixed static partition vs the dynamic work queue vs the adaptive
+//! master/slave pool. The DNA threshold cycle (0/4/8/16) makes query
+//! costs vary by orders of magnitude, which is exactly the imbalance the
+//! paper's §3.6 worries about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsearch_bench::Scale;
+use simsearch_core::{EngineKind, KernelKind, SearchEngine, Strategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let preset = Scale::bench().dna();
+    let workload = preset.workload.prefix(24);
+    let strategies = [
+        Strategy::Sequential,
+        Strategy::ThreadPerQuery,
+        Strategy::FixedPool { threads: 4 },
+        Strategy::WorkQueue { threads: 4 },
+        Strategy::Adaptive { max_threads: 4 },
+    ];
+    let mut group = c.benchmark_group("ablation_executors_dna");
+    for strategy in strategies {
+        let engine = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::ScanCustom {
+                kernel: KernelKind::EarlyAbort,
+                strategy,
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, _| b.iter(|| engine.run(&workload)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation for the paper's §6 "Frequency vectors" future-work question
+//! (early filtering via symbol counts) and the q-gram baseline: compares
+//! the plain compressed index, the frequency-annotated index, and the
+//! inverted q-gram index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simsearch_bench::Scale;
+use simsearch_core::{EngineKind, IdxVariant, SearchEngine, Strategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    for (name, preset, queries) in [
+        ("city", scale.city(), 50),
+        ("dna", scale.dna(), 20),
+    ] {
+        let workload = preset.workload.prefix(queries);
+        let mut group = c.benchmark_group(format!("ablation_filters_{name}"));
+        let plain = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::IndexModern(IdxVariant::I2Compressed),
+        );
+        group.bench_function("radix_plain", |b| b.iter(|| plain.run(&workload)));
+        let freq = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::RadixFreq {
+                strategy: Strategy::Sequential,
+            },
+        );
+        group.bench_function("radix_freq_vectors", |b| b.iter(|| freq.run(&workload)));
+        let qgram = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Qgram {
+                q: if name == "dna" { 3 } else { 2 },
+                strategy: Strategy::Sequential,
+            },
+        );
+        group.bench_function("qgram_index", |b| b.iter(|| qgram.run(&workload)));
+        let suffix = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Suffix {
+                strategy: Strategy::Sequential,
+            },
+        );
+        group.bench_function("suffix_array", |b| b.iter(|| suffix.run(&workload)));
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

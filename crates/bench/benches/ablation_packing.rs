@@ -1,0 +1,80 @@
+//! Ablation for the paper's §6 "Dictionary Compression" future-work
+//! question: does packing DNA at 3 bits per symbol accelerate the
+//! bounded edit distance? Compares the byte-level banded kernel against
+//! the packed-sequence kernel over the same candidate set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simsearch_bench::Scale;
+use simsearch_data::PackedDataset;
+use simsearch_distance::packed::{ed_within_packed_with, query_codes};
+use simsearch_distance::{ed_within_banded_with, levenshtein};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let preset = Scale::bench().dna();
+    let packed = PackedDataset::pack(&preset.dataset).expect("DNA packs");
+    let queries: Vec<(Vec<u8>, u32)> = preset
+        .workload
+        .queries
+        .iter()
+        .take(5)
+        .map(|q| (q.text.clone(), q.threshold))
+        .collect();
+    // Cross-check once: both kernels agree on the first query.
+    {
+        let (q, k) = &queries[0];
+        let qc = query_codes(q).unwrap();
+        let mut b1 = Vec::new();
+        let mut b2 = Vec::new();
+        for (i, (_, r)) in preset.dataset.iter().enumerate() {
+            let byte = ed_within_banded_with(&mut b1, q, r, *k);
+            let pk = ed_within_packed_with(&mut b2, &qc, packed.get(i), *k);
+            assert_eq!(byte, pk, "kernel divergence on {:?}", levenshtein(q, r));
+        }
+    }
+    let mut group = c.benchmark_group("ablation_packing_dna");
+    group.bench_function("byte_banded", |b| {
+        let mut rows = Vec::new();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for (q, k) in &queries {
+                for (_, r) in preset.dataset.iter() {
+                    if ed_within_banded_with(&mut rows, q, r, *k).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("packed_3bit_banded", |b| {
+        let mut rows = Vec::new();
+        let compiled: Vec<(Vec<u8>, u32)> = queries
+            .iter()
+            .map(|(q, k)| (query_codes(q).unwrap(), *k))
+            .collect();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for (qc, k) in &compiled {
+                for seq in packed.iter() {
+                    if ed_within_packed_with(&mut rows, qc, seq, *k).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation for the paper's §6 "Number of data records" future-work
+//! question: *"Has the number of data records an effect on the best
+//! solution?"* — the scan and both index modes measured over a record
+//! sweep on city names.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsearch_core::presets;
+use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for records in [1_000usize, 4_000, 16_000] {
+        let preset = presets::city(records);
+        let workload = preset.workload.prefix(20);
+        let mut group = c.benchmark_group(format!("ablation_scaling_city_{records}"));
+        let scan = SearchEngine::build(&preset.dataset, EngineKind::Scan(SeqVariant::V4Flat));
+        group.bench_with_input(BenchmarkId::new("scan", records), &records, |b, _| {
+            b.iter(|| scan.run(&workload))
+        });
+        let paper_idx = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Index(IdxVariant::I2Compressed),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("index_paper", records),
+            &records,
+            |b, _| b.iter(|| paper_idx.run(&workload)),
+        );
+        let modern_idx = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::IndexModern(IdxVariant::I2Compressed),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("index_modern", records),
+            &records,
+            |b, _| b.iter(|| modern_idx.run(&workload)),
+        );
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table VII: the six-rung sequential ladder on the DNA dataset.
+//! Rung 1 (naive full matrix) runs on a shorter workload prefix — the
+//! paper itself only estimates this rung ("≈ half a day").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsearch_bench::Scale;
+use simsearch_core::{EngineKind, SearchEngine, SeqVariant};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let preset = Scale::bench().dna();
+    let workload = preset.workload.prefix(20);
+    let naive_workload = preset.workload.prefix(4);
+    let mut group = c.benchmark_group("table7_dna_seq_ladder");
+    for (i, variant) in SeqVariant::ladder(16).into_iter().enumerate() {
+        let engine = SearchEngine::build(&preset.dataset, EngineKind::Scan(variant));
+        let w = if variant == SeqVariant::V1Base {
+            &naive_workload
+        } else {
+            &workload
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "rung{}{}",
+                i + 1,
+                if variant == SeqVariant::V1Base {
+                    "_subsampled"
+                } else {
+                    ""
+                }
+            )),
+            &variant,
+            |b, _| b.iter(|| engine.run(w)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

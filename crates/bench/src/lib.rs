@@ -1,0 +1,106 @@
+//! # simsearch-bench
+//!
+//! Shared setup for the benchmark harness: dataset scales, preset
+//! construction, and the experiment driver functions used both by the
+//! `reproduce` binary (paper-shaped tables) and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use simsearch_core::presets::{self, Preset};
+
+/// Dataset/workload sizes for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// City-name records.
+    pub city_records: usize,
+    /// DNA reads.
+    pub dna_records: usize,
+    /// Query-count columns (the paper's 100/500/1,000).
+    pub query_counts: [usize; 3],
+    /// Subsampling stride for the prohibitively slow naive DNA rung
+    /// (1 = run everything).
+    pub naive_dna_stride: usize,
+}
+
+impl Scale {
+    /// Default `reproduce` scale: 1/20 of the paper's record counts with
+    /// the paper's query counts. Rung-over-rung ratios and the
+    /// scan-vs-index comparison are preserved at any fixed scale.
+    pub fn reproduce() -> Self {
+        Self {
+            city_records: 20_000,
+            dna_records: 2_500,
+            query_counts: [100, 500, 1_000],
+            naive_dna_stride: 25,
+        }
+    }
+
+    /// Paper-scale (Table I): 400k city names, 750k reads. The naive DNA
+    /// rung is heavily subsampled (the paper itself only estimates it at
+    /// "≈ half a day" per 100 queries).
+    pub fn full() -> Self {
+        Self {
+            city_records: presets::CITY_FULL_RECORDS,
+            dna_records: presets::DNA_FULL_RECORDS,
+            query_counts: [100, 500, 1_000],
+            naive_dna_stride: 100,
+        }
+    }
+
+    /// Tiny scale for Criterion statistical runs and smoke tests.
+    pub fn bench() -> Self {
+        Self {
+            city_records: 4_000,
+            dna_records: 800,
+            query_counts: [20, 50, 100],
+            naive_dna_stride: 10,
+        }
+    }
+
+    /// Scales the record counts by `factor` (queries unchanged).
+    pub fn scaled_by(mut self, factor: f64) -> Self {
+        self.city_records = ((self.city_records as f64 * factor) as usize).max(10);
+        self.dna_records = ((self.dna_records as f64 * factor) as usize).max(10);
+        self
+    }
+
+    /// Builds the city preset at this scale.
+    pub fn city(&self) -> Preset {
+        presets::city(self.city_records)
+    }
+
+    /// Builds the DNA preset at this scale.
+    pub fn dna(&self) -> Preset {
+        presets::dna(self.dna_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::bench().city_records < Scale::reproduce().city_records);
+        assert!(Scale::reproduce().city_records < Scale::full().city_records);
+    }
+
+    #[test]
+    fn scaled_by_shrinks() {
+        let s = Scale::reproduce().scaled_by(0.1);
+        assert_eq!(s.city_records, 2_000);
+        assert_eq!(s.dna_records, 250);
+    }
+
+    #[test]
+    fn bench_presets_build() {
+        let s = Scale::bench().scaled_by(0.1);
+        let c = s.city();
+        let d = s.dna();
+        assert_eq!(c.dataset.len(), 400);
+        assert_eq!(d.dataset.len(), 80);
+    }
+}

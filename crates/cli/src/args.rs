@@ -1,0 +1,381 @@
+//! Command-line argument parsing (hand-rolled; the workspace keeps its
+//! dependency set to the algorithmic essentials).
+
+use std::path::PathBuf;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `simsearch search`: answer a query file against a data file.
+    Search(SearchArgs),
+    /// `simsearch generate`: write a synthetic dataset (and workload).
+    Generate(GenerateArgs),
+    /// `simsearch stats`: print Table-I-style properties of a data file.
+    Stats {
+        /// The data file.
+        data: PathBuf,
+    },
+    /// `simsearch join`: similarity self-join of a data file.
+    Join(JoinArgs),
+    /// `simsearch verify`: compare two result files.
+    Verify {
+        /// Result file under test.
+        results: PathBuf,
+        /// Reference result file.
+        expected: PathBuf,
+    },
+    /// `simsearch help`.
+    Help,
+}
+
+/// Arguments of the `join` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinArgs {
+    /// Data file (one record per line).
+    pub data: PathBuf,
+    /// Join threshold.
+    pub k: u32,
+    /// Output file; stdout when absent.
+    pub output: Option<PathBuf>,
+    /// Join algorithm: "sorted" (default), "index" or "nested".
+    pub algo: String,
+    /// Pool threads (sorted join only).
+    pub threads: usize,
+}
+
+/// Arguments of the `search` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchArgs {
+    /// Data file (one record per line).
+    pub data: PathBuf,
+    /// Query file (`query<TAB>k` per line).
+    pub queries: PathBuf,
+    /// Output file (`index: id,id,...` per line); stdout when absent.
+    pub output: Option<PathBuf>,
+    /// Engine selector.
+    pub engine: EngineChoice,
+    /// Pool threads for parallel engines.
+    pub threads: usize,
+}
+
+/// Which engine the CLI runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Best sequential scan (rung 6).
+    Scan,
+    /// Naive base scan (rung 1).
+    ScanBase,
+    /// Uncompressed prefix tree.
+    Trie,
+    /// Compressed radix tree (default).
+    Radix,
+    /// Inverted q-gram index.
+    Qgram,
+    /// Length-bucketed scan.
+    Buckets,
+}
+
+impl EngineChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "scan" => Ok(Self::Scan),
+            "scan-base" => Ok(Self::ScanBase),
+            "trie" => Ok(Self::Trie),
+            "radix" => Ok(Self::Radix),
+            "qgram" => Ok(Self::Qgram),
+            "buckets" => Ok(Self::Buckets),
+            other => Err(format!(
+                "unknown engine '{other}' (expected scan, scan-base, trie, radix, qgram, buckets)"
+            )),
+        }
+    }
+}
+
+/// Arguments of the `generate` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// "city" or "dna".
+    pub kind: String,
+    /// Number of records.
+    pub count: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Output data file.
+    pub out: PathBuf,
+    /// Optional query-file output.
+    pub queries_out: Option<PathBuf>,
+    /// Number of queries when `queries_out` is set.
+    pub query_count: usize,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+simsearch — string similarity search (EDBT 2013 reproduction)
+
+USAGE:
+  simsearch search --data FILE --queries FILE [--output FILE]
+                   [--engine scan|scan-base|trie|radix|qgram|buckets]
+                   [--threads N]
+  simsearch generate --kind city|dna --count N [--seed S] --out FILE
+                     [--queries FILE] [--query-count N]
+  simsearch stats --data FILE
+  simsearch join --data FILE --k N [--output FILE]
+                 [--algo sorted|index|nested] [--threads N]
+  simsearch verify --results FILE --expected FILE
+  simsearch help
+";
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "search" => parse_search(rest).map(Command::Search),
+        "generate" => parse_generate(rest).map(Command::Generate),
+        "join" => parse_join(rest).map(Command::Join),
+        "verify" => {
+            let mut results = None;
+            let mut expected = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--results" => results = Some(PathBuf::from(value(&mut it, "--results")?)),
+                    "--expected" => expected = Some(PathBuf::from(value(&mut it, "--expected")?)),
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Verify {
+                results: results.ok_or("verify requires --results")?,
+                expected: expected.ok_or("verify requires --expected")?,
+            })
+        }
+        "stats" => {
+            let mut data = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--data" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Stats {
+                data: data.ok_or("stats requires --data")?,
+            })
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
+    let mut data = None;
+    let mut queries = None;
+    let mut output = None;
+    let mut engine = EngineChoice::Radix;
+    let mut threads = 1usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
+            "--queries" => queries = Some(PathBuf::from(value(&mut it, "--queries")?)),
+            "--output" => output = Some(PathBuf::from(value(&mut it, "--output")?)),
+            "--engine" => engine = EngineChoice::parse(value(&mut it, "--engine")?)?,
+            "--threads" => {
+                threads = value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_string())?;
+                if threads == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(SearchArgs {
+        data: data.ok_or("search requires --data")?,
+        queries: queries.ok_or("search requires --queries")?,
+        output,
+        engine,
+        threads,
+    })
+}
+
+fn parse_join(rest: &[String]) -> Result<JoinArgs, String> {
+    let mut data = None;
+    let mut k = None;
+    let mut output = None;
+    let mut algo = "sorted".to_string();
+    let mut threads = 1usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
+            "--k" => {
+                k = Some(
+                    value(&mut it, "--k")?
+                        .parse()
+                        .map_err(|_| "--k needs an integer".to_string())?,
+                )
+            }
+            "--output" => output = Some(PathBuf::from(value(&mut it, "--output")?)),
+            "--algo" => {
+                let v = value(&mut it, "--algo")?;
+                if !["sorted", "index", "nested"].contains(&v.as_str()) {
+                    return Err(format!("unknown join algorithm '{v}'"));
+                }
+                algo = v.clone();
+            }
+            "--threads" => {
+                threads = value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_string())?;
+                if threads == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(JoinArgs {
+        data: data.ok_or("join requires --data")?,
+        k: k.ok_or("join requires --k")?,
+        output,
+        algo,
+        threads,
+    })
+}
+
+fn parse_generate(rest: &[String]) -> Result<GenerateArgs, String> {
+    let mut kind = None;
+    let mut count = None;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut queries_out = None;
+    let mut query_count = 1_000usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--kind" => {
+                let v = value(&mut it, "--kind")?;
+                if v != "city" && v != "dna" {
+                    return Err("--kind must be 'city' or 'dna'".into());
+                }
+                kind = Some(v.clone());
+            }
+            "--count" => {
+                count = Some(
+                    value(&mut it, "--count")?
+                        .parse()
+                        .map_err(|_| "--count needs an integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--out" => out = Some(PathBuf::from(value(&mut it, "--out")?)),
+            "--queries" => queries_out = Some(PathBuf::from(value(&mut it, "--queries")?)),
+            "--query-count" => {
+                query_count = value(&mut it, "--query-count")?
+                    .parse()
+                    .map_err(|_| "--query-count needs an integer".to_string())?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(GenerateArgs {
+        kind: kind.ok_or("generate requires --kind")?,
+        count: count.ok_or("generate requires --count")?,
+        seed,
+        out: out.ok_or("generate requires --out")?,
+        queries_out,
+        query_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_search() {
+        let cmd = parse(&v(&[
+            "search", "--data", "d.txt", "--queries", "q.txt", "--engine", "scan",
+            "--threads", "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Search(a) => {
+                assert_eq!(a.engine, EngineChoice::Scan);
+                assert_eq!(a.threads, 8);
+                assert!(a.output.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let cmd = parse(&v(&[
+            "generate", "--kind", "dna", "--count", "100", "--out", "x.txt",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.kind, "dna");
+                assert_eq!(g.count, 100);
+                assert_eq!(g.seed, 42);
+                assert_eq!(g.query_count, 1_000);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&["search", "--data", "d"])).is_err()); // missing queries
+        assert!(parse(&v(&["search", "--bogus"])).is_err());
+        assert!(parse(&v(&["generate", "--kind", "xml", "--count", "1", "--out", "o"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&[
+            "search", "--data", "d", "--queries", "q", "--threads", "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_join_and_verify() {
+        let cmd = parse(&v(&["join", "--data", "d.txt", "--k", "2", "--algo", "index"])).unwrap();
+        match cmd {
+            Command::Join(j) => {
+                assert_eq!(j.k, 2);
+                assert_eq!(j.algo, "index");
+                assert_eq!(j.threads, 1);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&v(&["verify", "--results", "a", "--expected", "b"])).unwrap();
+        assert!(matches!(cmd, Command::Verify { .. }));
+        assert!(parse(&v(&["join", "--data", "d", "--k", "1", "--algo", "quantum"])).is_err());
+        assert!(parse(&v(&["verify", "--results", "a"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+    }
+}

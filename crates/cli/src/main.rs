@@ -1,0 +1,201 @@
+//! `simsearch` — the competition-style command-line tool.
+//!
+//! Mirrors the workflow of the paper's implementations: read a data file
+//! and a query file, answer every query, write the matching record ids.
+//! Also generates the synthetic datasets and prints dataset statistics.
+
+mod args;
+
+use args::{Command, EngineChoice, GenerateArgs, JoinArgs, SearchArgs, USAGE};
+use simsearch_core::{
+    experiment::time, EngineKind, IdxVariant, SearchEngine, SeqVariant, Strategy,
+};
+use simsearch_data::{io, Alphabet, CityGenerator, DnaGenerator, MatchSet, WorkloadSpec};
+use simsearch_data::{DatasetStats, CITY_THRESHOLDS, DNA_THRESHOLDS};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Search(a) => run_search(a),
+        Command::Generate(g) => run_generate(g),
+        Command::Stats { data } => run_stats(&data),
+        Command::Join(j) => run_join(j),
+        Command::Verify { results, expected } => run_verify(&results, &expected),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_search(a: SearchArgs) -> Result<(), String> {
+    let dataset = io::read_dataset(&a.data).map_err(|e| format!("reading {:?}: {e}", a.data))?;
+    let workload =
+        io::read_queries(&a.queries).map_err(|e| format!("reading {:?}: {e}", a.queries))?;
+    let strategy = if a.threads > 1 {
+        Strategy::FixedPool { threads: a.threads }
+    } else {
+        Strategy::Sequential
+    };
+    let kind = match a.engine {
+        EngineChoice::Scan => EngineKind::Scan(if a.threads > 1 {
+            SeqVariant::V6Pool { threads: a.threads }
+        } else {
+            SeqVariant::V4Flat
+        }),
+        EngineChoice::ScanBase => EngineKind::Scan(SeqVariant::V1Base),
+        EngineChoice::Trie => EngineKind::Index(IdxVariant::I1BaseTrie),
+        EngineChoice::Radix => EngineKind::Index(if a.threads > 1 {
+            IdxVariant::I3Pool { threads: a.threads }
+        } else {
+            IdxVariant::I2Compressed
+        }),
+        EngineChoice::Qgram => EngineKind::Qgram { q: 2, strategy },
+        EngineChoice::Buckets => EngineKind::Buckets { strategy },
+    };
+    let (engine, build_time) = time(|| SearchEngine::build(&dataset, kind));
+    let (results, query_time) = time(|| engine.run(&workload));
+    eprintln!(
+        "{}: {} records, {} queries; build {:.3}s, query {:.3}s",
+        engine.name(),
+        dataset.len(),
+        workload.len(),
+        build_time.as_secs_f64(),
+        query_time.as_secs_f64()
+    );
+    let id_lists: Vec<Vec<u32>> = results.iter().map(MatchSet::ids).collect();
+    match a.output {
+        Some(path) => {
+            io::write_results(&path, &id_lists).map_err(|e| format!("writing {path:?}: {e}"))?
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            for (i, ids) in id_lists.iter().enumerate() {
+                let list: Vec<String> = ids.iter().map(|id| id.to_string()).collect();
+                writeln!(lock, "{i}: {}", list.join(","))
+                    .map_err(|e| format!("writing stdout: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_generate(g: GenerateArgs) -> Result<(), String> {
+    let dataset = match g.kind.as_str() {
+        "city" => CityGenerator::new(g.seed).generate(g.count),
+        "dna" => DnaGenerator::new(g.seed).generate(g.count),
+        other => return Err(format!("unknown kind '{other}'")),
+    };
+    io::write_dataset(&g.out, &dataset).map_err(|e| format!("writing {:?}: {e}", g.out))?;
+    eprintln!("wrote {} records to {:?}", dataset.len(), g.out);
+    if let Some(qpath) = g.queries_out {
+        let alphabet = Alphabet::from_corpus(dataset.records());
+        let thresholds: &[u32] = if g.kind == "dna" {
+            &DNA_THRESHOLDS
+        } else {
+            &CITY_THRESHOLDS
+        };
+        let workload = WorkloadSpec::new(thresholds, g.query_count, g.seed ^ 0x0A)
+            .generate(&dataset, &alphabet);
+        io::write_queries(&qpath, &workload).map_err(|e| format!("writing {qpath:?}: {e}"))?;
+        eprintln!("wrote {} queries to {qpath:?}", workload.len());
+    }
+    Ok(())
+}
+
+fn run_join(j: JoinArgs) -> Result<(), String> {
+    use simsearch_core::join::{index_join, nested_loop_join, parallel_sorted_join};
+    let dataset = io::read_dataset(&j.data).map_err(|e| format!("reading {:?}: {e}", j.data))?;
+    let (pairs, wall) = time(|| match j.algo.as_str() {
+        "nested" => nested_loop_join(&dataset, j.k),
+        "index" => index_join(&dataset, j.k),
+        _ => parallel_sorted_join(
+            &dataset,
+            j.k,
+            if j.threads > 1 {
+                Strategy::FixedPool { threads: j.threads }
+            } else {
+                Strategy::Sequential
+            },
+        ),
+    });
+    eprintln!(
+        "{} join, k = {}: {} pairs in {:.3}s",
+        j.algo,
+        j.k,
+        pairs.len(),
+        wall.as_secs_f64()
+    );
+    let render = |out: &mut dyn std::io::Write| -> std::io::Result<()> {
+        for p in &pairs {
+            writeln!(out, "{}	{}	{}", p.left, p.right, p.distance)?;
+        }
+        Ok(())
+    };
+    match j.output {
+        Some(path) => {
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(&path).map_err(|e| format!("creating {path:?}: {e}"))?,
+            );
+            render(&mut f).map_err(|e| format!("writing {path:?}: {e}"))?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            render(&mut lock).map_err(|e| format!("writing stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn run_verify(results: &std::path::Path, expected: &std::path::Path) -> Result<(), String> {
+    let read = |p: &std::path::Path| -> Result<Vec<String>, String> {
+        Ok(std::fs::read_to_string(p)
+            .map_err(|e| format!("reading {p:?}: {e}"))?
+            .lines()
+            .map(str::to_string)
+            .collect())
+    };
+    let got = read(results)?;
+    let want = read(expected)?;
+    if got.len() != want.len() {
+        return Err(format!(
+            "line counts differ: {} results vs {} expected",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        if g != w {
+            return Err(format!("line {} differs:
+  got:      {g}
+  expected: {w}", i + 1));
+        }
+    }
+    println!("OK: {} result lines identical", got.len());
+    Ok(())
+}
+
+fn run_stats(path: &std::path::Path) -> Result<(), String> {
+    let dataset = io::read_dataset(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let stats = DatasetStats::compute(&dataset);
+    println!("{stats}");
+    Ok(())
+}

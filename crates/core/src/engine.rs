@@ -1,0 +1,424 @@
+//! The unified search engine: every solution of the paper (and every
+//! extension) behind one build/search interface.
+
+use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
+use simsearch_data::{Dataset, MatchSet, Workload};
+use simsearch_distance::KernelKind;
+use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, SuffixIndex, Trie};
+use simsearch_parallel::{run_queries, Strategy};
+use simsearch_scan::{SeqVariant, SequentialScan};
+
+/// The rungs of the paper's *index* ladder (§4, Tables V/IX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdxVariant {
+    /// Rung 1 (§4.1): uncompressed prefix tree with min/max-length
+    /// pruning, single-threaded.
+    I1BaseTrie,
+    /// Rung 2 (§4.2): compressed (radix) tree, single-threaded.
+    I2Compressed,
+    /// Rung 3 (§4.3): compressed tree under a fixed thread pool.
+    I3Pool {
+        /// Number of pool threads.
+        threads: usize,
+    },
+}
+
+impl IdxVariant {
+    /// The ladder exactly as evaluated in Tables V/IX.
+    pub fn ladder(pool_threads: usize) -> [IdxVariant; 3] {
+        [
+            IdxVariant::I1BaseTrie,
+            IdxVariant::I2Compressed,
+            IdxVariant::I3Pool {
+                threads: pool_threads,
+            },
+        ]
+    }
+
+    /// The paper's row label for this rung.
+    pub fn label(self) -> String {
+        match self {
+            IdxVariant::I1BaseTrie => "1) Base implementation".into(),
+            IdxVariant::I2Compressed => "2) Compression".into(),
+            IdxVariant::I3Pool { threads } => {
+                format!("3) Management of parallelism ({threads} threads)")
+            }
+        }
+    }
+}
+
+/// Which solution an engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// A rung of the sequential-scan ladder (§3).
+    Scan(SeqVariant),
+    /// A flat scan with an explicit kernel/executor pair (ablations).
+    ScanCustom {
+        /// Bounded-distance kernel.
+        kernel: KernelKind,
+        /// Workload executor.
+        strategy: Strategy,
+    },
+    /// A rung of the index ladder (§4), with the paper's own pruning
+    /// (full-width rows + prefix condition (9)/(10)).
+    Index(IdxVariant),
+    /// A rung of the index ladder with *modern* pruning (banded rows,
+    /// row-minimum lemma, mid-edge abandonment) — an extension whose
+    /// effect the `ablation_pruning` benchmark measures.
+    IndexModern(IdxVariant),
+    /// Radix tree with frequency-vector annotations (§6 future work).
+    /// Tracks DNA symbols when the dataset is DNA, vowels otherwise.
+    RadixFreq {
+        /// Workload executor.
+        strategy: Strategy,
+    },
+    /// Inverted q-gram index baseline.
+    Qgram {
+        /// Gram size.
+        q: usize,
+        /// Workload executor.
+        strategy: Strategy,
+    },
+    /// Length-bucketed scan (§6 "sorting" future work).
+    Buckets {
+        /// Workload executor.
+        strategy: Strategy,
+    },
+    /// Suffix array with query partitioning (related work §2.3,
+    /// Navarro et al.).
+    Suffix {
+        /// Workload executor.
+        strategy: Strategy,
+    },
+    /// BK-tree metric index (Burkhard–Keller baseline).
+    Bk {
+        /// Workload executor.
+        strategy: Strategy,
+    },
+}
+
+impl EngineKind {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            EngineKind::Scan(v) => format!("scan[{}]", v.label()),
+            EngineKind::ScanCustom { kernel, strategy } => {
+                format!("scan[{}/{}]", kernel.name(), strategy.name())
+            }
+            EngineKind::Index(v) => format!("index[{}]", v.label()),
+            EngineKind::IndexModern(v) => format!("index-modern[{}]", v.label()),
+            EngineKind::RadixFreq { strategy } => format!("index[freq/{}]", strategy.name()),
+            EngineKind::Qgram { q, strategy } => format!("qgram[q={q}/{}]", strategy.name()),
+            EngineKind::Buckets { strategy } => format!("buckets[{}]", strategy.name()),
+            EngineKind::Suffix { strategy } => format!("suffix-array[{}]", strategy.name()),
+            EngineKind::Bk { strategy } => format!("bk-tree[{}]", strategy.name()),
+        }
+    }
+}
+
+/// Which trie descent an index backend uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PruneMode {
+    /// The paper's §4.1 pruning.
+    Paper,
+    /// Banded rows + row-minimum lemma (extension).
+    Modern,
+}
+
+enum Backend<'a> {
+    Scan(SequentialScan<'a>, SeqVariant),
+    ScanCustom(SequentialScan<'a>, KernelKind, Strategy),
+    Trie(Trie, PruneMode),
+    Radix(RadixTrie, Strategy, PruneMode),
+    Qgram(QgramIndex, Strategy),
+    Buckets(LengthBuckets, Strategy),
+    Suffix(SuffixIndex, Strategy),
+    Bk(BkTree, Strategy),
+}
+
+/// A built search engine over one dataset.
+pub struct SearchEngine<'a> {
+    dataset: &'a Dataset,
+    kind: EngineKind,
+    backend: Backend<'a>,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Builds the engine (index construction happens here; the paper
+    /// excludes build time from its query-time measurements, and so do
+    /// the benchmarks).
+    pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
+        let backend = match kind {
+            EngineKind::Scan(v) => Backend::Scan(SequentialScan::new(dataset), v),
+            EngineKind::ScanCustom { kernel, strategy } => {
+                Backend::ScanCustom(SequentialScan::new(dataset), kernel, strategy)
+            }
+            EngineKind::Index(v) | EngineKind::IndexModern(v) => {
+                let mode = if matches!(kind, EngineKind::Index(_)) {
+                    PruneMode::Paper
+                } else {
+                    PruneMode::Modern
+                };
+                match v {
+                    IdxVariant::I1BaseTrie => {
+                        Backend::Trie(simsearch_index::trie::build(dataset), mode)
+                    }
+                    IdxVariant::I2Compressed => Backend::Radix(
+                        simsearch_index::radix::build(dataset),
+                        Strategy::Sequential,
+                        mode,
+                    ),
+                    IdxVariant::I3Pool { threads } => Backend::Radix(
+                        simsearch_index::radix::build(dataset),
+                        Strategy::FixedPool { threads },
+                        mode,
+                    ),
+                }
+            }
+            EngineKind::RadixFreq { strategy } => {
+                // Track the alphabet that fits the data: DNA symbols when
+                // the corpus is DNA, vowels (the paper's city-name choice)
+                // otherwise.
+                let dna = simsearch_data::Alphabet::dna();
+                let tracked = if dataset.records().all(|r| dna.covers(r)) {
+                    DNA_SYMBOLS
+                } else {
+                    VOWEL_SYMBOLS
+                };
+                Backend::Radix(
+                    simsearch_index::radix::build_with_freq(dataset, tracked),
+                    strategy,
+                    PruneMode::Modern,
+                )
+            }
+            EngineKind::Qgram { q, strategy } => {
+                Backend::Qgram(QgramIndex::build(dataset, q), strategy)
+            }
+            EngineKind::Buckets { strategy } => {
+                Backend::Buckets(LengthBuckets::build(dataset), strategy)
+            }
+            EngineKind::Suffix { strategy } => {
+                Backend::Suffix(SuffixIndex::build(dataset), strategy)
+            }
+            EngineKind::Bk { strategy } => Backend::Bk(BkTree::build(dataset), strategy),
+        };
+        Self {
+            dataset,
+            kind,
+            backend,
+        }
+    }
+
+    /// The engine's kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+
+    /// The dataset this engine searches.
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// Answers one query.
+    pub fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        match &self.backend {
+            Backend::Scan(scan, v) => scan.search_one(*v, query, k),
+            Backend::ScanCustom(scan, kernel, _) => {
+                // Reuse the workload path for a single query.
+                let w = Workload {
+                    queries: vec![simsearch_data::QueryRecord::new(query.to_vec(), k)],
+                };
+                scan.run_with(*kernel, Strategy::Sequential, &w)
+                    .pop()
+                    .expect("one query in, one result out")
+            }
+            Backend::Trie(trie, mode) => match mode {
+                PruneMode::Paper => trie.search_paper(query, k),
+                PruneMode::Modern => trie.search(query, k),
+            },
+            Backend::Radix(radix, _, mode) => match mode {
+                PruneMode::Paper => radix.search_paper(query, k),
+                PruneMode::Modern => radix.search(query, k),
+            },
+            Backend::Qgram(idx, _) => idx.search(self.dataset, query, k),
+            Backend::Buckets(buckets, _) => buckets.search(self.dataset, query, k),
+            Backend::Suffix(idx, _) => idx.search(self.dataset, query, k),
+            Backend::Bk(tree, _) => tree.search(self.dataset, query, k),
+        }
+    }
+
+    /// Executes a whole workload (this is the quantity the paper times).
+    pub fn run(&self, workload: &Workload) -> Vec<MatchSet> {
+        match &self.backend {
+            Backend::Scan(scan, v) => scan.run(*v, workload),
+            Backend::ScanCustom(scan, kernel, strategy) => {
+                scan.run_with(*kernel, *strategy, workload)
+            }
+            Backend::Trie(trie, mode) => workload
+                .iter()
+                .map(|q| match mode {
+                    PruneMode::Paper => trie.search_paper(&q.text, q.threshold),
+                    PruneMode::Modern => trie.search(&q.text, q.threshold),
+                })
+                .collect(),
+            Backend::Radix(radix, strategy, mode) => {
+                run_queries(*strategy, workload.len(), |i| {
+                    let q = &workload.queries[i];
+                    match mode {
+                        PruneMode::Paper => radix.search_paper(&q.text, q.threshold),
+                        PruneMode::Modern => radix.search(&q.text, q.threshold),
+                    }
+                })
+            }
+            Backend::Qgram(idx, strategy) => run_queries(*strategy, workload.len(), |i| {
+                let q = &workload.queries[i];
+                idx.search(self.dataset, &q.text, q.threshold)
+            }),
+            Backend::Buckets(buckets, strategy) => {
+                run_queries(*strategy, workload.len(), |i| {
+                    let q = &workload.queries[i];
+                    buckets.search(self.dataset, &q.text, q.threshold)
+                })
+            }
+            Backend::Suffix(idx, strategy) => run_queries(*strategy, workload.len(), |i| {
+                let q = &workload.queries[i];
+                idx.search(self.dataset, &q.text, q.threshold)
+            }),
+            Backend::Bk(tree, strategy) => run_queries(*strategy, workload.len(), |i| {
+                let q = &workload.queries[i];
+                tree.search(self.dataset, &q.text, q.threshold)
+            }),
+        }
+    }
+
+    /// Index-structure statistics, when the backend has a structure
+    /// (`(node or posting count, approximate bytes)`).
+    pub fn index_stats(&self) -> Option<(usize, usize)> {
+        match &self.backend {
+            Backend::Trie(t, _) => Some((t.node_count(), t.memory_bytes())),
+            Backend::Radix(r, _, _) => Some((r.node_count(), r.memory_bytes())),
+            Backend::Qgram(q, _) => Some((q.distinct_grams(), q.memory_bytes())),
+            Backend::Buckets(b, _) => Some((b.bucket_count(), 0)),
+            Backend::Suffix(sfx, _) => Some((sfx.record_count(), sfx.memory_bytes())),
+            Backend::Bk(tree, _) => Some((tree.node_count(), 0)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_data::QueryRecord;
+
+    fn dataset() -> Dataset {
+        Dataset::from_records([
+            "Berlin", "Bern", "Bonn", "Ulm", "Bärlin", "Berlingen", "B", "", "Ber",
+        ])
+    }
+
+    fn all_kinds() -> Vec<EngineKind> {
+        vec![
+            EngineKind::Scan(SeqVariant::V1Base),
+            EngineKind::Scan(SeqVariant::V4Flat),
+            EngineKind::Scan(SeqVariant::V6Pool { threads: 2 }),
+            EngineKind::ScanCustom {
+                kernel: KernelKind::Banded,
+                strategy: Strategy::WorkQueue { threads: 2 },
+            },
+            EngineKind::Index(IdxVariant::I1BaseTrie),
+            EngineKind::Index(IdxVariant::I2Compressed),
+            EngineKind::Index(IdxVariant::I3Pool { threads: 2 }),
+            EngineKind::IndexModern(IdxVariant::I1BaseTrie),
+            EngineKind::IndexModern(IdxVariant::I2Compressed),
+            EngineKind::IndexModern(IdxVariant::I3Pool { threads: 2 }),
+            EngineKind::RadixFreq {
+                strategy: Strategy::Sequential,
+            },
+            EngineKind::Qgram {
+                q: 2,
+                strategy: Strategy::Sequential,
+            },
+            EngineKind::Buckets {
+                strategy: Strategy::Sequential,
+            },
+            EngineKind::Suffix {
+                strategy: Strategy::Sequential,
+            },
+            EngineKind::Bk {
+                strategy: Strategy::Sequential,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_engine_agrees_on_single_queries() {
+        let ds = dataset();
+        let engines: Vec<SearchEngine> = all_kinds()
+            .into_iter()
+            .map(|k| SearchEngine::build(&ds, k))
+            .collect();
+        for q in ["Berlin", "Urm", "", "Xyz"] {
+            for k in 0..4 {
+                let expected = engines[0].search(q.as_bytes(), k);
+                for e in &engines[1..] {
+                    assert_eq!(
+                        e.search(q.as_bytes(), k),
+                        expected,
+                        "engine {} q={q} k={k}",
+                        e.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_engine_agrees_on_workloads() {
+        let ds = dataset();
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 0),
+            ],
+        };
+        let engines: Vec<SearchEngine> = all_kinds()
+            .into_iter()
+            .map(|k| SearchEngine::build(&ds, k))
+            .collect();
+        let expected = engines[0].run(&workload);
+        for e in &engines[1..] {
+            assert_eq!(e.run(&workload), expected, "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn index_stats_present_only_for_structures() {
+        let ds = dataset();
+        let scan = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        assert!(scan.index_stats().is_none());
+        let trie = SearchEngine::build(&ds, EngineKind::Index(IdxVariant::I1BaseTrie));
+        let (nodes, bytes) = trie.index_stats().unwrap();
+        assert!(nodes > 1);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(EngineKind::Index(IdxVariant::I2Compressed)
+            .name()
+            .contains("Compression"));
+        assert!(EngineKind::Qgram {
+            q: 3,
+            strategy: Strategy::Sequential
+        }
+        .name()
+        .contains("q=3"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Experiment timing: the measurement protocol of the paper's §5.2.
+//!
+//! The paper measures, per approach and dataset, the *wall-clock* time to
+//! compute all results for 100, 500 and 1,000 queries — explicitly wall
+//! time, not CPU time, because parallel rungs would otherwise look worse
+//! than they are; and explicitly excluding file loading and index
+//! construction. [`measure_prefixes`] reproduces that: the engine is
+//! built beforehand, the workload prefixes are timed.
+
+use crate::engine::SearchEngine;
+use simsearch_data::{MatchSet, Workload};
+use std::time::{Duration, Instant};
+
+/// The paper's query-count columns.
+pub const QUERY_COUNTS: [usize; 3] = [100, 500, 1_000];
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// One measured cell: a query count and the wall time to execute that
+/// many queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Total matches returned (a cheap checksum of result equivalence
+    /// across approaches).
+    pub total_matches: usize,
+}
+
+impl Measurement {
+    /// Seconds, as the paper's tables print them.
+    pub fn secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+}
+
+/// Times `engine` on each prefix of `workload` given by `counts`
+/// (clamped to the workload length).
+pub fn measure_prefixes(
+    engine: &SearchEngine<'_>,
+    workload: &Workload,
+    counts: &[usize],
+) -> Vec<Measurement> {
+    counts
+        .iter()
+        .map(|&n| {
+            let prefix = workload.prefix(n.min(workload.len()));
+            let (results, wall) = time(|| engine.run(&prefix));
+            Measurement {
+                queries: prefix.len(),
+                wall,
+                total_matches: results.iter().map(MatchSet::len).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Times `engine` on a subsample of the workload (every `stride`-th
+/// query) and linearly extrapolates to the full prefix — used only for
+/// the prohibitively slow naive DNA rung, which the paper itself only
+/// estimates ("≈ half day"). The extrapolation is labelled as such by
+/// the caller.
+pub fn measure_extrapolated(
+    engine: &SearchEngine<'_>,
+    workload: &Workload,
+    count: usize,
+    stride: usize,
+) -> Measurement {
+    assert!(stride >= 1);
+    let count = count.min(workload.len());
+    let sampled: Vec<_> = workload.queries[..count]
+        .iter()
+        .step_by(stride)
+        .cloned()
+        .collect();
+    let sample_len = sampled.len();
+    let sample = Workload { queries: sampled };
+    let (results, wall) = time(|| engine.run(&sample));
+    let scale = count as f64 / sample_len.max(1) as f64;
+    Measurement {
+        queries: count,
+        wall: Duration::from_secs_f64(wall.as_secs_f64() * scale),
+        total_matches: results.iter().map(MatchSet::len).sum(),
+    }
+}
+
+/// Per-threshold timing breakdown: groups a workload's queries by their
+/// `k` and times each group separately. The paper aggregates across its
+/// threshold cycle; this view shows *where* each approach spends its
+/// time (e.g. `k = 0` queries are nearly free on a trie but still cost a
+/// full pass on a scan).
+pub fn measure_per_threshold(
+    engine: &SearchEngine<'_>,
+    workload: &Workload,
+) -> Vec<(u32, Measurement)> {
+    let mut thresholds: Vec<u32> = workload.iter().map(|q| q.threshold).collect();
+    thresholds.sort_unstable();
+    thresholds.dedup();
+    thresholds
+        .into_iter()
+        .map(|k| {
+            let sub = Workload {
+                queries: workload
+                    .iter()
+                    .filter(|q| q.threshold == k)
+                    .cloned()
+                    .collect(),
+            };
+            let (results, wall) = time(|| engine.run(&sub));
+            (
+                k,
+                Measurement {
+                    queries: sub.len(),
+                    wall,
+                    total_matches: results.iter().map(MatchSet::len).sum(),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+    use simsearch_data::{Dataset, QueryRecord};
+    use simsearch_scan::SeqVariant;
+
+    fn setup() -> (Dataset, Workload) {
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm", "Bonn"]);
+        let w = Workload {
+            queries: (0..20)
+                .map(|i| QueryRecord::new(if i % 2 == 0 { "Bern" } else { "Ulm" }, 1))
+                .collect(),
+        };
+        (ds, w)
+    }
+
+    #[test]
+    fn measures_each_prefix() {
+        let (ds, w) = setup();
+        let engine = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        let ms = measure_prefixes(&engine, &w, &[5, 10, 20]);
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].queries, 5);
+        assert_eq!(ms[2].queries, 20);
+        assert!(ms.iter().all(|m| m.total_matches > 0));
+    }
+
+    #[test]
+    fn prefix_counts_are_clamped() {
+        let (ds, w) = setup();
+        let engine = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        let ms = measure_prefixes(&engine, &w, &[1000]);
+        assert_eq!(ms[0].queries, 20);
+    }
+
+    #[test]
+    fn extrapolation_scales_time_and_keeps_count() {
+        let (ds, w) = setup();
+        let engine = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let m = measure_extrapolated(&engine, &w, 20, 4);
+        assert_eq!(m.queries, 20);
+        // 5 of 20 queries actually ran; wall was scaled by 4.
+        assert!(m.wall >= Duration::ZERO);
+    }
+
+    #[test]
+    fn per_threshold_covers_every_query() {
+        let (ds, mut w) = setup();
+        // Mix thresholds 0 and 2.
+        for (i, q) in w.queries.iter_mut().enumerate() {
+            q.threshold = if i % 2 == 0 { 0 } else { 2 };
+        }
+        let engine = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        let per_k = measure_per_threshold(&engine, &w);
+        assert_eq!(per_k.len(), 2);
+        assert_eq!(per_k[0].0, 0);
+        assert_eq!(per_k[1].0, 2);
+        assert_eq!(per_k.iter().map(|(_, m)| m.queries).sum::<usize>(), w.len());
+    }
+
+    #[test]
+    fn time_reports_elapsed() {
+        let (v, d) = time(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,46 @@
+//! # simsearch-core
+//!
+//! The engine layer of the `simsearch` workspace: one interface over
+//! every solution the paper evaluates, plus the measurement and
+//! verification machinery its methodology prescribes.
+//!
+//! * [`engine`] — [`engine::SearchEngine`] builds and runs any solution:
+//!   each scan rung (§3), each index rung (§4), and the extension
+//!   engines (frequency-annotated radix tree, q-gram index, length
+//!   buckets);
+//! * [`verify`] — cross-validation of engines against a reference
+//!   (§3.7 / §4.4 correctness methodology);
+//! * [`experiment`] — wall-clock measurement of 100/500/1,000-query
+//!   workload prefixes (§5.2 protocol);
+//! * [`report`] — table rendering in the shape of the paper's appendix;
+//! * [`presets`] — the standard synthetic datasets and workloads;
+//! * [`join`] — the similarity self-join (the venue's other competition
+//!   track), scan- and index-based;
+//! * [`topk`] — nearest-neighbour search by iterative deepening.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod join;
+pub mod presets;
+pub mod report;
+pub mod topk;
+pub mod verify;
+
+pub use engine::{EngineKind, IdxVariant, SearchEngine};
+pub use join::{CrossPair, JoinPair};
+pub use topk::search_top_k;
+pub use experiment::{
+    measure_extrapolated, measure_per_threshold, measure_prefixes, Measurement, QUERY_COUNTS,
+};
+pub use report::Table;
+pub use verify::{compare_results, cross_validate, Mismatch};
+
+// Re-export the vocabulary types so `simsearch_core` is self-sufficient
+// for most users.
+pub use simsearch_data::{Dataset, Match, MatchSet, QueryRecord, RecordId, Workload};
+pub use simsearch_distance::KernelKind;
+pub use simsearch_parallel::Strategy;
+pub use simsearch_scan::SeqVariant;

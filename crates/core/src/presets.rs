@@ -1,0 +1,104 @@
+//! Standard dataset/workload presets used by the examples, the CLI, the
+//! integration tests and the benchmark harness.
+//!
+//! Seeds are fixed so every consumer of a preset sees the identical
+//! bytes; sizes default to laptop-scale fractions of the paper's Table I
+//! and scale up to paper size with a factor (see `EXPERIMENTS.md`).
+
+use simsearch_data::{
+    Alphabet, CityGenerator, Dataset, DnaGenerator, Workload, WorkloadSpec, CITY_THRESHOLDS,
+    DNA_THRESHOLDS,
+};
+
+/// Seed of the city-names dataset.
+pub const CITY_SEED: u64 = 0xC17E;
+/// Seed of the DNA dataset.
+pub const DNA_SEED: u64 = 0xD7A;
+/// Seed of the city query workload.
+pub const CITY_QUERY_SEED: u64 = 0xC17E0A;
+/// Seed of the DNA query workload.
+pub const DNA_QUERY_SEED: u64 = 0xD7A0A;
+
+/// Paper-scale record counts (Table I).
+pub const CITY_FULL_RECORDS: usize = 400_000;
+/// Paper-scale record counts (Table I).
+pub const DNA_FULL_RECORDS: usize = 750_000;
+
+/// A generated dataset with its alphabet and a 1,000-query workload.
+pub struct Preset {
+    /// Dataset name ("city" or "dna").
+    pub name: &'static str,
+    /// The records.
+    pub dataset: Dataset,
+    /// The corpus alphabet.
+    pub alphabet: Alphabet,
+    /// 1,000 queries with the paper's threshold cycle; take prefixes for
+    /// the 100/500 columns.
+    pub workload: Workload,
+}
+
+/// Builds the city-names preset with `records` names.
+pub fn city(records: usize) -> Preset {
+    let dataset = CityGenerator::new(CITY_SEED).generate(records);
+    let alphabet = Alphabet::from_corpus(dataset.records());
+    let workload =
+        WorkloadSpec::new(&CITY_THRESHOLDS, 1_000, CITY_QUERY_SEED).generate(&dataset, &alphabet);
+    Preset {
+        name: "city",
+        dataset,
+        alphabet,
+        workload,
+    }
+}
+
+/// Builds the DNA preset with `records` reads.
+pub fn dna(records: usize) -> Preset {
+    // Genome sized for ~70× coverage at paper scale, clamped so small
+    // test datasets still overlap heavily.
+    let genome = (records * 100 / 70).clamp(10_000, 100_000_000);
+    let dataset = DnaGenerator::new(DNA_SEED)
+        .genome_len(genome)
+        .generate(records);
+    let alphabet = Alphabet::from_corpus(dataset.records());
+    let workload =
+        WorkloadSpec::new(&DNA_THRESHOLDS, 1_000, DNA_QUERY_SEED).generate(&dataset, &alphabet);
+    Preset {
+        name: "dna",
+        dataset,
+        alphabet,
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_preset_matches_table_one_profile() {
+        let p = city(3_000);
+        assert_eq!(p.dataset.len(), 3_000);
+        assert!(p.dataset.max_len().unwrap() <= 64);
+        assert_eq!(p.workload.len(), 1_000);
+        assert_eq!(p.workload.max_threshold(), 3);
+    }
+
+    #[test]
+    fn dna_preset_matches_table_one_profile() {
+        let p = dna(1_000);
+        assert_eq!(p.dataset.len(), 1_000);
+        let dna_alpha = Alphabet::dna();
+        for &s in p.alphabet.symbols() {
+            assert!(dna_alpha.contains(s));
+        }
+        assert_eq!(p.workload.max_threshold(), 16);
+    }
+
+    #[test]
+    fn presets_are_reproducible() {
+        let a = city(500);
+        let b = city(500);
+        assert!(a.dataset.iter().zip(b.dataset.iter()).all(|(x, y)| x == y));
+        assert_eq!(a.workload, b.workload);
+    }
+}

@@ -1,0 +1,143 @@
+//! Table formatting for the reproduction harness: renders measurement
+//! grids in the shape of the paper's appendix tables.
+
+use crate::experiment::Measurement;
+
+/// A rows × columns table of formatted cells with a title.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption (e.g. "Table III. Evaluation of the sequential
+    /// solution on the city name data set").
+    pub title: String,
+    /// Column headers (first column is the row-label column).
+    pub headers: Vec<String>,
+    /// Rows: label + one cell per data column.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of raw cells.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Appends a row of measurements formatted as seconds.
+    pub fn push_measurements(&mut self, label: impl Into<String>, ms: &[Measurement]) {
+        self.push_row(label, ms.iter().map(|m| format_secs(m.secs())).collect());
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| | {} |\n", self.headers[1..].join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len().max(1))
+        ));
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("| {} | {} |\n", label, cells.join(" | ")));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    /// Plain-text rendering with aligned columns.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        // Column widths.
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for (label, cells) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < cols {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                }
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            writeln!(f, "  {}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        for (label, cells) in &self.rows {
+            let mut all = vec![label.clone()];
+            all.extend(cells.iter().cloned());
+            write_row(f, &all)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats seconds the way the paper prints them ("16.92 sec").
+pub fn format_secs(secs: f64) -> String {
+    format!("{secs:.2} sec")
+}
+
+/// Formats a ratio as a percentage.
+pub fn format_percent(ratio: f64) -> String {
+    format!("{:.0} %", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_plain_text() {
+        let mut t = Table::new("Table X", &["Approach", "100", "500"]);
+        t.push_row("1) Base", vec!["16.92 sec".into(), "84.80 sec".into()]);
+        t.push_row("2) Faster", vec!["3.71 sec".into(), "17.81 sec".into()]);
+        let text = t.to_string();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("1) Base"));
+        assert!(text.contains("84.80 sec"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("T", &["Approach", "100"]);
+        t.push_row("row", vec!["1.00 sec".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### T"));
+        assert!(md.contains("| row | 1.00 sec |"));
+    }
+
+    #[test]
+    fn pushes_measurements_as_seconds() {
+        let mut t = Table::new("T", &["Approach", "100"]);
+        t.push_measurements(
+            "m",
+            &[crate::experiment::Measurement {
+                queries: 100,
+                wall: Duration::from_millis(1500),
+                total_matches: 7,
+            }],
+        );
+        assert_eq!(t.rows[0].1[0], "1.50 sec");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(format_secs(16.923), "16.92 sec");
+        assert_eq!(format_percent(0.58), "58 %");
+    }
+}

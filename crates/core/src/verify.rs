@@ -1,0 +1,119 @@
+//! Cross-validation of search implementations — the paper's correctness
+//! methodology made executable.
+//!
+//! §3.7: "The results of the first solution will be used for the
+//! comparison in the other approaches. This guarantees the correctness of
+//! the results." [`cross_validate`] runs a workload through a reference
+//! engine and any number of candidate engines and reports the first
+//! divergence precisely.
+
+use crate::engine::SearchEngine;
+use simsearch_data::{MatchSet, Workload};
+
+/// A divergence between two engines on one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Offending engine's name.
+    pub engine: String,
+    /// Index of the query within the workload.
+    pub query_index: usize,
+    /// What the reference returned.
+    pub expected: MatchSet,
+    /// What the offending engine returned.
+    pub actual: MatchSet,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine {} diverges on query #{}: expected {} matches {:?}, got {} matches {:?}",
+            self.engine,
+            self.query_index,
+            self.expected.len(),
+            self.expected.ids(),
+            self.actual.len(),
+            self.actual.ids(),
+        )
+    }
+}
+
+/// Compares per-query results of one engine against reference results.
+pub fn compare_results(
+    engine_name: &str,
+    reference: &[MatchSet],
+    actual: &[MatchSet],
+) -> Result<(), Mismatch> {
+    assert_eq!(
+        reference.len(),
+        actual.len(),
+        "result vectors must cover the same workload"
+    );
+    for (i, (want, got)) in reference.iter().zip(actual.iter()).enumerate() {
+        if want != got {
+            return Err(Mismatch {
+                engine: engine_name.to_string(),
+                query_index: i,
+                expected: want.clone(),
+                actual: got.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs `workload` through `reference` and every candidate engine and
+/// verifies all results are identical.
+pub fn cross_validate(
+    reference: &SearchEngine<'_>,
+    candidates: &[SearchEngine<'_>],
+    workload: &Workload,
+) -> Result<(), Mismatch> {
+    let truth = reference.run(workload);
+    for engine in candidates {
+        let results = engine.run(workload);
+        compare_results(&engine.name(), &truth, &results)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineKind, IdxVariant};
+    use simsearch_data::{Dataset, Match, QueryRecord};
+    use simsearch_scan::SeqVariant;
+
+    #[test]
+    fn identical_engines_pass() {
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm"]);
+        let reference = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let candidates = vec![
+            SearchEngine::build(&ds, EngineKind::Index(IdxVariant::I1BaseTrie)),
+            SearchEngine::build(&ds, EngineKind::Index(IdxVariant::I2Compressed)),
+        ];
+        let w = Workload {
+            queries: vec![QueryRecord::new("Bern", 1), QueryRecord::new("Ulm", 0)],
+        };
+        cross_validate(&reference, &candidates, &w).expect("engines must agree");
+    }
+
+    #[test]
+    fn mismatch_is_reported_with_context() {
+        let a = vec![MatchSet::from_unsorted(vec![Match::new(1, 0)])];
+        let b = vec![MatchSet::from_unsorted(vec![Match::new(2, 0)])];
+        let err = compare_results("broken", &a, &b).unwrap_err();
+        assert_eq!(err.query_index, 0);
+        assert_eq!(err.engine, "broken");
+        let text = err.to_string();
+        assert!(text.contains("broken"));
+        assert!(text.contains("query #0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same workload")]
+    fn length_mismatch_panics() {
+        let a = vec![MatchSet::default()];
+        let _ = compare_results("x", &a, &[]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Alphabets: the sets of byte symbols a dataset draws from.
+//!
+//! The paper characterizes its two datasets chiefly by alphabet size
+//! (Table I: ≈255 byte values for city names, 5 for DNA reads) and derives
+//! its two hypotheses from that property. All strings in this repository
+//! are treated as *byte* sequences — exactly what a C++ `std::string`
+//! holds — so an alphabet is a subset of the 256 possible byte values.
+
+/// The five DNA symbols used by the competition's read data,
+/// in lexicographic order.
+pub const DNA_SYMBOLS: [u8; 5] = [b'A', b'C', b'G', b'N', b'T'];
+
+/// The five vowels the paper's "frequency vectors" future-work item tracks
+/// for the city-names dataset.
+pub const VOWEL_SYMBOLS: [u8; 5] = [b'A', b'E', b'I', b'O', b'U'];
+
+/// A set of byte symbols with O(1) membership and rank lookup.
+#[derive(Clone)]
+pub struct Alphabet {
+    /// Sorted, deduplicated symbol list.
+    symbols: Vec<u8>,
+    /// `rank[b]` is the index of byte `b` in `symbols`, or `NONE`.
+    rank: [u16; 256],
+}
+
+const NONE: u16 = u16::MAX;
+
+impl Alphabet {
+    /// Builds an alphabet from an arbitrary byte list (duplicates ignored).
+    pub fn new(bytes: &[u8]) -> Self {
+        let mut present = [false; 256];
+        for &b in bytes {
+            present[b as usize] = true;
+        }
+        let symbols: Vec<u8> = (0u16..256)
+            .filter(|&b| present[b as usize])
+            .map(|b| b as u8)
+            .collect();
+        let mut rank = [NONE; 256];
+        for (i, &s) in symbols.iter().enumerate() {
+            rank[s as usize] = i as u16;
+        }
+        Self { symbols, rank }
+    }
+
+    /// The DNA alphabet `{A, C, G, N, T}`.
+    pub fn dna() -> Self {
+        Self::new(&DNA_SYMBOLS)
+    }
+
+    /// Collects the alphabet actually occurring in a corpus of strings.
+    pub fn from_corpus<'a, I>(strings: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut present = [false; 256];
+        for s in strings {
+            for &b in s {
+                present[b as usize] = true;
+            }
+        }
+        let bytes: Vec<u8> = (0u16..256)
+            .filter(|&b| present[b as usize])
+            .map(|b| b as u8)
+            .collect();
+        Self::new(&bytes)
+    }
+
+    /// Number of distinct symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if the alphabet contains no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The sorted symbol list.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Whether byte `b` belongs to the alphabet.
+    pub fn contains(&self, b: u8) -> bool {
+        self.rank[b as usize] != NONE
+    }
+
+    /// Rank (index into [`Self::symbols`]) of byte `b`, if present.
+    pub fn rank(&self, b: u8) -> Option<usize> {
+        let r = self.rank[b as usize];
+        (r != NONE).then_some(r as usize)
+    }
+
+    /// Whether every byte of `s` belongs to the alphabet.
+    pub fn covers(&self, s: &[u8]) -> bool {
+        s.iter().all(|&b| self.contains(b))
+    }
+}
+
+impl std::fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Alphabet({} symbols)", self.symbols.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_alphabet_has_five_sorted_symbols() {
+        let a = Alphabet::dna();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.symbols(), b"ACGNT");
+        assert_eq!(a.rank(b'A'), Some(0));
+        assert_eq!(a.rank(b'T'), Some(4));
+        assert_eq!(a.rank(b'X'), None);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let a = Alphabet::new(b"aabbcc");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.symbols(), b"abc");
+    }
+
+    #[test]
+    fn from_corpus_collects_all_bytes() {
+        let corpus: Vec<&[u8]> = vec![b"abc", b"bcd", b"\xffz"];
+        let a = Alphabet::from_corpus(corpus);
+        assert!(a.contains(b'a'));
+        assert!(a.contains(0xff));
+        assert!(!a.contains(b'q'));
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn covers_checks_every_byte() {
+        let a = Alphabet::dna();
+        assert!(a.covers(b"ACGTN"));
+        assert!(!a.covers(b"ACGU"));
+        assert!(a.covers(b""));
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let a = Alphabet::new(b"");
+        assert!(a.is_empty());
+        assert!(!a.contains(b'a'));
+    }
+}

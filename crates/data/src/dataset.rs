@@ -1,0 +1,233 @@
+//! The flat dataset container used by every search implementation.
+//!
+//! The paper's rung 4 ("simple data types and program methods", §3.4)
+//! replaces per-string objects with plain contiguous arrays. [`Dataset`] is
+//! that representation: one shared byte arena plus an offsets table, so a
+//! scan touches memory strictly sequentially and a record access is two
+//! loads with no pointer chasing. Earlier rungs that deliberately use
+//! heavier representations (e.g. owned `String`s, rung 1) derive them from
+//! this container.
+
+/// Identifier of a record within a [`Dataset`]: its insertion index.
+pub type RecordId = u32;
+
+/// An immutable collection of byte strings stored in one flat arena.
+/// # Examples
+///
+/// ```
+/// use simsearch_data::Dataset;
+///
+/// let ds = Dataset::from_records(["Berlin", "Bern", "Ulm"]);
+/// assert_eq!(ds.len(), 3);
+/// assert_eq!(ds.get(1), b"Bern");
+/// assert_eq!(ds.max_len(), Some(6));
+/// ```
+#[derive(Clone, Default)]
+pub struct Dataset {
+    /// All record bytes, concatenated in insertion order.
+    bytes: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` delimits record `i`; `len() + 1` entries.
+    offsets: Vec<u32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self {
+            bytes: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Creates an empty dataset pre-sized for `records` records totalling
+    /// about `total_bytes` bytes.
+    pub fn with_capacity(records: usize, total_bytes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(records + 1);
+        offsets.push(0);
+        Self {
+            bytes: Vec::with_capacity(total_bytes),
+            offsets,
+        }
+    }
+
+    /// Builds a dataset from an iterator of byte strings.
+    pub fn from_records<I, S>(records: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut ds = Self::new();
+        for r in records {
+            ds.push(r.as_ref());
+        }
+        ds
+    }
+
+    /// Appends one record and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the arena would exceed `u32::MAX` bytes or records.
+    pub fn push(&mut self, record: &[u8]) -> RecordId {
+        let id = self.len();
+        assert!(id < u32::MAX as usize, "too many records");
+        self.bytes.extend_from_slice(record);
+        let end = u32::try_from(self.bytes.len()).expect("dataset arena exceeds 4 GiB");
+        self.offsets.push(end);
+        id as RecordId
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows record `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn get(&self, id: RecordId) -> &[u8] {
+        let i = id as usize;
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        &self.bytes[start..end]
+    }
+
+    /// Length in bytes of record `id` without touching the arena.
+    #[inline]
+    pub fn record_len(&self, id: RecordId) -> usize {
+        let i = id as usize;
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterates over `(id, record)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> + '_ {
+        (0..self.len() as u32).map(move |id| (id, self.get(id)))
+    }
+
+    /// Iterates over records in insertion order.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.iter().map(|(_, r)| r)
+    }
+
+    /// Copies every record into an owned `Vec<Vec<u8>>`.
+    ///
+    /// This is the *heavy* representation the paper's base implementation
+    /// uses; only rung V1 of the scan ladder wants it.
+    pub fn to_owned_records(&self) -> Vec<Vec<u8>> {
+        self.records().map(|r| r.to_vec()).collect()
+    }
+
+    /// Total size of the byte arena.
+    pub fn arena_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Length of the shortest record, or `None` when empty.
+    pub fn min_len(&self) -> Option<usize> {
+        (0..self.len() as u32).map(|i| self.record_len(i)).min()
+    }
+
+    /// Length of the longest record, or `None` when empty.
+    pub fn max_len(&self) -> Option<usize> {
+        (0..self.len() as u32).map(|i| self.record_len(i)).max()
+    }
+
+    /// Histogram of record lengths: `hist[l]` = number of records of
+    /// length `l` (the vector is as long as the longest record + 1).
+    pub fn length_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_len().map_or(0, |m| m + 1)];
+        for i in 0..self.len() as u32 {
+            hist[self.record_len(i)] += 1;
+        }
+        hist
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset({} records, {} arena bytes)",
+            self.len(),
+            self.bytes.len()
+        )
+    }
+}
+
+impl<S: AsRef<[u8]>> FromIterator<S> for Dataset {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::from_records(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut ds = Dataset::new();
+        let a = ds.push(b"Berlin");
+        let b = ds.push(b"Bern");
+        let c = ds.push(b"");
+        let d = ds.push(b"Ulm");
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.get(a), b"Berlin");
+        assert_eq!(ds.get(b), b"Bern");
+        assert_eq!(ds.get(c), b"");
+        assert_eq!(ds.get(d), b"Ulm");
+        assert_eq!(ds.record_len(a), 6);
+        assert_eq!(ds.record_len(c), 0);
+    }
+
+    #[test]
+    fn from_records_preserves_order() {
+        let ds = Dataset::from_records(["x", "yy", "zzz"]);
+        let collected: Vec<&[u8]> = ds.records().collect();
+        assert_eq!(collected, vec![b"x" as &[u8], b"yy", b"zzz"]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = Dataset::from_records(["a", "b"]);
+        let ids: Vec<RecordId> = ds.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn min_max_and_histogram() {
+        let ds = Dataset::from_records(["aa", "b", "cccc", "dd"]);
+        assert_eq!(ds.min_len(), Some(1));
+        assert_eq!(ds.max_len(), Some(4));
+        let hist = ds.length_histogram();
+        assert_eq!(hist, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_dataset_behaves() {
+        let ds = Dataset::new();
+        assert!(ds.is_empty());
+        assert_eq!(ds.min_len(), None);
+        assert_eq!(ds.max_len(), None);
+        assert!(ds.length_histogram().is_empty());
+    }
+
+    #[test]
+    fn to_owned_records_copies() {
+        let ds = Dataset::from_records(["ab", "cd"]);
+        let owned = ds.to_owned_records();
+        assert_eq!(owned, vec![b"ab".to_vec(), b"cd".to_vec()]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let ds: Dataset = ["p", "q"].into_iter().collect();
+        assert_eq!(ds.len(), 2);
+    }
+}

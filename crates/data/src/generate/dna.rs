@@ -1,0 +1,218 @@
+//! Synthetic DNA-read generator.
+//!
+//! Stands in for the competition's human-genome read file (paper Table I:
+//! 750,000 reads, alphabet `{A, C, G, N, T}`, length ≈100). The generator
+//! follows the standard shotgun-sequencing model:
+//!
+//! 1. a random reference genome over `{A, C, G, T}` is synthesized once,
+//! 2. reads of length ≈`read_len` are sampled at uniform positions, from
+//!    either strand (reverse-complemented for the minus strand),
+//! 3. a per-base error model injects substitutions, insertions, deletions
+//!    and ambiguous `N` calls, as a real sequencer would.
+//!
+//! Sampling from a shared genome means reads overlap, so similarity
+//! queries have genuine near-matches in the data — the property the
+//! paper's DNA experiments (thresholds up to k = 16) exercise.
+
+use crate::dataset::Dataset;
+use crate::rng::Xoshiro256;
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Configurable generator for synthetic DNA-read datasets.
+#[derive(Debug, Clone)]
+pub struct DnaGenerator {
+    seed: u64,
+    /// Reference genome length in bases.
+    genome_len: usize,
+    /// Target read length (paper: ≈100).
+    read_len: usize,
+    /// Half-width of the uniform read-length jitter.
+    len_jitter: usize,
+    /// Per-base substitution probability.
+    sub_rate: f64,
+    /// Per-base insertion probability.
+    ins_rate: f64,
+    /// Per-base deletion probability.
+    del_rate: f64,
+    /// Per-base ambiguous-call (`N`) probability.
+    n_rate: f64,
+}
+
+impl DnaGenerator {
+    /// Creates a generator with the sequencing profile used throughout the
+    /// reproduction: 100±10-base reads, 0.5% substitutions, 0.1%
+    /// insertions/deletions, 0.2% `N` calls.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            genome_len: 1 << 20,
+            read_len: 100,
+            len_jitter: 10,
+            sub_rate: 0.005,
+            ins_rate: 0.001,
+            del_rate: 0.001,
+            n_rate: 0.002,
+        }
+    }
+
+    /// Overrides the reference genome length.
+    pub fn genome_len(mut self, len: usize) -> Self {
+        assert!(len >= self.read_len + self.len_jitter);
+        self.genome_len = len;
+        self
+    }
+
+    /// Overrides the target read length.
+    pub fn read_len(mut self, len: usize) -> Self {
+        assert!(len > self.len_jitter);
+        self.read_len = len;
+        self
+    }
+
+    /// Generates `count` reads.
+    pub fn generate(&self, count: usize) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let genome = self.synthesize_genome(&mut rng);
+        let mut ds = Dataset::with_capacity(count, count * self.read_len);
+        let mut read = Vec::with_capacity(self.read_len + self.len_jitter + 8);
+        for _ in 0..count {
+            self.sample_read(&mut rng, &genome, &mut read);
+            ds.push(&read);
+        }
+        ds
+    }
+
+    fn synthesize_genome(&self, rng: &mut Xoshiro256) -> Vec<u8> {
+        // Markov-ish composition: GC content ~41% like the human genome.
+        // Cumulative weights for A, C, G, T out of 100.
+        let cumulative = [30u64, 50, 70, 100];
+        (0..self.genome_len)
+            .map(|_| BASES[rng.weighted_index(&cumulative)])
+            .collect()
+    }
+
+    fn sample_read(&self, rng: &mut Xoshiro256, genome: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let len = self.read_len - self.len_jitter
+            + rng.index(2 * self.len_jitter + 1);
+        let max_start = genome.len() - len;
+        let start = rng.index(max_start + 1);
+        let template = &genome[start..start + len];
+        let reverse = rng.chance(0.5);
+        // Copy the template (possibly reverse-complemented) while applying
+        // the error model base by base.
+        let emit = |rng: &mut Xoshiro256, base: u8, out: &mut Vec<u8>| {
+            if rng.chance(self.del_rate) {
+                return; // base dropped
+            }
+            if rng.chance(self.ins_rate) {
+                out.push(BASES[rng.index(4)]);
+            }
+            let b = if rng.chance(self.n_rate) {
+                b'N'
+            } else if rng.chance(self.sub_rate) {
+                // Substitute with a *different* base.
+                let mut nb = BASES[rng.index(4)];
+                while nb == base {
+                    nb = BASES[rng.index(4)];
+                }
+                nb
+            } else {
+                base
+            };
+            out.push(b);
+        };
+        if reverse {
+            for &b in template.iter().rev() {
+                emit(rng, complement(b), out);
+            }
+        } else {
+            for &b in template {
+                emit(rng, b, out);
+            }
+        }
+        if out.is_empty() {
+            out.push(b'A'); // only reachable with a pathological error model
+        }
+    }
+}
+
+/// Watson–Crick complement; `N` stays `N`.
+pub fn complement(base: u8) -> u8 {
+    match base {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn generates_requested_count() {
+        let ds = DnaGenerator::new(1).genome_len(10_000).generate(500);
+        assert_eq!(ds.len(), 500);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = DnaGenerator::new(9).genome_len(20_000).generate(200);
+        let b = DnaGenerator::new(9).genome_len(20_000).generate(200);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn alphabet_is_acgnt() {
+        let ds = DnaGenerator::new(2).genome_len(50_000).generate(2_000);
+        let alpha = Alphabet::from_corpus(ds.records());
+        let dna = Alphabet::dna();
+        for &s in alpha.symbols() {
+            assert!(dna.contains(s), "unexpected symbol {s:#x}");
+        }
+        // N must actually occur at the default error rate and this size.
+        assert!(alpha.contains(b'N'), "no ambiguous calls generated");
+        assert_eq!(alpha.len(), 5);
+    }
+
+    #[test]
+    fn read_lengths_are_near_100() {
+        let ds = DnaGenerator::new(3).genome_len(50_000).generate(2_000);
+        for (_, r) in ds.iter() {
+            // 100 ± 10 jitter, ±few indels.
+            assert!(
+                (85..=115).contains(&r.len()),
+                "read length {} out of expected envelope",
+                r.len()
+            );
+        }
+        let mean: f64 = ds.records().map(|r| r.len() as f64).sum::<f64>() / ds.len() as f64;
+        assert!((95.0..105.0).contains(&mean), "mean length {mean}");
+    }
+
+    #[test]
+    fn reads_overlap_the_genome() {
+        // With a small genome and many reads, near-duplicates must exist:
+        // at least two reads share a 20-byte substring.
+        let ds = DnaGenerator::new(4).genome_len(2_000).generate(200);
+        let first = ds.get(0);
+        let probe = &first[0..20.min(first.len())];
+        let hits = ds
+            .records()
+            .filter(|r| r.windows(probe.len()).any(|w| w == probe))
+            .count();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        for b in [b'A', b'C', b'G', b'T', b'N'] {
+            assert_eq!(complement(complement(b)), b);
+        }
+    }
+}

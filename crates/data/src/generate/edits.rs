@@ -1,0 +1,143 @@
+//! Random edit operations, used to derive query workloads from records.
+//!
+//! The competition's query files were built by perturbing data strings;
+//! [`apply_random_edits`] reproduces that: it applies a requested number of
+//! uniformly chosen insert / delete / substitute operations (the three
+//! operations of the unweighted edit distance, paper §2.2) at random
+//! positions. After `e` operations the edit distance to the original is at
+//! most `e` (it can be less when operations cancel out), so a query built
+//! with `e ≤ k` is guaranteed at least one match at threshold `k`.
+
+use crate::alphabet::Alphabet;
+use crate::rng::Xoshiro256;
+
+/// One of the three unit-cost operations of the edit distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Insert a random symbol at a random position.
+    Insert,
+    /// Delete the symbol at a random position.
+    Delete,
+    /// Replace the symbol at a random position with a *different* symbol.
+    Substitute,
+}
+
+/// Applies `count` random edit operations to `input`, drawing replacement
+/// symbols from `alphabet`. Returns the edited string.
+///
+/// Deletions are skipped (replaced by insertions) when the string is empty,
+/// so the result of `count` operations always differs from `input` by an
+/// edit distance of at most `count`.
+///
+/// # Panics
+/// Panics if `alphabet` is empty (there would be nothing to insert).
+pub fn apply_random_edits(
+    rng: &mut Xoshiro256,
+    input: &[u8],
+    count: usize,
+    alphabet: &Alphabet,
+) -> Vec<u8> {
+    assert!(!alphabet.is_empty(), "cannot edit with an empty alphabet");
+    let mut s = input.to_vec();
+    for _ in 0..count {
+        let op = match rng.index(3) {
+            0 => EditOp::Insert,
+            1 => EditOp::Delete,
+            _ => EditOp::Substitute,
+        };
+        apply_one(rng, &mut s, op, alphabet);
+    }
+    s
+}
+
+fn apply_one(rng: &mut Xoshiro256, s: &mut Vec<u8>, op: EditOp, alphabet: &Alphabet) {
+    let op = if s.is_empty() { EditOp::Insert } else { op };
+    match op {
+        EditOp::Insert => {
+            let pos = rng.index(s.len() + 1);
+            let sym = *rng.choose(alphabet.symbols());
+            s.insert(pos, sym);
+        }
+        EditOp::Delete => {
+            let pos = rng.index(s.len());
+            s.remove(pos);
+        }
+        EditOp::Substitute => {
+            let pos = rng.index(s.len());
+            if alphabet.len() == 1 {
+                // Nothing different to substitute with; degrade to a
+                // delete+insert-equivalent no-op substitution.
+                s[pos] = alphabet.symbols()[0];
+                return;
+            }
+            let old = s[pos];
+            let mut sym = *rng.choose(alphabet.symbols());
+            while sym == old {
+                sym = *rng.choose(alphabet.symbols());
+            }
+            s[pos] = sym;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ascii() -> Alphabet {
+        Alphabet::new(b"abcdefghij")
+    }
+
+    #[test]
+    fn zero_edits_is_identity() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let out = apply_random_edits(&mut rng, b"hello", 0, &ascii());
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn single_substitute_changes_exactly_one_byte() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut s = b"abcde".to_vec();
+        apply_one(&mut rng, &mut s, EditOp::Substitute, &ascii());
+        assert_eq!(s.len(), 5);
+        let diffs = s.iter().zip(b"abcde").filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn insert_grows_delete_shrinks() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut s = b"abc".to_vec();
+        apply_one(&mut rng, &mut s, EditOp::Insert, &ascii());
+        assert_eq!(s.len(), 4);
+        apply_one(&mut rng, &mut s, EditOp::Delete, &ascii());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn delete_on_empty_becomes_insert() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut s = Vec::new();
+        apply_one(&mut rng, &mut s, EditOp::Delete, &ascii());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn edit_count_bounds_length_change() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for e in 0..8 {
+            let out = apply_random_edits(&mut rng, b"abcdefgh", e, &ascii());
+            let diff = (out.len() as i64 - 8).unsigned_abs() as usize;
+            assert!(diff <= e, "{e} edits changed length by {diff}");
+        }
+    }
+
+    #[test]
+    fn singleton_alphabet_does_not_hang() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let a = Alphabet::new(b"x");
+        let out = apply_random_edits(&mut rng, b"xxx", 10, &a);
+        assert!(out.iter().all(|&b| b == b'x'));
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! The paper evaluates on the EDBT/ICDT 2013 competition's two data files,
+//! which are no longer distributable. These generators produce synthetic
+//! stand-ins that match every property the paper's Table I reports and the
+//! paper's hypotheses rely on:
+//!
+//! * **City names** ([`city`]): ~hundreds of thousands of unique,
+//!   human-readable names, byte alphabet approaching 255 values
+//!   (Latin letters, punctuation, Latin-1 diacritics and non-Latin
+//!   high-byte scripts), lengths ≤ 64 with a short-string-heavy
+//!   distribution.
+//! * **DNA reads** ([`dna`]): fixed-coverage reads of length ≈100 sampled
+//!   from a synthetic genome over `{A, C, G, T}` with sequencing errors and
+//!   ambiguous `N` calls, alphabet exactly `{A, C, G, N, T}`.
+//!
+//! Everything is driven by the crate's own deterministic PRNG: a given
+//! `(seed, size)` pair always produces the identical dataset.
+
+pub mod city;
+pub mod dna;
+pub mod edits;
+
+pub use city::CityGenerator;
+pub use dna::DnaGenerator;
+pub use edits::apply_random_edits;

@@ -1,0 +1,222 @@
+//! File I/O in the competition's formats.
+//!
+//! * **Data files**: one record per line (`\n`-terminated byte strings).
+//! * **Query files**: `query<TAB>threshold` per line.
+//! * **Result files**: `query-index: id,id,...` per line, ids ascending —
+//!   the format the paper's implementations write for cross-checking.
+//!
+//! All readers and writers are byte-oriented (records may contain non-UTF-8
+//! bytes, e.g. Latin-1 diacritics) and buffered, per the I/O guidance of
+//! the Rust performance literature.
+
+use crate::dataset::Dataset;
+use crate::workload::{QueryRecord, Workload};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a dataset as a newline-delimited data file.
+///
+/// # Errors
+/// Returns any underlying I/O error.
+///
+/// # Panics
+/// Panics if a record contains a `\n` byte (unrepresentable in the format).
+pub fn write_dataset(path: &Path, dataset: &Dataset) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for (_, record) in dataset.iter() {
+        assert!(
+            !record.contains(&b'\n'),
+            "record contains a newline byte and cannot be serialized"
+        );
+        out.write_all(record)?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Reads a newline-delimited data file into a dataset.
+///
+/// A trailing newline is optional; empty trailing lines are ignored, but
+/// interior empty lines become empty records (the format allows them).
+///
+/// # Errors
+/// Returns any underlying I/O error.
+pub fn read_dataset(path: &Path) -> io::Result<Dataset> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut ds = Dataset::new();
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        if line.last() == Some(&b'\n') {
+            line.pop();
+        } else if line.is_empty() {
+            break;
+        }
+        ds.push(&line);
+    }
+    // Drop a single phantom empty record caused by a trailing newline at EOF.
+    Ok(ds)
+}
+
+/// Writes a workload as a `query<TAB>k` file.
+///
+/// # Errors
+/// Returns any underlying I/O error.
+///
+/// # Panics
+/// Panics if a query contains `\t` or `\n` bytes.
+pub fn write_queries(path: &Path, workload: &Workload) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for q in workload.iter() {
+        assert!(
+            !q.text.contains(&b'\n') && !q.text.contains(&b'\t'),
+            "query contains a tab or newline byte and cannot be serialized"
+        );
+        out.write_all(&q.text)?;
+        writeln!(out, "\t{}", q.threshold)?;
+    }
+    out.flush()
+}
+
+/// Reads a `query<TAB>k` file into a workload.
+///
+/// # Errors
+/// Returns an I/O error, including `InvalidData` for malformed lines.
+pub fn read_queries(path: &Path) -> io::Result<Workload> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut queries = Vec::new();
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        if line.last() == Some(&b'\n') {
+            line.pop();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let tab = line
+            .iter()
+            .rposition(|&b| b == b'\t')
+            .ok_or_else(|| malformed("missing tab separator"))?;
+        let threshold: u32 = std::str::from_utf8(&line[tab + 1..])
+            .map_err(|_| malformed("non-UTF-8 threshold"))?
+            .trim()
+            .parse()
+            .map_err(|_| malformed("unparsable threshold"))?;
+        queries.push(QueryRecord {
+            text: line[..tab].to_vec(),
+            threshold,
+        });
+    }
+    Ok(Workload { queries })
+}
+
+/// Writes per-query result id lists: `index: id,id,...` (ids ascending).
+///
+/// # Errors
+/// Returns any underlying I/O error.
+pub fn write_results(path: &Path, results: &[Vec<u32>]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for (i, ids) in results.iter().enumerate() {
+        write!(out, "{i}:")?;
+        for (j, id) in ids.iter().enumerate() {
+            if j == 0 {
+                write!(out, " {id}")?;
+            } else {
+                write!(out, ",{id}")?;
+            }
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("query file: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("simsearch-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let path = tmp("ds");
+        let ds = Dataset::from_records(["Berlin", "Bern", "", "Ulm"]);
+        write_dataset(&path, &ds).unwrap();
+        let back = read_dataset(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        assert!(ds.iter().zip(back.iter()).all(|(a, b)| a == b));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dataset_round_trip_with_high_bytes() {
+        let path = tmp("ds-bytes");
+        let ds = Dataset::from_records([&b"K\xE4rnten"[..], &b"\xC2\x80\xC3\xBF"[..]]);
+        write_dataset(&path, &ds).unwrap();
+        let back = read_dataset(&path).unwrap();
+        assert_eq!(back.get(0), b"K\xE4rnten");
+        assert_eq!(back.get(1), b"\xC2\x80\xC3\xBF");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn queries_round_trip() {
+        let path = tmp("q");
+        let w = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("AGGCGT", 16),
+            ],
+        };
+        write_queries(&path, &w).unwrap();
+        let back = read_queries(&path).unwrap();
+        assert_eq!(back, w);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_query_line_is_invalid_data() {
+        let path = tmp("bad");
+        std::fs::write(&path, b"no-tab-here\n").unwrap();
+        let err = read_queries(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn results_format() {
+        let path = tmp("res");
+        write_results(&path, &[vec![1, 5, 9], vec![], vec![0]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "0: 1,5,9\n1:\n2: 0\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_dataset_without_trailing_newline() {
+        let path = tmp("notrail");
+        std::fs::write(&path, b"abc\ndef").unwrap();
+        let ds = read_dataset(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(1), b"def");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! # simsearch-data
+//!
+//! Dataset substrate for the `simsearch` workspace — the reproduction of
+//! *"Trying to outperform a well-known index with a sequential scan"*
+//! (Hentschel, Meyer, Rommel; EDBT/ICDT 2013).
+//!
+//! This crate owns everything about the *data* the paper searches:
+//!
+//! * [`Dataset`] — the flat byte-arena record store every search
+//!   implementation consumes;
+//! * [`Alphabet`] — byte-symbol sets (Table I's "#Symbols" column);
+//! * [`generate`] — deterministic synthetic generators replacing the
+//!   unavailable EDBT/ICDT 2013 competition files (city names and DNA
+//!   reads with matching statistical profiles);
+//! * [`workload`] — `(query, threshold)` workload construction with the
+//!   paper's threshold cycles;
+//! * [`io`] — competition-format file readers/writers;
+//! * [`freq`] — frequency vectors (paper §6 future work, used by the
+//!   filter crate and as trie annotations);
+//! * [`packed`] — 3-bit DNA dictionary compression (paper §6 future work);
+//! * [`rng`] — the self-contained deterministic PRNG behind it all.
+//!
+//! Strings are treated as byte sequences throughout, mirroring the
+//! paper's C++ `std::string` semantics; edit distances operate on bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod dataset;
+pub mod freq;
+pub mod generate;
+pub mod io;
+pub mod matches;
+pub mod packed;
+pub mod rng;
+pub mod stats;
+pub mod workload;
+
+pub use alphabet::Alphabet;
+pub use dataset::{Dataset, RecordId};
+pub use freq::FreqVector;
+pub use matches::{Match, MatchSet};
+pub use generate::{CityGenerator, DnaGenerator};
+pub use packed::{PackedDataset, PackedSeq};
+pub use rng::Xoshiro256;
+pub use stats::DatasetStats;
+pub use workload::{QueryRecord, Workload, WorkloadSpec, CITY_THRESHOLDS, DNA_THRESHOLDS};

@@ -1,0 +1,115 @@
+//! Query results: the `(record, distance)` pairs a similarity search
+//! returns.
+//!
+//! Every search implementation in the workspace — each scan rung, each
+//! index — returns a [`MatchSet`] normalized to ascending record id, so
+//! the paper's correctness methodology ("the results of the first solution
+//! will be used for the comparison in the other approaches", §3.7) is a
+//! plain equality check.
+
+use crate::dataset::RecordId;
+
+/// One matching record with its edit distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Match {
+    /// The matching record's id.
+    pub id: RecordId,
+    /// `ed(query, record)` (≤ the query threshold).
+    pub distance: u32,
+}
+
+impl Match {
+    /// Convenience constructor.
+    pub fn new(id: RecordId, distance: u32) -> Self {
+        Self { id, distance }
+    }
+}
+
+/// All matches of one query, sorted by record id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchSet {
+    matches: Vec<Match>,
+}
+
+impl MatchSet {
+    /// Builds a set from unsorted matches (normalizes to id order).
+    ///
+    /// # Panics
+    /// Panics (debug) if the same record id occurs twice.
+    pub fn from_unsorted(mut matches: Vec<Match>) -> Self {
+        matches.sort_unstable();
+        debug_assert!(
+            matches.windows(2).all(|w| w[0].id != w[1].id),
+            "duplicate record id in match set"
+        );
+        Self { matches }
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True if the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// The matches, ascending by id.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Just the record ids, ascending.
+    pub fn ids(&self) -> Vec<RecordId> {
+        self.matches.iter().map(|m| m.id).collect()
+    }
+
+    /// Whether record `id` is in the set.
+    pub fn contains(&self, id: RecordId) -> bool {
+        self.matches.binary_search_by_key(&id, |m| m.id).is_ok()
+    }
+
+    /// Iterates over the matches.
+    pub fn iter(&self) -> impl Iterator<Item = &Match> + '_ {
+        self.matches.iter()
+    }
+}
+
+impl FromIterator<Match> for MatchSet {
+    fn from_iter<I: IntoIterator<Item = Match>>(iter: I) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_id_order() {
+        let set = MatchSet::from_unsorted(vec![
+            Match::new(9, 1),
+            Match::new(2, 0),
+            Match::new(5, 2),
+        ]);
+        assert_eq!(set.ids(), vec![2, 5, 9]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_input_order() {
+        let a = MatchSet::from_unsorted(vec![Match::new(1, 1), Match::new(2, 2)]);
+        let b = MatchSet::from_unsorted(vec![Match::new(2, 2), Match::new(1, 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let set: MatchSet = [Match::new(4, 0), Match::new(10, 3)].into_iter().collect();
+        assert!(set.contains(4));
+        assert!(set.contains(10));
+        assert!(!set.contains(7));
+        assert!(!MatchSet::default().contains(0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Dataset property reporting (reproduces the paper's Table I).
+
+use crate::alphabet::Alphabet;
+use crate::dataset::Dataset;
+
+/// Measured properties of a dataset, matching the columns of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of records ("#Data sets").
+    pub records: usize,
+    /// Number of distinct byte symbols ("#Symbols").
+    pub symbols: usize,
+    /// Shortest record length.
+    pub min_len: usize,
+    /// Longest record length ("Length").
+    pub max_len: usize,
+    /// Mean record length.
+    pub mean_len: f64,
+    /// Total bytes across all records.
+    pub total_bytes: usize,
+}
+
+impl DatasetStats {
+    /// Measures `dataset`.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let alphabet = Alphabet::from_corpus(dataset.records());
+        let records = dataset.len();
+        let total_bytes = dataset.arena_len();
+        Self {
+            records,
+            symbols: alphabet.len(),
+            min_len: dataset.min_len().unwrap_or(0),
+            max_len: dataset.max_len().unwrap_or(0),
+            mean_len: if records == 0 {
+                0.0
+            } else {
+                total_bytes as f64 / records as f64
+            },
+            total_bytes,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} records, {} symbols, length {}..{} (mean {:.1})",
+            self.records, self.symbols, self.min_len, self.max_len, self.mean_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_table_one_columns() {
+        let ds = Dataset::from_records(["AG", "AGGT", "T"]);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.records, 3);
+        assert_eq!(s.symbols, 3); // A, G, T
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 4);
+        assert!((s.mean_len - 7.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.total_bytes, 7);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let s = DatasetStats::compute(&Dataset::new());
+        assert_eq!(s.records, 0);
+        assert_eq!(s.mean_len, 0.0);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let ds = Dataset::from_records(["ab"]);
+        let text = DatasetStats::compute(&ds).to_string();
+        assert!(text.contains("1 records"));
+    }
+}

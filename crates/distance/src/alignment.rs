@@ -1,0 +1,179 @@
+//! Edit-script extraction (traceback).
+//!
+//! The paper only needs the *value* of the edit distance, but a library
+//! user diagnosing why two strings are similar wants the witness: the
+//! minimal sequence of insert/delete/substitute operations (§2.2's three
+//! operations). [`edit_script`] recovers it from the full DP matrix.
+
+use crate::full::levenshtein_full_with;
+use crate::matrix::DpMatrix;
+
+/// One step of an edit script transforming `x` into `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditStep {
+    /// `x[x_pos] == y[y_pos]`: keep the symbol (cost 0).
+    Keep {
+        /// Position in `x`.
+        x_pos: usize,
+        /// Position in `y`.
+        y_pos: usize,
+    },
+    /// Replace `x[x_pos]` with `symbol` (= `y[y_pos]`).
+    Substitute {
+        /// Position in `x`.
+        x_pos: usize,
+        /// Replacement symbol.
+        symbol: u8,
+    },
+    /// Delete `x[x_pos]`.
+    Delete {
+        /// Position in `x`.
+        x_pos: usize,
+    },
+    /// Insert `symbol` before `x[x_pos]` (conceptually; positions refer
+    /// to the original `x`).
+    Insert {
+        /// Position in `x` before which the symbol is inserted.
+        x_pos: usize,
+        /// Inserted symbol.
+        symbol: u8,
+    },
+}
+
+impl EditStep {
+    /// Unit cost of the step (0 for [`EditStep::Keep`], 1 otherwise).
+    pub fn cost(&self) -> u32 {
+        match self {
+            EditStep::Keep { .. } => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// Computes a minimal edit script transforming `x` into `y`, together
+/// with its cost (= `ed(x, y)`).
+/// # Examples
+///
+/// ```
+/// use simsearch_distance::{apply_script, edit_script};
+///
+/// let (steps, cost) = edit_script(b"AGGCGT", b"AGAGT");
+/// assert_eq!(cost, 2);
+/// assert_eq!(apply_script(b"AGGCGT", &steps), b"AGAGT");
+/// ```
+///
+/// Ties are broken preferring diagonal moves (keep/substitute), then
+/// deletion, then insertion — the script is deterministic.
+pub fn edit_script(x: &[u8], y: &[u8]) -> (Vec<EditStep>, u32) {
+    let mut m = DpMatrix::new();
+    let distance = levenshtein_full_with(&mut m, x, y);
+    let mut steps = Vec::with_capacity(x.len().max(y.len()));
+    let (mut i, mut j) = (x.len(), y.len());
+    while i > 0 || j > 0 {
+        let here = m.get(i, j);
+        if i > 0 && j > 0 && x[i - 1] == y[j - 1] && m.get(i - 1, j - 1) == here {
+            steps.push(EditStep::Keep {
+                x_pos: i - 1,
+                y_pos: j - 1,
+            });
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && j > 0 && m.get(i - 1, j - 1) + 1 == here {
+            steps.push(EditStep::Substitute {
+                x_pos: i - 1,
+                symbol: y[j - 1],
+            });
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && m.get(i - 1, j) + 1 == here {
+            steps.push(EditStep::Delete { x_pos: i - 1 });
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && m.get(i, j - 1) + 1 == here, "broken traceback");
+            steps.push(EditStep::Insert {
+                x_pos: i,
+                symbol: y[j - 1],
+            });
+            j -= 1;
+        }
+    }
+    steps.reverse();
+    (steps, distance)
+}
+
+/// Applies an edit script produced by [`edit_script`] to `x`.
+///
+/// Used by tests to validate the traceback; scripts from other sources
+/// are applied on a best-effort basis (positions must refer to `x`).
+pub fn apply_script(x: &[u8], steps: &[EditStep]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(x.len());
+    for step in steps {
+        match *step {
+            EditStep::Keep { x_pos, .. } => out.push(x[x_pos]),
+            EditStep::Substitute { symbol, .. } => out.push(symbol),
+            EditStep::Delete { .. } => {}
+            EditStep::Insert { symbol, .. } => out.push(symbol),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    fn check(x: &[u8], y: &[u8]) {
+        let (steps, d) = edit_script(x, y);
+        assert_eq!(d, levenshtein(x, y), "distance mismatch");
+        let cost: u32 = steps.iter().map(EditStep::cost).sum();
+        assert_eq!(cost, d, "script cost != distance");
+        assert_eq!(apply_script(x, &steps), y, "script does not produce y");
+    }
+
+    #[test]
+    fn paper_example_script() {
+        let (steps, d) = edit_script(b"AGGCGT", b"AGAGT");
+        assert_eq!(d, 2);
+        let cost: u32 = steps.iter().map(EditStep::cost).sum();
+        assert_eq!(cost, 2);
+        assert_eq!(apply_script(b"AGGCGT", &steps), b"AGAGT");
+    }
+
+    #[test]
+    fn scripts_reproduce_targets() {
+        let words: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"kitten",
+            b"sitting",
+            b"Berlin",
+            b"Bern",
+            b"abcdef",
+            b"fedcba",
+        ];
+        for &x in words {
+            for &y in words {
+                check(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_script_is_all_keeps() {
+        let (steps, d) = edit_script(b"same", b"same");
+        assert_eq!(d, 0);
+        assert!(steps.iter().all(|s| matches!(s, EditStep::Keep { .. })));
+        assert_eq!(steps.len(), 4);
+    }
+
+    #[test]
+    fn pure_insertions_and_deletions() {
+        let (steps, d) = edit_script(b"", b"abc");
+        assert_eq!(d, 3);
+        assert!(steps.iter().all(|s| matches!(s, EditStep::Insert { .. })));
+        let (steps, d) = edit_script(b"abc", b"");
+        assert_eq!(d, 3);
+        assert!(steps.iter().all(|s| matches!(s, EditStep::Delete { .. })));
+    }
+}

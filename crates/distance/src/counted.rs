@@ -1,0 +1,175 @@
+//! Cost-counting variants of the bounded kernels.
+//!
+//! Wall-clock comparisons say *which* approach wins; these variants say
+//! *why*, by reporting the number of DP cells actually computed — the
+//! quantity every optimization in the paper (early abort, banding,
+//! pruning) is trying to reduce. Results are bit-identical to the
+//! uncounted kernels (enforced by property tests).
+
+/// Like [`crate::early_abort::ed_within_early_abort_with`], additionally
+/// returning the number of DP cells computed.
+pub fn ed_within_early_abort_counted(
+    buf: &mut Vec<u32>,
+    x: &[u8],
+    y: &[u8],
+    k: u32,
+) -> (Option<u32>, u64) {
+    let d = x.len().abs_diff(y.len());
+    if d > k as usize {
+        return (None, 0);
+    }
+    let cols = y.len() + 1;
+    buf.clear();
+    buf.resize(cols * 2, 0);
+    let (prev, curr) = buf.split_at_mut(cols);
+    for (j, p) in prev.iter_mut().enumerate() {
+        *p = j as u32;
+    }
+    let mut prev: &mut [u32] = prev;
+    let mut curr: &mut [u32] = curr;
+    let x_longer = x.len() >= y.len();
+    let mut cells: u64 = 0;
+    for (i0, &xc) in x.iter().enumerate() {
+        let i = i0 + 1;
+        curr[0] = i as u32;
+        for j in 1..cols {
+            curr[j] = if xc == y[j - 1] {
+                prev[j - 1]
+            } else {
+                1 + prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+        }
+        cells += cols as u64;
+        let decisive_j = if x_longer { i.checked_sub(d) } else { Some(i + d) };
+        if let Some(j) = decisive_j {
+            if j < cols && curr[j] > k {
+                return (None, cells);
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let result = prev[cols - 1];
+    ((result <= k).then_some(result), cells)
+}
+
+/// Like [`crate::banded::ed_within_banded_with`], additionally returning
+/// the number of DP cells computed.
+pub fn ed_within_banded_counted(
+    buf: &mut Vec<u32>,
+    x: &[u8],
+    y: &[u8],
+    k: u32,
+) -> (Option<u32>, u64) {
+    if x.len().abs_diff(y.len()) > k as usize {
+        return (None, 0);
+    }
+    let cap = k + 1;
+    let kk = k as usize;
+    let cols = y.len() + 1;
+    buf.clear();
+    buf.resize(cols * 2, cap);
+    let (prev, curr) = buf.split_at_mut(cols);
+    for (j, p) in prev.iter_mut().enumerate().take(kk + 1) {
+        *p = j as u32;
+    }
+    let mut prev: &mut [u32] = prev;
+    let mut curr: &mut [u32] = curr;
+    let mut cells: u64 = 0;
+    for (i0, &xc) in x.iter().enumerate() {
+        let i = i0 + 1;
+        let lo = i.saturating_sub(kk);
+        let hi = (i + kk).min(y.len());
+        let mut row_min = cap;
+        if lo == 0 {
+            curr[0] = i as u32;
+            row_min = curr[0];
+            cells += 1;
+        } else {
+            curr[lo - 1] = cap;
+        }
+        for j in lo.max(1)..=hi {
+            let v = if xc == y[j - 1] {
+                prev[j - 1]
+            } else {
+                1 + prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+            let v = v.min(cap);
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        cells += (hi + 1 - lo.max(1)) as u64;
+        if hi + 1 < cols {
+            curr[hi + 1] = cap;
+        }
+        if row_min > k {
+            return (None, cells);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let result = prev[cols - 1];
+    ((result <= k).then_some(result), cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banded::ed_within_banded;
+    use crate::early_abort::ed_within_early_abort;
+
+    #[test]
+    fn counted_early_abort_matches_uncounted() {
+        let words: &[&[u8]] = &[b"", b"a", b"Berlin", b"Bern", b"AGGCGT", b"AGAGT", b"kitten"];
+        let mut buf = Vec::new();
+        for &x in words {
+            for &y in words {
+                for k in 0..5 {
+                    let (r, cells) = ed_within_early_abort_counted(&mut buf, x, y, k);
+                    assert_eq!(r, ed_within_early_abort(x, y, k));
+                    if x.len().abs_diff(y.len()) > k as usize {
+                        assert_eq!(cells, 0, "length filter must not compute cells");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counted_banded_matches_uncounted() {
+        let words: &[&[u8]] = &[b"", b"a", b"Berlin", b"Bern", b"AGGCGT", b"AGAGT"];
+        let mut buf = Vec::new();
+        for &x in words {
+            for &y in words {
+                for k in 0..5 {
+                    let (r, _) = ed_within_banded_counted(&mut buf, x, y, k);
+                    assert_eq!(r, ed_within_banded(x, y, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banding_computes_fewer_cells() {
+        let x = vec![b'A'; 100];
+        let mut y = x.clone();
+        y[50] = b'T';
+        let mut buf = Vec::new();
+        let (_, full) = ed_within_early_abort_counted(&mut buf, &x, &y, 4);
+        let (_, banded) = ed_within_banded_counted(&mut buf, &x, &y, 4);
+        assert!(
+            banded * 2 < full,
+            "band should compute far fewer cells ({banded} vs {full})"
+        );
+    }
+
+    #[test]
+    fn early_abort_counts_reflect_the_abort() {
+        // Dissimilar strings: the abort fires early, so far fewer cells
+        // than the full |x|·|y| table.
+        let x = vec![b'A'; 100];
+        let y = vec![b'T'; 100];
+        let mut buf = Vec::new();
+        let (r, cells) = ed_within_early_abort_counted(&mut buf, &x, &y, 4);
+        assert_eq!(r, None);
+        assert!(cells < 101 * 20, "abort did not fire early: {cells}");
+    }
+}

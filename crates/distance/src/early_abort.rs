@@ -1,0 +1,133 @@
+//! The paper's "faster edit distance calculation" (§3.2): the length
+//! filter plus the decisive-diagonal early abort, conditions (5)–(7).
+//!
+//! Two observations power the rung-2 speedup:
+//!
+//! 1. **Length filter** (eq. (5)): with `d = | |x| − |y| |`, the distance
+//!    is at least `d`, so if `d > k` no matrix needs to be computed.
+//! 2. **Decisive-diagonal abort** (eqs. (6)/(7)): values along any matrix
+//!    diagonal never decrease as the computation proceeds
+//!    (`M[i][j] ≥ M[i−1][j−1]`), and the result cell `M[|x|][|y|]` lies on
+//!    the diagonal `{ (i, j) : i − j = |x| − |y| }`. Hence as soon as the
+//!    entry of that diagonal in the current row exceeds `k`, the final
+//!    value must exceed `k` and the computation can stop — the paper's
+//!    worked example (Figure 2) aborts after `M[4][3]` for
+//!    "AGGCGT" vs "AGAGT" with `k = 1`.
+//!
+//! The rows themselves are computed at full width, exactly as the paper's
+//! rung 2 does (banding the row is a *further* optimization, provided by
+//! [`crate::banded`] as an extension).
+
+/// Computes whether `ed(x, y) ≤ k`, returning the distance when it is and
+/// `None` otherwise (possibly after aborting early). Uses `buf` as the
+/// reusable two-row DP state.
+pub fn ed_within_early_abort_with(
+    buf: &mut Vec<u32>,
+    x: &[u8],
+    y: &[u8],
+    k: u32,
+) -> Option<u32> {
+    // (5): length filter.
+    let d = x.len().abs_diff(y.len());
+    if d > k as usize {
+        return None;
+    }
+    let cols = y.len() + 1;
+    buf.clear();
+    buf.resize(cols * 2, 0);
+    let (prev, curr) = buf.split_at_mut(cols);
+    for (j, p) in prev.iter_mut().enumerate() {
+        *p = j as u32;
+    }
+    let mut prev: &mut [u32] = prev;
+    let mut curr: &mut [u32] = curr;
+    let x_longer = x.len() >= y.len();
+    for (i0, &xc) in x.iter().enumerate() {
+        let i = i0 + 1;
+        curr[0] = i as u32;
+        for j in 1..cols {
+            curr[j] = if xc == y[j - 1] {
+                prev[j - 1]
+            } else {
+                1 + prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+        }
+        // (6)/(7): check the decisive diagonal through (|x|, |y|).
+        let decisive_j = if x_longer {
+            // i − d = j; only defined once the diagonal enters this row.
+            i.checked_sub(d)
+        } else {
+            // i = j − d, i.e. j = i + d; always within this row since
+            // i + d ≤ |x| + (|y| − |x|) = |y|.
+            Some(i + d)
+        };
+        if let Some(j) = decisive_j {
+            if j < cols && curr[j] > k {
+                return None;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let result = prev[cols - 1];
+    (result <= k).then_some(result)
+}
+
+/// Convenience wrapper with a throwaway buffer.
+pub fn ed_within_early_abort(x: &[u8], y: &[u8], k: u32) -> Option<u32> {
+    let mut buf = Vec::new();
+    ed_within_early_abort_with(&mut buf, x, y, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    #[test]
+    fn paper_figure_2_abort() {
+        // "AGGCGT" vs "AGAGT" has distance 2, so with k = 1 the kernel
+        // must reject (the paper shows the abort firing at M[4][3]).
+        assert_eq!(ed_within_early_abort(b"AGGCGT", b"AGAGT", 1), None);
+        assert_eq!(ed_within_early_abort(b"AGGCGT", b"AGAGT", 2), Some(2));
+    }
+
+    #[test]
+    fn length_filter_rejects_without_computing() {
+        assert_eq!(ed_within_early_abort(b"ab", b"abcdef", 3), None);
+        assert_eq!(ed_within_early_abort(b"abcdef", b"ab", 3), None);
+        // Boundary: d == k is allowed.
+        assert_eq!(ed_within_early_abort(b"ab", b"abcd", 2), Some(2));
+    }
+
+    #[test]
+    fn agrees_with_full_matrix_on_word_pairs() {
+        let words: &[&[u8]] = &[
+            b"", b"a", b"ab", b"ba", b"abc", b"Berlin", b"Bern", b"Bayern", b"Ulm",
+            b"AGGCGT", b"AGAGT", b"kitten", b"sitting",
+        ];
+        let mut buf = Vec::new();
+        for &x in words {
+            for &y in words {
+                let truth = levenshtein(x, y);
+                for k in 0..6 {
+                    let got = ed_within_early_abort_with(&mut buf, x, y, k);
+                    let want = (truth <= k).then_some(truth);
+                    assert_eq!(got, want, "x={x:?} y={y:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_at_k_zero() {
+        assert_eq!(ed_within_early_abort(b"Berlin", b"Berlin", 0), Some(0));
+        assert_eq!(ed_within_early_abort(b"Berlin", b"Bern", 0), None);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(ed_within_early_abort(b"", b"", 0), Some(0));
+        assert_eq!(ed_within_early_abort(b"", b"ab", 2), Some(2));
+        assert_eq!(ed_within_early_abort(b"", b"ab", 1), None);
+    }
+}

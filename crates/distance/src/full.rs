@@ -1,0 +1,135 @@
+//! Full-matrix Levenshtein distance — the paper's reference computation
+//! (§2.2, equations (2)–(4)) and the oracle every faster kernel is tested
+//! against.
+//!
+//! Two entry points are provided on purpose:
+//!
+//! * [`levenshtein_naive_alloc`] allocates a fresh nested `Vec<Vec<u32>>`
+//!   per call — this is what the paper's *base implementation* (rung V1 of
+//!   the scan ladder) does, and its cost is part of what the later rungs
+//!   eliminate;
+//! * [`levenshtein_full_with`] fills a caller-provided reusable
+//!   [`DpMatrix`] — same algorithm, no allocation churn.
+
+use crate::matrix::DpMatrix;
+
+/// Computes `ed(x, y)` with a freshly allocated nested-vector matrix.
+///
+/// Deliberately uses the heaviest reasonable implementation strategy
+/// (per-call allocation of `|x|+1` row vectors), mirroring the paper's
+/// unoptimized base implementation.
+pub fn levenshtein_naive_alloc(x: &[u8], y: &[u8]) -> u32 {
+    let rows = x.len() + 1;
+    let cols = y.len() + 1;
+    let mut m: Vec<Vec<u32>> = vec![vec![0; cols]; rows];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..rows {
+        m[i][0] = i as u32;
+    }
+    for (j, cell) in m[0].iter_mut().enumerate() {
+        *cell = j as u32;
+    }
+    for i in 1..rows {
+        for j in 1..cols {
+            m[i][j] = if x[i - 1] == y[j - 1] {
+                m[i - 1][j - 1]
+            } else {
+                1 + m[i - 1][j].min(m[i][j - 1]).min(m[i - 1][j - 1])
+            };
+        }
+    }
+    m[rows - 1][cols - 1]
+}
+
+/// Computes `ed(x, y)` into the reusable matrix `buf`, leaving the full
+/// table available for inspection (Figure 1 reproduction).
+pub fn levenshtein_full_with(buf: &mut DpMatrix, x: &[u8], y: &[u8]) -> u32 {
+    let rows = x.len() + 1;
+    let cols = y.len() + 1;
+    buf.reset(rows, cols);
+    for i in 0..rows {
+        buf.set(i, 0, i as u32);
+    }
+    for j in 0..cols {
+        buf.set(0, j, j as u32);
+    }
+    for i in 1..rows {
+        for j in 1..cols {
+            let v = if x[i - 1] == y[j - 1] {
+                buf.get(i - 1, j - 1)
+            } else {
+                1 + buf
+                    .get(i - 1, j)
+                    .min(buf.get(i, j - 1))
+                    .min(buf.get(i - 1, j - 1))
+            };
+            buf.set(i, j, v);
+        }
+    }
+    buf.get(rows - 1, cols - 1)
+}
+
+/// Convenience wrapper around [`levenshtein_full_with`] with a throwaway
+/// buffer. Use in tests and examples, not in hot paths.
+/// # Examples
+///
+/// ```
+/// use simsearch_distance::levenshtein;
+///
+/// assert_eq!(levenshtein(b"AGGCGT", b"AGAGT"), 2); // the paper's Figure 1
+/// assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+/// ```
+pub fn levenshtein(x: &[u8], y: &[u8]) -> u32 {
+    let mut buf = DpMatrix::new();
+    levenshtein_full_with(&mut buf, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_1_example() {
+        // §2.2: ed("AGGCGT", "AGAGT") = 2.
+        assert_eq!(levenshtein(b"AGGCGT", b"AGAGT"), 2);
+        assert_eq!(levenshtein_naive_alloc(b"AGGCGT", b"AGAGT"), 2);
+    }
+
+    #[test]
+    fn paper_figure_1_matrix_contents() {
+        let mut m = DpMatrix::new();
+        levenshtein_full_with(&mut m, b"AGGCGT", b"AGAGT");
+        // Boundary rows/columns are 0..len.
+        assert_eq!(m.row(0), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(m.get(6, 0), 6);
+        // Final cell via M[5][4] per the paper's walkthrough.
+        assert_eq!(m.get(5, 4), 2);
+        assert_eq!(m.get(6, 5), 2);
+    }
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein(b"", b""), 0);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+        assert_eq!(levenshtein(b"Berlin", b"Bern"), 2);
+    }
+
+    #[test]
+    fn both_implementations_agree() {
+        let words: &[&[u8]] = &[b"", b"a", b"ab", b"ba", b"Berlin", b"Bern", b"Ulm", b"AGGCGT"];
+        let mut buf = DpMatrix::new();
+        for &x in words {
+            for &y in words {
+                assert_eq!(
+                    levenshtein_naive_alloc(x, y),
+                    levenshtein_full_with(&mut buf, x, y),
+                    "mismatch on {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+}

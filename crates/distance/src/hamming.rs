@@ -1,0 +1,69 @@
+//! Hamming distance (substitutions only, equal lengths).
+//!
+//! PETER — the related-work system the paper builds its trie pruning on —
+//! supports Hamming as well as edit distance, so the reproduction carries
+//! it too. It is also an upper bound on the Levenshtein distance for
+//! equal-length strings, which the property tests exploit.
+
+/// Computes the Hamming distance, or `None` when the lengths differ
+/// (the distance is undefined then).
+pub fn hamming(x: &[u8], y: &[u8]) -> Option<u32> {
+    (x.len() == y.len()).then(|| {
+        x.iter()
+            .zip(y.iter())
+            .filter(|(a, b)| a != b)
+            .count() as u32
+    })
+}
+
+/// Computes whether the Hamming distance is ≤ `k`, returning it when it
+/// is. Aborts the scan at the `k + 1`-th mismatch.
+pub fn hamming_within(x: &[u8], y: &[u8], k: u32) -> Option<u32> {
+    if x.len() != y.len() {
+        return None;
+    }
+    let mut d = 0u32;
+    for (a, b) in x.iter().zip(y.iter()) {
+        if a != b {
+            d += 1;
+            if d > k {
+                return None;
+            }
+        }
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    #[test]
+    fn basic_cases() {
+        assert_eq!(hamming(b"", b""), Some(0));
+        assert_eq!(hamming(b"AGGT", b"AGGT"), Some(0));
+        assert_eq!(hamming(b"AGGT", b"ACGT"), Some(1));
+        assert_eq!(hamming(b"AAAA", b"TTTT"), Some(4));
+        assert_eq!(hamming(b"AB", b"ABC"), None);
+    }
+
+    #[test]
+    fn within_aborts_and_agrees() {
+        assert_eq!(hamming_within(b"AAAA", b"TTTT", 3), None);
+        assert_eq!(hamming_within(b"AAAA", b"TTTT", 4), Some(4));
+        assert_eq!(hamming_within(b"AB", b"ABC", 10), None);
+    }
+
+    #[test]
+    fn upper_bounds_levenshtein_for_equal_lengths() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"AGGCGT", b"AGACGT"),
+            (b"Berlin", b"Barlin"),
+            (b"abcdef", b"fedcba"),
+        ];
+        for &(x, y) in pairs {
+            assert!(levenshtein(x, y) <= hamming(x, y).unwrap());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Incremental (row-stack) edit distance for trie descent.
+//!
+//! The index-based solution (paper §4.1) walks a prefix tree and maintains
+//! the DP table row by row: descending one tree edge appends the row for
+//! the extended prefix, backtracking pops it. [`IncrementalDp`] is that
+//! row stack, with the diagonal band `|i − j| ≤ k` applied (out-of-band
+//! cells are capped at `k + 1`, which is exact for within-`k` decisions).
+//!
+//! Pruning uses the standard trie lemma: every cell of row `i + 1` is
+//! derived from cells of rows `i`/`i + 1` by non-decreasing operations, so
+//! once *every* cell of the current row exceeds `k`, every cell of every
+//! deeper row does too and the whole subtree can be skipped. This is the
+//! sound, band-compatible form of the paper's prefix condition
+//! `ed(x_0..i, y_0..i) ≤ k + d_m`; the length-interval part of that
+//! condition (the `d_m` tolerance fed by the per-node min/max lengths) is
+//! provided by [`crate::prefix_bound`].
+
+/// Row-stack DP state for one query, reusable across trie descents.
+#[derive(Debug, Clone)]
+pub struct IncrementalDp {
+    query: Vec<u8>,
+    k: u32,
+    /// Diagonal band half-width (columns outside `|i − j| ≤ band` are
+    /// not computed).
+    band: usize,
+    cap: u32,
+    /// Row width = query length + 1.
+    width: usize,
+    /// Stacked rows, `width` cells each; row `i` corresponds to a prefix
+    /// of length `i`.
+    rows: Vec<u32>,
+    /// Minimum cell value per stacked row.
+    mins: Vec<u32>,
+}
+
+impl IncrementalDp {
+    /// Creates the state for `query` at threshold `k`, with row 0
+    /// (the empty prefix) already on the stack. Cells are banded and
+    /// capped at `k + 1` — exact for within-`k` decisions, the fast mode.
+    pub fn new(query: &[u8], k: u32) -> Self {
+        let mut dp = Self {
+            query: Vec::new(),
+            k: 0,
+            band: 0,
+            cap: 0,
+            width: 0,
+            rows: Vec::new(),
+            mins: Vec::new(),
+        };
+        dp.reset(query, k);
+        dp
+    }
+
+    /// Creates the state with *full-width, uncapped* rows — the exact
+    /// cell values the paper's base index computes, as required by its
+    /// prefix condition `ed(x_0..i, y_0..i) ≤ k + d_m` whose right-hand
+    /// side exceeds `k` (see [`IncrementalDp::prefix_distance`]).
+    pub fn new_unbounded(query: &[u8], k: u32) -> Self {
+        let mut dp = Self::new(query, k);
+        dp.reset_unbounded(query, k);
+        dp
+    }
+
+    /// Re-initializes for a new query/threshold, reusing allocations
+    /// (banded/capped mode).
+    pub fn reset(&mut self, query: &[u8], k: u32) {
+        self.reset_with(query, k, k as usize, k + 1);
+    }
+
+    /// Re-initializes in full-width uncapped mode, reusing allocations.
+    pub fn reset_unbounded(&mut self, query: &[u8], k: u32) {
+        // The band never excludes a column and the cap is unreachable
+        // (cell values are bounded by max(depth, |query|)).
+        self.reset_with(query, k, usize::MAX / 4, u32::MAX / 4);
+    }
+
+    fn reset_with(&mut self, query: &[u8], k: u32, band: usize, cap: u32) {
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.k = k;
+        self.band = band;
+        self.cap = cap;
+        self.width = query.len() + 1;
+        self.rows.clear();
+        self.mins.clear();
+        // Row 0: M[0][j] = j, capped outside the band.
+        for j in 0..self.width {
+            self.rows.push((j as u32).min(self.cap));
+        }
+        self.mins.push(0);
+    }
+
+    /// Threshold `k`.
+    pub fn threshold(&self) -> u32 {
+        self.k
+    }
+
+    /// Current prefix length (number of pushed symbols).
+    pub fn depth(&self) -> usize {
+        self.mins.len() - 1
+    }
+
+    /// Minimum cell value of the current row. A subtree can be pruned as
+    /// soon as this exceeds `k` — see [`IncrementalDp::can_extend`].
+    pub fn row_min(&self) -> u32 {
+        *self.mins.last().expect("row 0 always present")
+    }
+
+    /// Whether any extension of the current prefix could still reach a
+    /// distance ≤ `k` (the trie-pruning lemma).
+    pub fn can_extend(&self) -> bool {
+        self.row_min() <= self.k
+    }
+
+    /// Edit distance between the query and the current prefix, if ≤ `k`.
+    pub fn distance(&self) -> Option<u32> {
+        let last = self.rows[self.rows.len() - 1];
+        (last <= self.k).then_some(last)
+    }
+
+    /// The paper's prefix distance `ed(x_0..i, y_0..i)` (§4.1, eq. (9)):
+    /// the distance between the pushed prefix and the equally long query
+    /// prefix (the whole query when the prefix is longer). Exact only in
+    /// unbounded mode; in banded mode the value saturates at `k + 1`.
+    pub fn prefix_distance(&self) -> u32 {
+        let i = self.depth();
+        let col = i.min(self.width - 1);
+        self.rows[i * self.width + col]
+    }
+
+    /// Appends the row for the prefix extended by `c`; returns the new
+    /// row's minimum.
+    pub fn push(&mut self, c: u8) -> u32 {
+        let i = self.depth() + 1;
+        let kk = self.band;
+        let cap = self.cap;
+        let w = self.width;
+        let prev_start = self.rows.len() - w;
+        self.rows.resize(self.rows.len() + w, cap);
+        let (prev_rows, curr) = self.rows.split_at_mut(prev_start + w);
+        let prev = &prev_rows[prev_start..];
+        let lo = i.saturating_sub(kk);
+        let hi = i.saturating_add(kk).min(w - 1);
+        let mut row_min = cap;
+        if lo == 0 {
+            curr[0] = (i as u32).min(cap);
+            row_min = curr[0];
+        }
+        for j in lo.max(1)..=hi {
+            let v = if c == self.query[j - 1] {
+                prev[j - 1]
+            } else {
+                1 + prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+            let v = v.min(cap);
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        self.mins.push(row_min);
+        row_min
+    }
+
+    /// Removes the top row (backtracks one symbol).
+    ///
+    /// # Panics
+    /// Panics if only row 0 remains.
+    pub fn pop(&mut self) {
+        assert!(self.depth() > 0, "cannot pop the empty-prefix row");
+        self.mins.pop();
+        self.rows.truncate(self.rows.len() - self.width);
+    }
+
+    /// Backtracks to prefix length `depth` (pops any number of rows).
+    ///
+    /// # Panics
+    /// Panics if `depth` exceeds the current depth.
+    pub fn truncate(&mut self, depth: usize) {
+        assert!(depth <= self.depth(), "cannot truncate upwards");
+        let rows_to_keep = depth + 1;
+        self.mins.truncate(rows_to_keep);
+        self.rows.truncate(rows_to_keep * self.width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    /// Pushing a whole string must yield its true distance to the query.
+    fn check_pair(q: &[u8], s: &[u8], k: u32) {
+        let mut dp = IncrementalDp::new(q, k);
+        for &c in s {
+            dp.push(c);
+        }
+        let truth = levenshtein(q, s);
+        assert_eq!(
+            dp.distance(),
+            (truth <= k).then_some(truth),
+            "q={q:?} s={s:?} k={k}"
+        );
+    }
+
+    #[test]
+    fn matches_full_matrix_when_fully_pushed() {
+        let words: &[&[u8]] = &[
+            b"", b"a", b"ab", b"Berlin", b"Bern", b"Bayern", b"AGGCGT", b"AGAGT",
+        ];
+        for &q in words {
+            for &s in words {
+                for k in 0..5 {
+                    check_pair(q, s, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_pop_restores_state() {
+        let mut dp = IncrementalDp::new(b"Berlin", 2);
+        dp.push(b'B');
+        dp.push(b'e');
+        let min_at_2 = dp.row_min();
+        let dist_at_2 = dp.distance();
+        dp.push(b'x');
+        dp.push(b'y');
+        dp.truncate(2);
+        assert_eq!(dp.depth(), 2);
+        assert_eq!(dp.row_min(), min_at_2);
+        assert_eq!(dp.distance(), dist_at_2);
+        dp.pop();
+        assert_eq!(dp.depth(), 1);
+    }
+
+    #[test]
+    fn prune_lemma_holds_on_divergent_prefix() {
+        // Query "AAAA", prefix "TTTTT" with k = 2: after 3+ pushes every
+        // cell exceeds 2 and the subtree is dead.
+        let mut dp = IncrementalDp::new(b"AAAA", 2);
+        let mut became_dead = false;
+        for _ in 0..5 {
+            dp.push(b'T');
+            if !dp.can_extend() {
+                became_dead = true;
+                break;
+            }
+        }
+        assert!(became_dead);
+        // Once dead, pushing anything keeps it dead (monotonicity).
+        dp.push(b'A');
+        assert!(!dp.can_extend());
+    }
+
+    #[test]
+    fn distance_is_none_outside_band() {
+        let mut dp = IncrementalDp::new(b"abc", 1);
+        for c in *b"abcxyz" {
+            dp.push(c);
+        }
+        // ed("abc", "abcxyz") = 3 > 1.
+        assert_eq!(dp.distance(), None);
+    }
+
+    #[test]
+    fn reset_reuses_allocations() {
+        let mut dp = IncrementalDp::new(b"hello", 1);
+        dp.push(b'h');
+        dp.reset(b"ab", 3);
+        assert_eq!(dp.depth(), 0);
+        assert_eq!(dp.threshold(), 3);
+        dp.push(b'a');
+        dp.push(b'b');
+        assert_eq!(dp.distance(), Some(0));
+    }
+
+    #[test]
+    fn empty_query_counts_insertions() {
+        let mut dp = IncrementalDp::new(b"", 2);
+        assert_eq!(dp.distance(), Some(0));
+        dp.push(b'x');
+        assert_eq!(dp.distance(), Some(1));
+        dp.push(b'y');
+        assert_eq!(dp.distance(), Some(2));
+        dp.push(b'z');
+        assert_eq!(dp.distance(), None);
+        assert!(!dp.can_extend());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop")]
+    fn pop_on_empty_stack_panics() {
+        IncrementalDp::new(b"a", 1).pop();
+    }
+
+    #[test]
+    fn unbounded_mode_has_exact_cells() {
+        // In unbounded mode the final cell is the exact distance even far
+        // beyond k, and the prefix distance is exact at every depth.
+        let q = b"AGGCGT";
+        let s = b"TTTTTTTTTT";
+        let mut dp = IncrementalDp::new_unbounded(q, 1);
+        for (i, &c) in s.iter().enumerate() {
+            dp.push(c);
+            let prefix = &s[..=i];
+            let expect = levenshtein(&q[..q.len().min(i + 1)], prefix);
+            assert_eq!(dp.prefix_distance(), expect, "depth {}", i + 1);
+        }
+        assert_eq!(dp.distance(), None); // 8 > k = 1
+        assert_eq!(dp.prefix_distance(), levenshtein(q, s));
+    }
+
+    #[test]
+    fn banded_prefix_distance_saturates() {
+        let mut dp = IncrementalDp::new(b"AAAA", 1);
+        for c in *b"TTTT" {
+            dp.push(c);
+        }
+        // True prefix distance is 4; banded mode caps at k + 1 = 2.
+        assert_eq!(dp.prefix_distance(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! The dynamic-programming matrix underlying the edit distance.
+//!
+//! [`DpMatrix`] is a reusable, row-major `u32` buffer. The full-matrix
+//! kernels write into it, and its [`std::fmt::Display`] impl renders the
+//! worked example of the paper's Figure 1.
+
+/// A reusable `(rows × cols)` matrix of `u32` cells.
+#[derive(Debug, Clone, Default)]
+pub struct DpMatrix {
+    cells: Vec<u32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl DpMatrix {
+    /// Creates an empty matrix; call [`DpMatrix::reset`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes to `rows × cols` and zeroes the contents. The allocation is
+    /// reused when possible (the "workhorse buffer" pattern).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.cells.clear();
+        self.cells.resize(rows * cols, 0);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads cell `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.cells[i * self.cols + j]
+    }
+
+    /// Writes cell `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: u32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.cells[i * self.cols + j] = v;
+    }
+
+    /// Borrows row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.cells[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+impl std::fmt::Display for DpMatrix {
+    /// Renders the matrix like the paper's Figure 1 (rows = first string
+    /// positions, columns = second string positions).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>2}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_and_resizes() {
+        let mut m = DpMatrix::new();
+        m.reset(2, 3);
+        m.set(1, 2, 7);
+        assert_eq!(m.get(1, 2), 7);
+        m.reset(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(m.get(i, j), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn row_view_matches_cells() {
+        let mut m = DpMatrix::new();
+        m.reset(2, 2);
+        m.set(1, 0, 5);
+        m.set(1, 1, 6);
+        assert_eq!(m.row(1), &[5, 6]);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut m = DpMatrix::new();
+        m.reset(2, 2);
+        m.set(0, 1, 1);
+        m.set(1, 0, 1);
+        let s = m.to_string();
+        assert_eq!(s, " 0  1\n 1  0\n");
+    }
+}

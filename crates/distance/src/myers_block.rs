@@ -1,0 +1,273 @@
+//! Blocked bit-parallel edit distance (Myers 1999 as extended by
+//! Hyyrö 2003) for patterns of arbitrary length.
+//!
+//! The pattern's DP column is split across ⌈m/64⌉ words ("blocks"); each
+//! text byte advances every block, with the horizontal delta at each
+//! block's top bit carried into the next block. The score is tracked at
+//! the last pattern position. Used for DNA reads (≈100 bytes), where
+//! [`crate::myers::Myers64`] does not fit.
+
+const W: usize = 64;
+
+/// A query compiled for blocked bit-parallel distance computation.
+#[derive(Clone)]
+pub struct MyersBlock {
+    /// `peq[b * 256 + c]`: match mask of block `b` for byte `c`.
+    peq: Vec<u64>,
+    /// Number of blocks.
+    blocks: usize,
+    /// Pattern length.
+    m: usize,
+    /// Mask of the last pattern position within the last block.
+    last: u64,
+}
+
+/// Per-block vertical state.
+#[derive(Clone, Copy)]
+struct BlockState {
+    pv: u64,
+    mv: u64,
+}
+
+impl MyersBlock {
+    /// Compiles `pattern`. Returns `None` if it is empty.
+    pub fn new(pattern: &[u8]) -> Option<Self> {
+        if pattern.is_empty() {
+            return None;
+        }
+        let m = pattern.len();
+        let blocks = m.div_ceil(W);
+        let mut peq = vec![0u64; blocks * 256];
+        for (i, &c) in pattern.iter().enumerate() {
+            peq[(i / W) * 256 + c as usize] |= 1 << (i % W);
+        }
+        Some(Self {
+            peq,
+            blocks,
+            m,
+            last: 1 << ((m - 1) % W),
+        })
+    }
+
+    /// Pattern length.
+    pub fn pattern_len(&self) -> usize {
+        self.m
+    }
+
+    /// Computes `ed(pattern, text)` exactly.
+    pub fn distance(&self, text: &[u8]) -> u32 {
+        self.run(text, None).expect("unbounded run always yields")
+    }
+
+    /// Computes whether `ed(pattern, text) ≤ k`, returning the distance
+    /// when it is.
+    pub fn within(&self, text: &[u8], k: u32) -> Option<u32> {
+        if self.m.abs_diff(text.len()) > k as usize {
+            return None;
+        }
+        self.run(text, Some(k))
+    }
+
+    fn run(&self, text: &[u8], k: Option<u32>) -> Option<u32> {
+        let mut state = vec![BlockState { pv: !0u64, mv: 0 }; self.blocks];
+        let mut score = self.m as i64;
+        let n = text.len();
+        for (j, &c) in text.iter().enumerate() {
+            // Horizontal input into block 0 is +1: D[0][j] = j.
+            let mut hin: i32 = 1;
+            for (b, st) in state.iter_mut().enumerate() {
+                let eq = self.peq[b * 256 + c as usize];
+                let adv = advance_block(st.pv, st.mv, eq, hin);
+                if b == self.blocks - 1 {
+                    // Track the score at the pattern's last position
+                    // (pre-shift horizontal deltas, as in the single-word
+                    // algorithm); `hout` would watch bit 63 instead.
+                    if adv.ph_pre & self.last != 0 {
+                        score += 1;
+                    } else if adv.mh_pre & self.last != 0 {
+                        score -= 1;
+                    }
+                }
+                st.pv = adv.pv;
+                st.mv = adv.mv;
+                hin = adv.hout;
+            }
+            if let Some(k) = k {
+                let remaining = (n - 1 - j) as i64;
+                if score > k as i64 + remaining {
+                    return None;
+                }
+            }
+        }
+        let score = score as u32;
+        match k {
+            Some(k) if score > k => None,
+            _ => Some(score),
+        }
+    }
+}
+
+/// Result of advancing one block by one text character.
+struct Advance {
+    /// Horizontal delta leaving the block's last row (carried into the
+    /// next block's `hin`).
+    hout: i32,
+    /// New vertical-positive state.
+    pv: u64,
+    /// New vertical-negative state.
+    mv: u64,
+    /// Horizontal-positive deltas *before* the shift (bit `i` = column
+    /// delta at pattern row `i`); used for score tracking.
+    ph_pre: u64,
+    /// Horizontal-negative deltas before the shift.
+    mh_pre: u64,
+}
+
+/// Advances one 64-bit block by one text character.
+///
+/// `hin`/`hout` are the horizontal deltas (−1, 0, +1) entering at the
+/// block's first row and leaving at its last row. Formulation follows
+/// Hyyrö 2003 (as used by edlib).
+#[inline]
+fn advance_block(pv: u64, mv: u64, mut eq: u64, hin: i32) -> Advance {
+    let xv = eq | mv;
+    if hin < 0 {
+        eq |= 1;
+    }
+    let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+    let ph_pre = mv | !(xh | pv);
+    let mh_pre = pv & xh;
+    let mut hout: i32 = 0;
+    if ph_pre & (1 << (W - 1)) != 0 {
+        hout = 1;
+    } else if mh_pre & (1 << (W - 1)) != 0 {
+        hout = -1;
+    }
+    let mut ph = ph_pre << 1;
+    let mut mh = mh_pre << 1;
+    if hin > 0 {
+        ph |= 1;
+    } else if hin < 0 {
+        mh |= 1;
+    }
+    Advance {
+        hout,
+        pv: mh | !(xv | ph),
+        mv: ph & xv,
+        ph_pre,
+        mh_pre,
+    }
+}
+
+impl std::fmt::Debug for MyersBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MyersBlock(m={}, blocks={})", self.m, self.blocks)
+    }
+}
+
+/// Wrapper selecting [`crate::myers::Myers64`] when the pattern fits one
+/// word and [`MyersBlock`] otherwise.
+// The Word variant holds its 2 KiB Peq table inline on purpose: MyersAny
+// is created once per query and never moved afterwards, and the inline
+// table saves an indirection in the per-candidate hot loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum MyersAny {
+    /// Single-word engine (pattern ≤ 64 bytes).
+    Word(crate::myers::Myers64),
+    /// Blocked engine (longer patterns).
+    Block(MyersBlock),
+}
+
+impl MyersAny {
+    /// Compiles `pattern`. Returns `None` only for an empty pattern
+    /// (for which the distance is trivially `|text|`).
+    pub fn new(pattern: &[u8]) -> Option<Self> {
+        if pattern.len() <= 64 {
+            crate::myers::Myers64::new(pattern).map(MyersAny::Word)
+        } else {
+            MyersBlock::new(pattern).map(MyersAny::Block)
+        }
+    }
+
+    /// Computes `ed(pattern, text)` exactly.
+    pub fn distance(&self, text: &[u8]) -> u32 {
+        match self {
+            MyersAny::Word(m) => m.distance(text),
+            MyersAny::Block(m) => m.distance(text),
+        }
+    }
+
+    /// Computes whether `ed(pattern, text) ≤ k`.
+    pub fn within(&self, text: &[u8], k: u32) -> Option<u32> {
+        match self {
+            MyersAny::Word(m) => m.within(text, k),
+            MyersAny::Block(m) => m.within(text, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    #[test]
+    fn matches_full_matrix_on_short_pairs() {
+        let words: &[&[u8]] = &[b"a", b"Berlin", b"Bern", b"AGGCGT", b"AGAGT", b"kitten"];
+        for &x in words {
+            let m = MyersBlock::new(x).unwrap();
+            for &y in words {
+                assert_eq!(m.distance(y), levenshtein(x, y), "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_matrix_across_block_boundaries() {
+        // Patterns of lengths straddling 64 and 128.
+        for len in [63usize, 64, 65, 100, 127, 128, 129] {
+            let x: Vec<u8> = (0..len).map(|i| b"ACGT"[i % 4]).collect();
+            let mut y = x.clone();
+            y[len / 2] = b'N';
+            y.insert(len / 3, b'G');
+            y.remove(2 * len / 3);
+            let m = MyersBlock::new(&x).unwrap();
+            let truth = levenshtein(&x, &y);
+            assert_eq!(m.distance(&y), truth, "len={len}");
+            assert_eq!(m.within(&y, truth), Some(truth));
+            if truth > 0 {
+                assert_eq!(m.within(&y, truth - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn within_respects_threshold() {
+        let x = vec![b'A'; 150];
+        let mut y = x.clone();
+        for i in 0..10 {
+            y[i * 13] = b'T';
+        }
+        let m = MyersBlock::new(&x).unwrap();
+        assert_eq!(m.distance(&y), 10);
+        assert_eq!(m.within(&y, 10), Some(10));
+        assert_eq!(m.within(&y, 9), None);
+    }
+
+    #[test]
+    fn any_selects_correct_engine() {
+        assert!(matches!(MyersAny::new(b"short"), Some(MyersAny::Word(_))));
+        assert!(matches!(
+            MyersAny::new(&[b'A'; 65]),
+            Some(MyersAny::Block(_))
+        ));
+        assert!(MyersAny::new(b"").is_none());
+    }
+
+    #[test]
+    fn length_filter_fires() {
+        let m = MyersBlock::new(&[b'A'; 100]).unwrap();
+        assert_eq!(m.within(&[b'A'; 80], 10), None);
+    }
+}

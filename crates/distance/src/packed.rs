@@ -1,0 +1,135 @@
+//! Bounded edit distance over dictionary-compressed DNA (paper §6
+//! future work).
+//!
+//! Same banded recurrence as [`crate::banded`], but the candidate is read
+//! straight out of its 3-bit packed form ([`simsearch_data::PackedSeq`])
+//! and the query is pre-translated to symbol codes once per query. The
+//! `ablation_packing` benchmark compares this against the byte-level
+//! kernel to answer the paper's question of whether fewer bits in memory
+//! accelerate the computation.
+
+use simsearch_data::packed::{PackedSeq, CODES};
+
+/// Translates an ASCII DNA query into symbol codes (0..=4).
+/// Returns `None` if a byte outside `{A, C, G, N, T}` occurs.
+pub fn query_codes(query: &[u8]) -> Option<Vec<u8>> {
+    query
+        .iter()
+        .map(|&b| CODES.iter().position(|&c| c == b).map(|p| p as u8))
+        .collect()
+}
+
+/// Computes whether `ed(query, seq) ≤ k` over packed data, returning the
+/// distance when it is. `query` must already be in code form
+/// (see [`query_codes`]); `buf` holds the two reusable DP rows.
+pub fn ed_within_packed_with(
+    buf: &mut Vec<u32>,
+    query: &[u8],
+    seq: &PackedSeq,
+    k: u32,
+) -> Option<u32> {
+    if query.len().abs_diff(seq.len()) > k as usize {
+        return None;
+    }
+    let cap = k + 1;
+    let kk = k as usize;
+    let cols = query.len() + 1;
+    buf.clear();
+    buf.resize(cols * 2, cap);
+    let (prev, curr) = buf.split_at_mut(cols);
+    for (j, p) in prev.iter_mut().enumerate().take(kk + 1) {
+        *p = j as u32;
+    }
+    let mut prev: &mut [u32] = prev;
+    let mut curr: &mut [u32] = curr;
+    for i in 1..=seq.len() {
+        let sc = seq.code(i - 1);
+        let lo = i.saturating_sub(kk);
+        let hi = (i + kk).min(query.len());
+        let mut row_min = cap;
+        if lo == 0 {
+            curr[0] = i as u32;
+            row_min = curr[0];
+        } else {
+            curr[lo - 1] = cap;
+        }
+        for j in lo.max(1)..=hi {
+            let v = if sc == query[j - 1] {
+                prev[j - 1]
+            } else {
+                1 + prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+            let v = v.min(cap);
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        if hi + 1 < cols {
+            curr[hi + 1] = cap;
+        }
+        if row_min > k {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let result = prev[cols - 1];
+    (result <= k).then_some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banded::ed_within_banded;
+
+    fn pack(s: &[u8]) -> PackedSeq {
+        PackedSeq::pack(s).unwrap()
+    }
+
+    #[test]
+    fn query_codes_translate_and_reject() {
+        assert_eq!(query_codes(b"ACGNT"), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(query_codes(b""), Some(vec![]));
+        assert_eq!(query_codes(b"ACGU"), None);
+    }
+
+    #[test]
+    fn agrees_with_byte_level_banded() {
+        let words: &[&[u8]] = &[
+            b"",
+            b"A",
+            b"ACGT",
+            b"AGGCGT",
+            b"AGAGT",
+            b"NNNN",
+            b"ACGTACGTACGTACGTACGTACGTACG", // crosses a word boundary later
+        ];
+        let mut buf = Vec::new();
+        for &q in words {
+            let qc = query_codes(q).unwrap();
+            for &s in words {
+                let p = pack(s);
+                for k in 0..8 {
+                    assert_eq!(
+                        ed_within_packed_with(&mut buf, &qc, &p, k),
+                        ed_within_banded(q, s, k),
+                        "q={q:?} s={s:?} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_sequences_across_word_boundaries() {
+        let x: Vec<u8> = (0..150).map(|i| CODES[i % 5]).collect();
+        let mut y = x.clone();
+        y[30] = if y[30] == b'A' { b'T' } else { b'A' };
+        y.remove(100);
+        let qc = query_codes(&x).unwrap();
+        let p = pack(&y);
+        let mut buf = Vec::new();
+        assert_eq!(
+            ed_within_packed_with(&mut buf, &qc, &p, 16),
+            ed_within_banded(&x, &y, 16)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Length-based subtree bounds for trie search (paper §4.1).
+//!
+//! The paper's prefix tree stores, per node, the minimal and maximal
+//! length of the strings reachable below it, and widens the prefix check
+//! by a tolerance `d_m` (eqs. (9)/(10)) that accounts for how far the
+//! completion lengths can drift from the query length. This module
+//! provides the equivalent *sound* formulation as a lower bound: any
+//! string `y` below a node with `|y| ∈ [min_len, max_len]` satisfies
+//! `ed(q, y) ≥ |  |q| − |y|  | ≥ length_interval_bound(...)`, so a node
+//! whose bound exceeds `k` prunes its subtree.
+
+/// Lower bound on `ed(q, y)` over all `y` with
+/// `|y| ∈ [min_len, max_len]`, i.e. the distance from `query_len` to the
+/// interval.
+///
+/// # Panics
+/// Panics (debug) if `min_len > max_len`.
+pub fn length_interval_bound(query_len: usize, min_len: usize, max_len: usize) -> u32 {
+    debug_assert!(min_len <= max_len, "inverted length interval");
+    if query_len < min_len {
+        (min_len - query_len) as u32
+    } else if query_len > max_len {
+        (query_len - max_len) as u32
+    } else {
+        0
+    }
+}
+
+/// The paper's completion tolerance `d_m` (eq. (10)): the largest possible
+/// length drift between the query and any completion below the node. The
+/// base-implementation trie admits a node when the prefix distance does
+/// not exceed `k + d_m`.
+pub fn completion_tolerance(query_len: usize, min_len: usize, max_len: usize) -> u32 {
+    debug_assert!(min_len <= max_len, "inverted length interval");
+    query_len
+        .abs_diff(min_len)
+        .max(query_len.abs_diff(max_len)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_distance_to_interval() {
+        assert_eq!(length_interval_bound(5, 3, 8), 0);
+        assert_eq!(length_interval_bound(3, 3, 8), 0);
+        assert_eq!(length_interval_bound(8, 3, 8), 0);
+        assert_eq!(length_interval_bound(2, 3, 8), 1);
+        assert_eq!(length_interval_bound(12, 3, 8), 4);
+    }
+
+    #[test]
+    fn tolerance_is_max_drift() {
+        assert_eq!(completion_tolerance(5, 3, 8), 3);
+        assert_eq!(completion_tolerance(2, 3, 8), 6);
+        assert_eq!(completion_tolerance(10, 3, 8), 7);
+        assert_eq!(completion_tolerance(5, 5, 5), 0);
+    }
+
+    #[test]
+    fn bound_never_exceeds_tolerance_plus_k_logic() {
+        // Sanity relation: the sound bound prunes at most as aggressively
+        // as admitting everything within k + d_m would allow.
+        for q in 0..12usize {
+            for lo in 0..8usize {
+                for hi in lo..10usize {
+                    let b = length_interval_bound(q, lo, hi);
+                    let t = completion_tolerance(q, lo, hi);
+                    assert!(b <= t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Semi-global (substring) edit distance: the best alignment of a whole
+//! pattern against *any substring* of a text.
+//!
+//! The paper's DNA motivation — "applications which search for similar
+//! human genome reads" — in practice also needs read-to-sequence
+//! mapping, where the read may match anywhere inside a longer sequence.
+//! The classical algorithm (Sellers 1980) is the Levenshtein recurrence
+//! with a free top row (`D[0][j] = 0`: a match may start at any text
+//! position); the distance is the minimum of the bottom row, and the
+//! bit-parallel variant is exactly Myers' original approximate search
+//! automaton.
+
+use crate::myers_block::MyersAny;
+
+/// A best match of a pattern inside a text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstringMatch {
+    /// Edit distance of the best alignment.
+    pub distance: u32,
+    /// Exclusive end position of the match in the text (the alignment
+    /// ends just before this text offset).
+    pub end: usize,
+}
+
+/// Computes the minimal edit distance between `pattern` and any
+/// substring of `text` (Sellers' algorithm), with the end position of
+/// the leftmost-ending best match.
+///
+/// An empty pattern matches the empty substring at position 0 with
+/// distance 0.
+pub fn substring_distance(pattern: &[u8], text: &[u8]) -> SubstringMatch {
+    let m = pattern.len();
+    // prev[i] = D[i][j] for the current text column j.
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut curr = vec![0u32; m + 1];
+    let mut best = SubstringMatch {
+        distance: m as u32, // empty substring: delete the whole pattern
+        end: 0,
+    };
+    for (j, &tc) in text.iter().enumerate() {
+        curr[0] = 0; // free start anywhere in the text
+        for i in 1..=m {
+            curr[i] = if pattern[i - 1] == tc {
+                prev[i - 1]
+            } else {
+                1 + prev[i].min(curr[i - 1]).min(prev[i - 1])
+            };
+        }
+        if curr[m] < best.distance {
+            best = SubstringMatch {
+                distance: curr[m],
+                end: j + 1,
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    best
+}
+
+/// Whether `pattern` occurs in `text` within edit distance `k`; returns
+/// the best match when it does.
+pub fn substring_within(pattern: &[u8], text: &[u8], k: u32) -> Option<SubstringMatch> {
+    let best = substring_distance(pattern, text);
+    (best.distance <= k).then_some(best)
+}
+
+/// Bit-parallel semi-global search (Myers' approximate search automaton):
+/// like [`substring_distance`] but O(⌈m/64⌉) per text byte. Returns the
+/// same distance; end positions agree on the leftmost-ending best match.
+pub fn substring_distance_myers(pattern: &[u8], text: &[u8]) -> SubstringMatch {
+    let Some(engine) = MyersAny::new(pattern) else {
+        // Empty pattern matches the empty substring immediately.
+        return SubstringMatch {
+            distance: 0,
+            end: 0,
+        };
+    };
+    match engine {
+        MyersAny::Word(w) => w.substring_distance(text),
+        MyersAny::Block(_) => {
+            // The blocked automaton is not wired for semi-global scoring;
+            // fall back to the DP (correctness first — the ablation bench
+            // only uses ≤64-byte patterns for this kernel).
+            substring_distance(pattern, text)
+        }
+    }
+}
+
+impl crate::myers::Myers64 {
+    /// Semi-global (substring) search: minimal distance of the pattern
+    /// against any substring of `text`, with the leftmost end position —
+    /// Myers' original approximate-search scoring (no horizontal +1 at
+    /// the top boundary).
+    pub fn substring_distance(&self, text: &[u8]) -> SubstringMatch {
+        let (mut pv, mut mv) = (!0u64, 0u64);
+        let m = self.pattern_len() as u32;
+        let last = 1u64 << (self.pattern_len() - 1);
+        let mut score = m;
+        let mut best = SubstringMatch {
+            distance: m,
+            end: 0,
+        };
+        for (j, &c) in text.iter().enumerate() {
+            let eq = self.peq(c);
+            let xv = eq | mv;
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let ph = mv | !(xh | pv);
+            let mh = pv & xh;
+            if ph & last != 0 {
+                score += 1;
+            }
+            if mh & last != 0 {
+                score -= 1;
+            }
+            // Free start: no +1 carried into the top row.
+            let ph = ph << 1;
+            let mh = mh << 1;
+            pv = mh | !(xv | ph);
+            mv = ph & xv;
+            if score < best.distance {
+                best = SubstringMatch {
+                    distance: score,
+                    end: j + 1,
+                };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    /// Oracle: try every substring.
+    fn oracle(pattern: &[u8], text: &[u8]) -> u32 {
+        let mut best = pattern.len() as u32;
+        for start in 0..=text.len() {
+            for end in start..=text.len() {
+                best = best.min(levenshtein(pattern, &text[start..end]));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn exact_occurrence_scores_zero() {
+        let m = substring_distance(b"AGAGT", b"TTAGAGTCC");
+        assert_eq!(m.distance, 0);
+        assert_eq!(m.end, 7);
+    }
+
+    #[test]
+    fn single_error_occurrence() {
+        let m = substring_distance(b"AGAGT", b"TTAGCGTCC");
+        assert_eq!(m.distance, 1);
+        assert!(substring_within(b"AGAGT", b"TTAGCGTCC", 1).is_some());
+        assert!(substring_within(b"AGAGT", b"TTAGCGTCC", 0).is_none());
+    }
+
+    #[test]
+    fn matches_oracle_on_small_cases() {
+        let patterns: &[&[u8]] = &[b"", b"a", b"ab", b"abc", b"AGAG", b"zzz"];
+        let texts: &[&[u8]] = &[b"", b"a", b"ba", b"xxabcxx", b"AGAGAGAG", b"qqq"];
+        for &p in patterns {
+            for &t in texts {
+                let want = oracle(p, t);
+                assert_eq!(substring_distance(p, t).distance, want, "{p:?} in {t:?}");
+                assert_eq!(
+                    substring_distance_myers(p, t).distance,
+                    want,
+                    "myers {p:?} in {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn myers_and_dp_agree_on_positions() {
+        let p = b"GATTACA";
+        let t = b"CCGATTTACAGGGATTACAtt";
+        let a = substring_distance(p, t);
+        let b = substring_distance_myers(p, t);
+        assert_eq!(a, b);
+        assert_eq!(a.distance, 0); // exact "GATTACA" occurs
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let m = substring_distance(b"", b"anything");
+        assert_eq!(m.distance, 0);
+        assert_eq!(m.end, 0);
+        assert_eq!(substring_distance_myers(b"", b"anything").distance, 0);
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        // Best substring of "ab" for pattern "abcde" is "ab": 3 deletions.
+        assert_eq!(substring_distance(b"abcde", b"ab").distance, 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Two-row (rolling) Levenshtein: same recurrence as the full matrix but
+//! keeping only the previous and current row. O(|y|) memory, and the
+//! first step of the paper's "simple data types" rung — the DP state
+//! becomes two flat integer arrays.
+
+/// Computes `ed(x, y)` using two rolling rows stored in `buf`
+/// (`buf` is resized as needed and may be reused across calls).
+pub fn levenshtein_two_row_with(buf: &mut Vec<u32>, x: &[u8], y: &[u8]) -> u32 {
+    let cols = y.len() + 1;
+    buf.clear();
+    buf.resize(cols * 2, 0);
+    let (prev, curr) = buf.split_at_mut(cols);
+    for (j, p) in prev.iter_mut().enumerate() {
+        *p = j as u32;
+    }
+    let mut prev: &mut [u32] = prev;
+    let mut curr: &mut [u32] = curr;
+    for (i, &xc) in x.iter().enumerate() {
+        curr[0] = i as u32 + 1;
+        for j in 1..cols {
+            curr[j] = if xc == y[j - 1] {
+                prev[j - 1]
+            } else {
+                1 + prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[cols - 1]
+}
+
+/// Convenience wrapper with a throwaway buffer.
+pub fn levenshtein_two_row(x: &[u8], y: &[u8]) -> u32 {
+    let mut buf = Vec::new();
+    levenshtein_two_row_with(&mut buf, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::levenshtein;
+
+    #[test]
+    fn matches_full_matrix_on_known_cases() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"AGGCGT", b"AGAGT"),
+            (b"kitten", b"sitting"),
+            (b"Berlin", b"Bern"),
+        ];
+        for &(x, y) in cases {
+            assert_eq!(levenshtein_two_row(x, y), levenshtein(x, y));
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_is_safe() {
+        let mut buf = Vec::new();
+        assert_eq!(levenshtein_two_row_with(&mut buf, b"abc", b"abd"), 1);
+        // Second call with longer strings after a shorter one.
+        assert_eq!(
+            levenshtein_two_row_with(&mut buf, b"longerstring", b"longerstrong"),
+            1
+        );
+        // And shorter again.
+        assert_eq!(levenshtein_two_row_with(&mut buf, b"a", b""), 1);
+    }
+}

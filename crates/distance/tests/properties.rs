@@ -1,0 +1,222 @@
+//! Property-based tests for every distance kernel: agreement with the
+//! full-matrix oracle, plus the metric axioms of the edit distance.
+
+use proptest::prelude::*;
+use simsearch_distance::{
+    banded::ed_within_banded,
+    damerau::damerau_osa,
+    early_abort::ed_within_early_abort,
+    full::{levenshtein, levenshtein_naive_alloc},
+    hamming::hamming,
+    incremental::IncrementalDp,
+    myers_block::MyersAny,
+    packed::{ed_within_packed_with, query_codes},
+    two_row::levenshtein_two_row,
+    BoundedKernel, KernelKind,
+};
+
+/// Short strings over a small alphabet: maximizes collision-rich cases.
+fn small_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"abAB".to_vec()), 0..12)
+}
+
+/// Arbitrary-byte strings of moderate length.
+fn byte_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..40)
+}
+
+/// DNA strings long enough to cross the 64-byte Myers block boundary.
+fn dna_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGNT".to_vec()), 0..150)
+}
+
+proptest! {
+    #[test]
+    fn two_row_equals_full(x in byte_string(), y in byte_string()) {
+        prop_assert_eq!(levenshtein_two_row(&x, &y), levenshtein(&x, &y));
+    }
+
+    #[test]
+    fn naive_alloc_equals_full(x in small_string(), y in small_string()) {
+        prop_assert_eq!(levenshtein_naive_alloc(&x, &y), levenshtein(&x, &y));
+    }
+
+    #[test]
+    fn early_abort_equals_full(x in small_string(), y in small_string(), k in 0u32..6) {
+        let truth = levenshtein(&x, &y);
+        let want = (truth <= k).then_some(truth);
+        prop_assert_eq!(ed_within_early_abort(&x, &y, k), want);
+    }
+
+    #[test]
+    fn banded_equals_full(x in byte_string(), y in byte_string(), k in 0u32..10) {
+        let truth = levenshtein(&x, &y);
+        let want = (truth <= k).then_some(truth);
+        prop_assert_eq!(ed_within_banded(&x, &y, k), want);
+    }
+
+    #[test]
+    fn myers_equals_full(x in dna_string(), y in dna_string()) {
+        if let Some(m) = MyersAny::new(&x) {
+            prop_assert_eq!(m.distance(&y), levenshtein(&x, &y));
+        } else {
+            prop_assert!(x.is_empty());
+        }
+    }
+
+    #[test]
+    fn myers_within_equals_full(x in dna_string(), y in dna_string(), k in 0u32..20) {
+        if let Some(m) = MyersAny::new(&x) {
+            let truth = levenshtein(&x, &y);
+            let want = (truth <= k).then_some(truth);
+            prop_assert_eq!(m.within(&y, k), want);
+        }
+    }
+
+    #[test]
+    fn all_bounded_kernels_agree(x in small_string(), y in small_string(), k in 0u32..6) {
+        let truth = levenshtein(&x, &y);
+        let want = (truth <= k).then_some(truth);
+        for kind in KernelKind::ALL {
+            let mut kernel = BoundedKernel::compile(kind, &x, k);
+            prop_assert_eq!(kernel.within(&y), want, "kernel {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn incremental_fully_pushed_equals_full(x in small_string(), y in small_string(), k in 0u32..6) {
+        let mut dp = IncrementalDp::new(&x, k);
+        for &c in &y {
+            dp.push(c);
+        }
+        let truth = levenshtein(&x, &y);
+        let want = (truth <= k).then_some(truth);
+        prop_assert_eq!(dp.distance(), want);
+    }
+
+    #[test]
+    fn incremental_prune_is_sound(x in small_string(), y in small_string(), k in 0u32..4) {
+        // If the prune fires at any prefix of y, then no extension of that
+        // prefix — in particular y itself — may be within k.
+        let mut dp = IncrementalDp::new(&x, k);
+        let mut pruned = false;
+        for &c in &y {
+            dp.push(c);
+            if !dp.can_extend() {
+                pruned = true;
+                break;
+            }
+        }
+        if pruned {
+            prop_assert!(levenshtein(&x, &y) > k);
+        }
+    }
+
+    #[test]
+    fn packed_equals_banded(x in dna_string(), y in dna_string(), k in 0u32..20) {
+        let qc = query_codes(&x).unwrap();
+        let p = simsearch_data::PackedSeq::pack(&y).unwrap();
+        let mut buf = Vec::new();
+        prop_assert_eq!(
+            ed_within_packed_with(&mut buf, &qc, &p, k),
+            ed_within_banded(&x, &y, k)
+        );
+    }
+
+    // ---- metric axioms ----
+
+    #[test]
+    fn symmetry(x in byte_string(), y in byte_string()) {
+        prop_assert_eq!(levenshtein(&x, &y), levenshtein(&y, &x));
+    }
+
+    #[test]
+    fn identity(x in byte_string()) {
+        prop_assert_eq!(levenshtein(&x, &x), 0);
+    }
+
+    #[test]
+    fn positivity(x in byte_string(), y in byte_string()) {
+        if x != y {
+            prop_assert!(levenshtein(&x, &y) > 0);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality(x in small_string(), y in small_string(), z in small_string()) {
+        prop_assert!(levenshtein(&x, &z) <= levenshtein(&x, &y) + levenshtein(&y, &z));
+    }
+
+    #[test]
+    fn length_difference_is_lower_bound(x in byte_string(), y in byte_string()) {
+        prop_assert!(levenshtein(&x, &y) >= x.len().abs_diff(y.len()) as u32);
+    }
+
+    #[test]
+    fn max_length_is_upper_bound(x in byte_string(), y in byte_string()) {
+        prop_assert!(levenshtein(&x, &y) <= x.len().max(y.len()) as u32);
+    }
+
+    #[test]
+    fn hamming_upper_bounds_levenshtein(x in byte_string()) {
+        // Build an equal-length y by mutating x.
+        let y: Vec<u8> = x.iter().map(|&b| b.wrapping_add(1)).collect();
+        if let Some(h) = hamming(&x, &y) {
+            prop_assert!(levenshtein(&x, &y) <= h);
+        }
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein(x in small_string(), y in small_string()) {
+        prop_assert!(damerau_osa(&x, &y) <= levenshtein(&x, &y));
+    }
+
+    #[test]
+    fn single_edit_distance_is_at_most_one(x in byte_string(), pos in any::<usize>(), b in any::<u8>()) {
+        let mut y = x.clone();
+        if y.is_empty() {
+            y.push(b);
+        } else {
+            let p = pos % y.len();
+            y[p] = b;
+        }
+        prop_assert!(levenshtein(&x, &y) <= 1);
+    }
+}
+
+proptest! {
+    #[test]
+    fn edit_scripts_are_minimal_and_correct(x in byte_string(), y in byte_string()) {
+        let (steps, d) = simsearch_distance::edit_script(&x, &y);
+        prop_assert_eq!(d, levenshtein(&x, &y));
+        let cost: u32 = steps.iter().map(simsearch_distance::EditStep::cost).sum();
+        prop_assert_eq!(cost, d);
+        prop_assert_eq!(simsearch_distance::apply_script(&x, &steps), y);
+    }
+}
+
+proptest! {
+    #[test]
+    fn substring_distance_never_exceeds_global(x in dna_string(), y in dna_string()) {
+        let sub = simsearch_distance::substring_distance(&x, &y).distance;
+        prop_assert!(sub <= levenshtein(&x, &y));
+        // And never exceeds the pattern length (aligning to the empty substring).
+        prop_assert!(sub <= x.len() as u32);
+    }
+
+    #[test]
+    fn substring_myers_agrees_with_dp(x in proptest::collection::vec(proptest::sample::select(b"ACGNT".to_vec()), 0..60), y in dna_string()) {
+        prop_assert_eq!(
+            simsearch_distance::semi_global::substring_distance_myers(&x, &y),
+            simsearch_distance::substring_distance(&x, &y)
+        );
+    }
+
+    #[test]
+    fn planted_occurrence_is_found(needle in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..20), prefix in dna_string(), suffix in dna_string()) {
+        let mut text = prefix.clone();
+        text.extend_from_slice(&needle);
+        text.extend_from_slice(&suffix);
+        prop_assert_eq!(simsearch_distance::substring_distance(&needle, &text).distance, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Filter chains: cheap filters first, candidate survives only if every
+//! filter admits it.
+
+use crate::{DynFilter, PreparedFilter};
+use simsearch_data::RecordId;
+
+/// An ordered set of filters applied conjunctively.
+/// # Examples
+///
+/// ```
+/// use simsearch_data::Dataset;
+/// use simsearch_filters::{FilterChain, LengthFilter};
+///
+/// let ds = Dataset::from_records(["aa", "aaaa"]);
+/// let chain = FilterChain::new().push(LengthFilter::build(&ds));
+/// let prepared = chain.prepare(b"aaa", 1);
+/// assert!(prepared.admits(0));
+/// assert!(prepared.admits(1));
+/// ```
+#[derive(Default)]
+pub struct FilterChain {
+    filters: Vec<Box<dyn DynFilter>>,
+}
+
+impl FilterChain {
+    /// Creates an empty chain (admits everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a filter; filters run in insertion order, so put the
+    /// cheapest first.
+    pub fn push(mut self, filter: impl DynFilter + 'static) -> Self {
+        self.filters.push(Box::new(filter));
+        self
+    }
+
+    /// Number of filters in the chain.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// True if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Filter names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.filters.iter().map(|f| f.name()).collect()
+    }
+
+    /// Prepares all filters for one query.
+    pub fn prepare(&self, query: &[u8], k: u32) -> PreparedChain<'_> {
+        PreparedChain {
+            prepared: self.filters.iter().map(|f| f.prepare(query, k)).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FilterChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FilterChain{:?}", self.names())
+    }
+}
+
+/// Per-query prepared state of a whole chain.
+pub struct PreparedChain<'a> {
+    prepared: Vec<Box<dyn PreparedFilter + 'a>>,
+}
+
+impl PreparedChain<'_> {
+    /// Whether every filter admits record `id`.
+    #[inline]
+    pub fn admits(&self, id: RecordId) -> bool {
+        self.prepared.iter().all(|p| p.admits(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequency::FrequencyFilter;
+    use crate::length::LengthFilter;
+    use simsearch_data::alphabet::DNA_SYMBOLS;
+    use simsearch_data::Dataset;
+
+    #[test]
+    fn empty_chain_admits_everything() {
+        let chain = FilterChain::new();
+        let p = chain.prepare(b"anything", 0);
+        assert!(p.admits(12345));
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn chain_is_conjunctive() {
+        let ds = Dataset::from_records(["AAAA", "TTTT", "AAAATTTT"]);
+        let chain = FilterChain::new()
+            .push(LengthFilter::build(&ds))
+            .push(FrequencyFilter::build(&ds, DNA_SYMBOLS));
+        assert_eq!(chain.names(), vec!["length", "frequency"]);
+        let p = chain.prepare(b"AAAA", 2);
+        assert!(p.admits(0)); // identical
+        assert!(!p.admits(1)); // right length, wrong composition
+        assert!(!p.admits(2)); // wrong length
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let ds = Dataset::from_records(["x"]);
+        let chain = FilterChain::new()
+            .push(FrequencyFilter::build(&ds, DNA_SYMBOLS))
+            .push(LengthFilter::build(&ds));
+        assert_eq!(chain.names(), vec!["frequency", "length"]);
+        assert_eq!(chain.len(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! The length filter (paper §3.2, eq. (5)): `ed(x, y) ≥ | |x| − |y| |`.
+//!
+//! Built over a dataset, it stores every record length once so the scan
+//! never touches the byte arena for a hopeless candidate.
+
+use crate::{DynFilter, PreparedFilter};
+use simsearch_data::{Dataset, RecordId};
+
+/// Per-dataset record-length table.
+#[derive(Debug, Clone)]
+pub struct LengthFilter {
+    lens: Vec<u32>,
+}
+
+impl LengthFilter {
+    /// Builds the table for `dataset`.
+    pub fn build(dataset: &Dataset) -> Self {
+        let lens = (0..dataset.len() as u32)
+            .map(|id| dataset.record_len(id) as u32)
+            .collect();
+        Self { lens }
+    }
+
+    /// Record length lookup.
+    pub fn len_of(&self, id: RecordId) -> u32 {
+        self.lens[id as usize]
+    }
+
+    /// Whether record `id` can be within distance `k` of a query of
+    /// length `query_len`.
+    #[inline]
+    pub fn admits(&self, query_len: u32, id: RecordId, k: u32) -> bool {
+        self.lens[id as usize].abs_diff(query_len) <= k
+    }
+}
+
+/// Prepared per-query state: the query length and threshold.
+pub struct PreparedLength<'a> {
+    filter: &'a LengthFilter,
+    query_len: u32,
+    k: u32,
+}
+
+impl DynFilter for LengthFilter {
+    fn name(&self) -> &'static str {
+        "length"
+    }
+
+    fn prepare<'a>(&'a self, query: &[u8], k: u32) -> Box<dyn PreparedFilter + 'a> {
+        Box::new(PreparedLength {
+            filter: self,
+            query_len: query.len() as u32,
+            k,
+        })
+    }
+}
+
+impl PreparedFilter for PreparedLength<'_> {
+    fn admits(&self, id: RecordId) -> bool {
+        self.filter.admits(self.query_len, id, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_iff_length_within_k() {
+        let ds = Dataset::from_records(["a", "abc", "abcdef"]);
+        let f = LengthFilter::build(&ds);
+        assert!(f.admits(3, 1, 0)); // |abc| == 3
+        assert!(f.admits(3, 0, 2)); // |a| = 1, diff 2
+        assert!(!f.admits(3, 0, 1));
+        assert!(f.admits(3, 2, 3)); // |abcdef| = 6, diff 3
+        assert!(!f.admits(3, 2, 2));
+    }
+
+    #[test]
+    fn dyn_interface_matches_direct() {
+        let ds = Dataset::from_records(["aa", "aaaa"]);
+        let f = LengthFilter::build(&ds);
+        let p = f.prepare(b"aaa", 1);
+        assert!(p.admits(0));
+        assert!(p.admits(1));
+        let p0 = f.prepare(b"aaa", 0);
+        assert!(!p0.admits(0));
+        assert!(!p0.admits(1));
+    }
+
+    #[test]
+    fn len_of_reports_record_length() {
+        let ds = Dataset::from_records(["", "xyz"]);
+        let f = LengthFilter::build(&ds);
+        assert_eq!(f.len_of(0), 0);
+        assert_eq!(f.len_of(1), 3);
+    }
+}

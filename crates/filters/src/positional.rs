@@ -1,0 +1,243 @@
+//! Positional q-gram count filter.
+//!
+//! Strengthens the plain count filter ([`crate::qgram`]) with position
+//! information: `k` edit operations shift any surviving q-gram by at
+//! most `k` positions, so shared grams only count when their positions
+//! differ by at most `k`. A record sharing the right grams in the wrong
+//! places (e.g. a rotation) is rejected where the plain filter admits it.
+//!
+//! The maximum position-compatible matching between two sorted position
+//! lists under the window `|p_x − p_y| ≤ k` is computed by the classical
+//! greedy two-pointer sweep.
+
+use crate::{DynFilter, PreparedFilter};
+use simsearch_data::{Dataset, RecordId};
+
+/// A `(gram code, position)` pair; profiles are sorted by gram then
+/// position.
+type Posting = (u64, u32);
+
+/// Per-dataset positional q-gram profile table.
+#[derive(Debug, Clone)]
+pub struct PositionalQgramFilter {
+    q: usize,
+    postings: Vec<Posting>,
+    /// `offsets[i]..offsets[i+1]` delimits record `i`'s profile.
+    offsets: Vec<u32>,
+}
+
+impl PositionalQgramFilter {
+    /// Builds profiles with gram size `q` (1 ≤ q ≤ 8).
+    ///
+    /// # Panics
+    /// Panics if `q` is 0 or greater than 8.
+    pub fn build(dataset: &Dataset, q: usize) -> Self {
+        assert!((1..=8).contains(&q), "q must be in 1..=8");
+        let mut postings = Vec::new();
+        let mut offsets = Vec::with_capacity(dataset.len() + 1);
+        offsets.push(0);
+        let mut profile = Vec::new();
+        for (_, record) in dataset.iter() {
+            collect_positional_profile(record, q, &mut profile);
+            postings.extend_from_slice(&profile);
+            offsets.push(postings.len() as u32);
+        }
+        Self {
+            q,
+            postings,
+            offsets,
+        }
+    }
+
+    /// The gram size.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Profile of record `id`, sorted by `(gram, position)`.
+    pub fn profile_of(&self, id: RecordId) -> &[Posting] {
+        let i = id as usize;
+        &self.postings[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether record `id` can be within distance `k` of a query with the
+    /// given sorted positional profile and byte length.
+    pub fn admits(
+        &self,
+        query_profile: &[Posting],
+        query_len: usize,
+        id: RecordId,
+        k: u32,
+    ) -> bool {
+        let required = query_len as i64 - self.q as i64 + 1 - (k as i64) * (self.q as i64);
+        if required <= 0 {
+            return true;
+        }
+        let matched = positional_matching(query_profile, self.profile_of(id), k);
+        matched as i64 >= required
+    }
+}
+
+/// Collects the sorted `(gram, position)` profile of `s`.
+pub fn collect_positional_profile(s: &[u8], q: usize, out: &mut Vec<Posting>) {
+    out.clear();
+    if s.len() < q {
+        return;
+    }
+    for (pos, w) in s.windows(q).enumerate() {
+        let mut code = 0u64;
+        for &b in w {
+            code = (code << 8) | b as u64;
+        }
+        out.push((code, pos as u32));
+    }
+    out.sort_unstable();
+}
+
+/// Size of the maximum matching between equal grams whose positions
+/// differ by at most `k` (greedy sweep per gram run).
+fn positional_matching(a: &[Posting], b: &[Posting], k: u32) -> usize {
+    let (mut i, mut j, mut matched) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Runs of the same gram in both profiles.
+                let g = a[i].0;
+                let (ai, bj) = (i, j);
+                while i < a.len() && a[i].0 == g {
+                    i += 1;
+                }
+                while j < b.len() && b[j].0 == g {
+                    j += 1;
+                }
+                let (mut x, mut y) = (ai, bj);
+                while x < i && y < j {
+                    if a[x].1.abs_diff(b[y].1) <= k {
+                        matched += 1;
+                        x += 1;
+                        y += 1;
+                    } else if a[x].1 < b[y].1 {
+                        x += 1;
+                    } else {
+                        y += 1;
+                    }
+                }
+            }
+        }
+    }
+    matched
+}
+
+/// Prepared per-query state: the query's sorted positional profile.
+pub struct PreparedPositional<'a> {
+    filter: &'a PositionalQgramFilter,
+    profile: Vec<Posting>,
+    query_len: usize,
+    k: u32,
+}
+
+impl DynFilter for PositionalQgramFilter {
+    fn name(&self) -> &'static str {
+        "positional-qgram"
+    }
+
+    fn prepare<'a>(&'a self, query: &[u8], k: u32) -> Box<dyn PreparedFilter + 'a> {
+        let mut profile = Vec::new();
+        collect_positional_profile(query, self.q, &mut profile);
+        Box::new(PreparedPositional {
+            filter: self,
+            profile,
+            query_len: query.len(),
+            k,
+        })
+    }
+}
+
+impl PreparedFilter for PreparedPositional<'_> {
+    fn admits(&self, id: RecordId) -> bool {
+        self.filter.admits(&self.profile, self.query_len, id, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_distance::levenshtein;
+
+    #[test]
+    fn never_rejects_a_true_match() {
+        let words = ["Berlin", "Bern", "nilreB", "BerlinBerlin", "", "rlinBe"];
+        let ds = Dataset::from_records(words);
+        for q in 1..=3usize {
+            let f = PositionalQgramFilter::build(&ds, q);
+            for query in words {
+                let mut profile = Vec::new();
+                collect_positional_profile(query.as_bytes(), q, &mut profile);
+                for (id, w) in words.iter().enumerate() {
+                    let d = levenshtein(query.as_bytes(), w.as_bytes());
+                    for k in 0..6 {
+                        if d <= k {
+                            assert!(
+                                f.admits(&profile, query.len(), id as RecordId, k),
+                                "q={q}: rejected true match {query} ~ {w} (d={d}, k={k})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_shifted_gram_sharers_that_plain_filter_admits() {
+        // "abXcd...Xab": shares the grams of "ab...cd" but at far-away
+        // positions; position windows kill it.
+        let long_a = format!("ab{}cd", "x".repeat(20));
+        let long_b = format!("cd{}ab", "x".repeat(20));
+        let ds = Dataset::from_records([long_b.clone()]);
+        let plain = crate::QgramFilter::build(&ds, 2);
+        let positional = PositionalQgramFilter::build(&ds, 2);
+        let mut pp = Vec::new();
+        crate::qgram::collect_profile(long_a.as_bytes(), 2, &mut pp);
+        let mut qp = Vec::new();
+        collect_positional_profile(long_a.as_bytes(), 2, &mut qp);
+        // Distance is 4 (swap both ends); at k = 3 neither string matches.
+        assert!(levenshtein(long_a.as_bytes(), long_b.as_bytes()) > 3);
+        // The plain count filter admits (many shared "xx" grams suffice
+        // regardless of position) ...
+        assert!(plain.admits(&pp, long_a.len(), 0, 3));
+        // ... the positional window also counts the "xx" run as shifted-
+        // compatible, but the end grams no longer contribute:
+        let matched = positional_matching(&qp, positional.profile_of(0), 3);
+        let plain_shared = {
+            let mut other = Vec::new();
+            crate::qgram::collect_profile(long_b.as_bytes(), 2, &mut other);
+            pp.iter().filter(|g| other.contains(g)).count()
+        };
+        assert!(matched < plain_shared, "{matched} vs {plain_shared}");
+    }
+
+    #[test]
+    fn window_matching_is_greedy_optimal_on_runs() {
+        // gram G at positions [0, 10] vs [9, 11] with k = 1:
+        // optimal matching is 2 (10-9? no: |0-9|>1; 10~9, nothing for 0;
+        // or 10~11). Max matching = 1.
+        let a = [(7u64, 0u32), (7, 10)];
+        let b = [(7u64, 9u32), (7, 11)];
+        assert_eq!(positional_matching(&a, &b, 1), 1);
+        // With k = 9: 0~9 and 10~11 -> 2.
+        assert_eq!(positional_matching(&a, &b, 9), 2);
+    }
+
+    #[test]
+    fn dyn_interface_round_trip() {
+        let ds = Dataset::from_records(["AAAAAAAAAA", "TTTTTTTTTT"]);
+        let f = PositionalQgramFilter::build(&ds, 2);
+        let p = f.prepare(b"AAAAAAAAAA", 1);
+        assert!(p.admits(0));
+        assert!(!p.admits(1));
+        assert_eq!(f.q(), 2);
+    }
+}

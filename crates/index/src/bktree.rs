@@ -1,0 +1,183 @@
+//! BK-tree: the classic metric-space index for the edit distance
+//! (Burkhard & Keller 1973) — another "well-known index" to pit against
+//! the sequential scan.
+//!
+//! Every node stores one record; a child edge labelled `d` leads to the
+//! subtree of records at distance exactly `d` from the node's record.
+//! The triangle inequality restricts a search with threshold `k` to
+//! child edges in `[d(q, node) − k, d(q, node) + k]`. Unlike the trie,
+//! pruning power comes from the metric alone — on large thresholds
+//! relative to string length (the city k = 3 profile) BK-trees famously
+//! degrade towards a full scan, which the `ablation_bktree` benchmark
+//! shows.
+
+use crate::trace::SearchTrace;
+use simsearch_data::{Dataset, Match, MatchSet, RecordId};
+use simsearch_distance::levenshtein;
+
+/// Index of a node within the BK-tree arena.
+type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct BkNode {
+    record: RecordId,
+    /// Sorted `(distance, child)` edges.
+    children: Vec<(u32, NodeId)>,
+}
+
+/// A BK-tree over a dataset.
+#[derive(Debug, Clone)]
+pub struct BkTree {
+    nodes: Vec<BkNode>,
+}
+
+impl BkTree {
+    /// Builds the tree by inserting every record in id order.
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut tree = Self { nodes: Vec::new() };
+        for (id, record) in dataset.iter() {
+            tree.insert(dataset, id, record);
+        }
+        tree
+    }
+
+    fn insert(&mut self, dataset: &Dataset, id: RecordId, record: &[u8]) {
+        if self.nodes.is_empty() {
+            self.nodes.push(BkNode {
+                record: id,
+                children: Vec::new(),
+            });
+            return;
+        }
+        let mut at: NodeId = 0;
+        loop {
+            let node_record = dataset.get(self.nodes[at as usize].record);
+            let d = levenshtein(record, node_record);
+            match self.nodes[at as usize]
+                .children
+                .binary_search_by_key(&d, |&(dist, _)| dist)
+            {
+                Ok(i) => at = self.nodes[at as usize].children[i].1,
+                Err(i) => {
+                    let new_id = self.nodes.len() as NodeId;
+                    self.nodes.push(BkNode {
+                        record: id,
+                        children: Vec::new(),
+                    });
+                    self.nodes[at as usize].children.insert(i, (d, new_id));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (= records indexed).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns every record of `dataset` within edit distance `k` of
+    /// `query`. `dataset` must be the dataset the tree was built from.
+    pub fn search(&self, dataset: &Dataset, query: &[u8], k: u32) -> MatchSet {
+        self.search_traced(dataset, query, k).0
+    }
+
+    /// [`BkTree::search`] with work counters (`rows_computed` counts
+    /// full distance evaluations, the BK-tree's unit of work).
+    pub fn search_traced(
+        &self,
+        dataset: &Dataset,
+        query: &[u8],
+        k: u32,
+    ) -> (MatchSet, SearchTrace) {
+        let mut out = Vec::new();
+        let mut trace = SearchTrace::default();
+        if !self.nodes.is_empty() {
+            let mut stack = vec![0 as NodeId];
+            while let Some(at) = stack.pop() {
+                let node = &self.nodes[at as usize];
+                trace.nodes_visited += 1;
+                trace.rows_computed += 1; // one full distance evaluation
+                let d = levenshtein(query, dataset.get(node.record));
+                if d <= k {
+                    out.push(Match::new(node.record, d));
+                }
+                let lo = d.saturating_sub(k);
+                let hi = d + k;
+                for &(edge, child) in &node.children {
+                    if (lo..=hi).contains(&edge) {
+                        stack.push(child);
+                    } else {
+                        trace.subtrees_pruned += 1;
+                    }
+                }
+            }
+        }
+        (MatchSet::from_unsorted(out), trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(ds: &Dataset, q: &[u8], k: u32) -> MatchSet {
+        ds.iter()
+            .filter_map(|(id, r)| {
+                let d = levenshtein(q, r);
+                (d <= k).then_some(Match::new(id, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let words = [
+            "Berlin", "Bern", "Bonn", "Ulm", "Bärlin", "Berlingen", "B", "", "Ber", "Bern",
+        ];
+        let ds = Dataset::from_records(words);
+        let tree = BkTree::build(&ds);
+        assert_eq!(tree.node_count(), words.len());
+        for q in ["Berlin", "Bern", "Urm", "", "Xyz"] {
+            for k in 0..5 {
+                assert_eq!(
+                    tree.search(&ds, q.as_bytes(), k),
+                    brute_force(&ds, q.as_bytes(), k),
+                    "q={q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_pruning_skips_subtrees() {
+        // Two well-separated clusters: searching in one must prune the
+        // other.
+        let mut words: Vec<String> = (0..20).map(|i| format!("aaaaaaaa{i:02}")).collect();
+        words.extend((0..20).map(|i| format!("zzzzzzzzzzzzzzzzzzzz{i:02}")));
+        let ds = Dataset::from_records(&words);
+        let tree = BkTree::build(&ds);
+        let (res, trace) = tree.search_traced(&ds, b"aaaaaaaa00", 2);
+        assert!(!res.is_empty());
+        assert!(
+            trace.subtrees_pruned > 0,
+            "no pruning on separated clusters: {trace:?}"
+        );
+        assert!(trace.rows_computed < ds.len() as u64);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new();
+        let tree = BkTree::build(&ds);
+        assert_eq!(tree.node_count(), 0);
+        assert!(tree.search(&ds, b"x", 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_records_chain_through_distance_zero() {
+        let ds = Dataset::from_records(["dup", "dup", "dup"]);
+        let tree = BkTree::build(&ds);
+        assert_eq!(tree.search(&ds, b"dup", 0).ids(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Length-bucketed scan — the paper's §6 "Sorting" future-work item:
+//! *"Can a pre-sorting by length or alphabet reduce the execution time?"*
+//!
+//! Records are grouped by length at build time. A query with threshold
+//! `k` only scans buckets whose length lies in
+//! `[|q| − k, |q| + k]` — the length filter applied wholesale instead of
+//! per record, with the bucket layout also improving locality (all
+//! same-length records are contiguous). The `ablation_sorting` benchmark
+//! answers the paper's question.
+
+use simsearch_data::{Dataset, Match, MatchSet, RecordId};
+use simsearch_distance::ed_within_banded_with;
+
+/// Records re-grouped by length for wholesale length filtering.
+#[derive(Debug, Clone)]
+pub struct LengthBuckets {
+    /// Record ids grouped by length; `buckets[l]` holds all records of
+    /// length `l`.
+    buckets: Vec<Vec<RecordId>>,
+    record_count: usize,
+}
+
+impl LengthBuckets {
+    /// Builds the buckets for `dataset`.
+    pub fn build(dataset: &Dataset) -> Self {
+        let max_len = dataset.max_len().unwrap_or(0);
+        let mut buckets = vec![Vec::new(); max_len + 1];
+        for (id, record) in dataset.iter() {
+            buckets[record.len()].push(id);
+        }
+        Self {
+            buckets,
+            record_count: dataset.len(),
+        }
+    }
+
+    /// Number of indexed records.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Returns every record of `dataset` within edit distance `k` of
+    /// `query`. `dataset` must be the dataset the buckets were built from.
+    pub fn search(&self, dataset: &Dataset, query: &[u8], k: u32) -> MatchSet {
+        let mut rows = Vec::new();
+        let lo = query.len().saturating_sub(k as usize);
+        let hi = (query.len() + k as usize).min(self.buckets.len().saturating_sub(1));
+        let mut out = Vec::new();
+        for len in lo..=hi {
+            if len >= self.buckets.len() {
+                break;
+            }
+            for &id in &self.buckets[len] {
+                if let Some(d) = ed_within_banded_with(&mut rows, query, dataset.get(id), k) {
+                    out.push(Match::new(id, d));
+                }
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_distance::levenshtein;
+
+    fn brute_force(ds: &Dataset, q: &[u8], k: u32) -> MatchSet {
+        ds.iter()
+            .filter_map(|(id, r)| {
+                let d = levenshtein(q, r);
+                (d <= k).then_some(Match::new(id, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let words = ["Berlin", "Bern", "Bonn", "Ulm", "", "B", "Berlingen"];
+        let ds = Dataset::from_records(words);
+        let buckets = LengthBuckets::build(&ds);
+        for q in ["Berlin", "Bern", "", "Ul", "Berlingenn"] {
+            for k in 0..5 {
+                assert_eq!(
+                    buckets.search(&ds, q.as_bytes(), k),
+                    brute_force(&ds, q.as_bytes(), k),
+                    "q={q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_longer_than_any_record() {
+        let ds = Dataset::from_records(["ab", "cd"]);
+        let buckets = LengthBuckets::build(&ds);
+        assert!(buckets.search(&ds, b"abcdefgh", 2).is_empty());
+        // Both "ab" and "cd" are two deletions away from "abcd".
+        assert_eq!(buckets.search(&ds, b"abcd", 2).ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reports_bucket_structure() {
+        let ds = Dataset::from_records(["a", "b", "ccc"]);
+        let buckets = LengthBuckets::build(&ds);
+        assert_eq!(buckets.bucket_count(), 2); // lengths 1 and 3
+        assert_eq!(buckets.record_count(), 3);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new();
+        let buckets = LengthBuckets::build(&ds);
+        assert!(buckets.search(&ds, b"x", 3).is_empty());
+    }
+}

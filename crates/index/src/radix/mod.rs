@@ -1,0 +1,9 @@
+//! The paper's compressed index (§4.2): a radix trie — the prefix tree
+//! with single-child chains merged into labelled edges.
+
+mod builder;
+mod node;
+mod search;
+
+pub use builder::{build, build_with_freq};
+pub use node::{NodeId, RadixNode, RadixTrie, ROOT};

@@ -1,0 +1,195 @@
+//! Radix-trie storage: nodes in one arena, edge labels in one shared
+//! byte arena.
+//!
+//! The compression goal of the paper's §4.2 — "create only as many nodes
+//! as needed" — is achieved structurally: a node exists only where a
+//! branch or a terminal record exists, so chains of single-child nodes
+//! collapse into one labelled edge (Figure 4: Berlin/Bern/Ulm shrinks
+//! from 11 nodes to 5).
+
+use simsearch_data::freq::FreqVector;
+use simsearch_data::RecordId;
+
+/// Index of a node within the radix arena.
+pub type NodeId = u32;
+
+/// The arena index of the root node.
+pub const ROOT: NodeId = 0;
+
+/// A per-node frequency-vector interval `(component-min, component-max)`.
+pub type FreqBox = (FreqVector, FreqVector);
+
+/// One radix-trie node. The edge *leading into* the node carries a label
+/// (empty for the root); children are keyed by their label's first byte.
+#[derive(Debug, Clone)]
+pub struct RadixNode {
+    /// Offset of this node's incoming edge label in the label arena.
+    pub(crate) label_start: u32,
+    /// Length of the incoming edge label.
+    pub(crate) label_len: u32,
+    /// Sorted `(first label byte, child node)` pairs.
+    pub(crate) children: Vec<(u8, NodeId)>,
+    /// Records whose full string ends at this node.
+    pub(crate) records: Vec<RecordId>,
+    /// Minimal record length in this subtree.
+    pub(crate) min_len: u32,
+    /// Maximal record length in this subtree.
+    pub(crate) max_len: u32,
+}
+
+impl RadixNode {
+    /// Sorted `(byte, child)` pairs.
+    pub fn children(&self) -> &[(u8, NodeId)] {
+        &self.children
+    }
+
+    /// Records terminating at this node.
+    pub fn records(&self) -> &[RecordId] {
+        &self.records
+    }
+
+    /// Minimal record length below (and at) this node.
+    pub fn min_len(&self) -> u32 {
+        self.min_len
+    }
+
+    /// Maximal record length below (and at) this node.
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// `(start, len)` of the incoming edge label in the label arena.
+    pub fn label_range(&self) -> (u32, u32) {
+        (self.label_start, self.label_len)
+    }
+
+    /// Reassembles a node from its raw parts (persistence support).
+    pub fn from_parts(
+        label_start: u32,
+        label_len: u32,
+        children: Vec<(u8, NodeId)>,
+        records: Vec<simsearch_data::RecordId>,
+        min_len: u32,
+        max_len: u32,
+    ) -> Self {
+        Self {
+            label_start,
+            label_len,
+            children,
+            records,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// A compressed (radix) prefix tree over a dataset.
+/// # Examples
+///
+/// ```
+/// use simsearch_data::Dataset;
+///
+/// let ds = Dataset::from_records(["Berlin", "Bern", "Ulm"]);
+/// let radix = simsearch_index::radix::build(&ds);
+/// assert_eq!(radix.node_count(), 5); // the paper's Figure 4
+/// let hits = radix.search(b"Berlyn", 1);
+/// assert_eq!(hits.ids(), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadixTrie {
+    pub(crate) nodes: Vec<RadixNode>,
+    pub(crate) labels: Vec<u8>,
+    pub(crate) record_count: usize,
+    /// Optional per-node frequency-vector boxes `(component-min,
+    /// component-max)` over the subtree's records — the paper's §6
+    /// "frequency vectors" future work as an index annotation.
+    pub(crate) freq_boxes: Option<Vec<(FreqVector, FreqVector)>>,
+    /// The tracked symbol set for `freq_boxes`.
+    pub(crate) freq_tracked: Option<[u8; 5]>,
+}
+
+impl RadixTrie {
+    /// Number of nodes, including the root (the Figure 4 metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of indexed records.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Whether frequency-vector pruning is enabled.
+    pub fn has_freq_annotations(&self) -> bool {
+        self.freq_boxes.is_some()
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, id: NodeId) -> &RadixNode {
+        &self.nodes[id as usize]
+    }
+
+    /// The incoming edge label of a node.
+    pub fn label(&self, node: &RadixNode) -> &[u8] {
+        let s = node.label_start as usize;
+        &self.labels[s..s + node.label_len as usize]
+    }
+
+    /// The shared edge-label arena.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Frequency annotation parts, if present (persistence support).
+    pub fn freq_parts(&self) -> Option<([u8; 5], &[FreqBox])> {
+        match (&self.freq_tracked, &self.freq_boxes) {
+            (Some(t), Some(b)) => Some((*t, b.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Reassembles a tree from its raw parts (persistence support).
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or `freq` boxes do not cover every node.
+    pub fn from_parts(
+        nodes: Vec<RadixNode>,
+        labels: Vec<u8>,
+        record_count: usize,
+        freq: Option<([u8; 5], Vec<FreqBox>)>,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "a radix tree has at least a root");
+        let (freq_tracked, freq_boxes) = match freq {
+            Some((t, b)) => {
+                assert_eq!(b.len(), nodes.len(), "one frequency box per node");
+                (Some(t), Some(b))
+            }
+            None => (None, None),
+        };
+        Self {
+            nodes,
+            labels,
+            record_count,
+            freq_boxes,
+            freq_tracked,
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<RadixNode>()
+            + self.labels.len()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.children.len() * std::mem::size_of::<(u8, NodeId)>()
+                        + n.records.len() * std::mem::size_of::<RecordId>()
+                })
+                .sum::<usize>()
+            + self
+                .freq_boxes
+                .as_ref()
+                .map_or(0, |b| b.len() * std::mem::size_of::<(FreqVector, FreqVector)>())
+    }
+}

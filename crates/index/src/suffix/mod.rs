@@ -1,0 +1,11 @@
+//! Suffix-array index with query partitioning — the second related-work
+//! approach the paper builds on (§2.3, Navarro et al.): a suffix *array*
+//! instead of a suffix tree to bound index size, and "splitting the
+//! query string and later integrating the particular results" to tame
+//! the exponential dependence on the threshold.
+
+mod sa;
+mod search;
+
+pub use sa::SuffixArray;
+pub use search::SuffixIndex;

@@ -1,0 +1,178 @@
+//! Suffix-array construction and exact pattern lookup.
+//!
+//! Prefix-doubling construction (Manber–Myers style, O(n log² n)) over
+//! an arbitrary byte text; lookups are the classical two binary searches
+//! yielding the contiguous suffix range whose suffixes start with the
+//! pattern. Navarro et al.'s point — an array is at most a small constant
+//! times the text, unlike a suffix tree — is visible in
+//! [`SuffixArray::memory_bytes`].
+
+/// A suffix array over a byte text.
+#[derive(Debug, Clone)]
+pub struct SuffixArray {
+    text: Vec<u8>,
+    /// Suffix start positions, sorted by suffix.
+    sa: Vec<u32>,
+}
+
+impl SuffixArray {
+    /// Builds the suffix array of `text` by prefix doubling.
+    pub fn build(text: Vec<u8>) -> Self {
+        let n = text.len();
+        let mut sa: Vec<u32> = (0..n as u32).collect();
+        if n == 0 {
+            return Self { text, sa };
+        }
+        // Initial ranks: the byte values.
+        let mut rank: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+        let mut next_rank = vec![0u32; n];
+        let mut len = 1usize;
+        loop {
+            let key = |i: u32| -> (u32, i64) {
+                let i = i as usize;
+                let second = if i + len < n {
+                    rank[i + len] as i64
+                } else {
+                    -1
+                };
+                (rank[i], second)
+            };
+            sa.sort_unstable_by_key(|&i| key(i));
+            // Re-rank.
+            next_rank[sa[0] as usize] = 0;
+            let mut r = 0u32;
+            for w in 1..n {
+                if key(sa[w]) != key(sa[w - 1]) {
+                    r += 1;
+                }
+                next_rank[sa[w] as usize] = r;
+            }
+            std::mem::swap(&mut rank, &mut next_rank);
+            if r as usize == n - 1 {
+                break; // all ranks distinct: fully sorted
+            }
+            len *= 2;
+            if len >= n {
+                // One more re-rank pass above has already resolved ties up
+                // to 2·len; a final sort by rank alone finishes the array.
+                sa.sort_unstable_by_key(|&i| rank[i as usize]);
+                break;
+            }
+        }
+        Self { text, sa }
+    }
+
+    /// The indexed text.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Number of suffixes (= text length).
+    pub fn len(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// True for an empty text.
+    pub fn is_empty(&self) -> bool {
+        self.sa.is_empty()
+    }
+
+    /// Approximate heap footprint: text + 4 bytes per suffix (the
+    /// "maximum size of four times the number" property from §2.3).
+    pub fn memory_bytes(&self) -> usize {
+        self.text.len() + self.sa.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Start positions (ascending within the suffix order) of every
+    /// occurrence of `pattern` in the text. Empty patterns yield an
+    /// empty result (every position matches trivially; callers handle
+    /// that case themselves).
+    pub fn find(&self, pattern: &[u8]) -> &[u32] {
+        if pattern.is_empty() {
+            return &[];
+        }
+        let suffix = |i: u32| &self.text[i as usize..];
+        // First suffix >= pattern.
+        let lo = self.sa.partition_point(|&i| suffix(i) < pattern);
+        // First suffix that does not start with pattern.
+        let hi = lo
+            + self.sa[lo..]
+                .partition_point(|&i| suffix(i).starts_with(pattern));
+        &self.sa[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: all occurrence positions by naive scanning.
+    fn naive_find(text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    fn check(text: &[u8], pattern: &[u8]) {
+        let sa = SuffixArray::build(text.to_vec());
+        let mut got: Vec<u32> = sa.find(pattern).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, naive_find(text, pattern), "text={text:?} pat={pattern:?}");
+    }
+
+    #[test]
+    fn suffixes_are_sorted() {
+        for text in [&b"banana"[..], b"mississippi", b"", b"a", b"aaaa", b"abab"] {
+            let sa = SuffixArray::build(text.to_vec());
+            for w in sa.sa.windows(2) {
+                assert!(
+                    sa.text[w[0] as usize..] < sa.text[w[1] as usize..],
+                    "unsorted suffixes in {text:?}"
+                );
+            }
+            assert_eq!(sa.len(), text.len());
+        }
+    }
+
+    #[test]
+    fn find_matches_naive_scan() {
+        let text = b"bananabandana";
+        for pat in [&b"ana"[..], b"ban", b"a", b"na", b"xyz", b"bananabandana", b"n"] {
+            check(text, pat);
+        }
+    }
+
+    #[test]
+    fn repetitive_text() {
+        let text = vec![b'A'; 200];
+        check(&text, b"AAA");
+        check(&text, b"AT");
+    }
+
+    #[test]
+    fn dna_like_text() {
+        let text = b"ACGTACGTNNACGTTTACG".repeat(5);
+        for pat in [&b"ACGT"[..], b"NN", b"TTT", b"GTA", b"CGTACGTN"] {
+            check(&text, pat);
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let sa = SuffixArray::build(Vec::new());
+        assert!(sa.is_empty());
+        assert!(sa.find(b"x").is_empty());
+        let sa = SuffixArray::build(b"abc".to_vec());
+        assert!(sa.find(b"").is_empty());
+    }
+
+    #[test]
+    fn memory_is_text_plus_four_per_suffix() {
+        let sa = SuffixArray::build(b"hello world".to_vec());
+        assert_eq!(sa.memory_bytes(), 11 + 11 * 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Partition-based similarity search over a suffix array (the approach
+//! of Navarro et al., paper §2.3).
+//!
+//! The pigeonhole argument: split the query into `k + 1` contiguous
+//! pieces; `k` edit operations can corrupt at most `k` of them, so any
+//! record within distance `k` contains at least one piece *exactly* —
+//! and, because an edit changes positions by at most one, that piece
+//! occurs within `±k` of its position in the query. Candidates are
+//! gathered through exact piece lookups on the suffix array of the
+//! concatenated records, then verified with the banded kernel.
+//!
+//! When the query is shorter than `k + 1` (no non-empty pieces) the
+//! filter is vacuous and the search degrades to a length-filtered scan.
+
+use super::sa::SuffixArray;
+use crate::length_bucket::LengthBuckets;
+use simsearch_data::{Dataset, Match, MatchSet, RecordId};
+use simsearch_distance::ed_within_banded_with;
+
+/// A suffix-array similarity index over a dataset.
+#[derive(Debug, Clone)]
+pub struct SuffixIndex {
+    sa: SuffixArray,
+    /// Record boundaries in the concatenated text (`record_count + 1`
+    /// entries, ascending).
+    offsets: Vec<u32>,
+    /// Fallback structure for vacuous-filter queries.
+    buckets: LengthBuckets,
+}
+
+impl SuffixIndex {
+    /// Builds the index (concatenates the records and constructs the
+    /// suffix array).
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut text = Vec::with_capacity(dataset.arena_len());
+        let mut offsets = Vec::with_capacity(dataset.len() + 1);
+        offsets.push(0);
+        for (_, record) in dataset.iter() {
+            text.extend_from_slice(record);
+            offsets.push(text.len() as u32);
+        }
+        Self {
+            sa: SuffixArray::build(text),
+            offsets,
+            buckets: LengthBuckets::build(dataset),
+        }
+    }
+
+    /// Number of indexed records.
+    pub fn record_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.sa.memory_bytes() + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Record containing text position `pos`, with the position's offset
+    /// inside that record.
+    fn locate(&self, pos: u32) -> (RecordId, usize) {
+        // partition_point gives the first offset > pos; the record is the
+        // one before it.
+        let idx = self.offsets.partition_point(|&o| o <= pos) - 1;
+        (idx as RecordId, (pos - self.offsets[idx]) as usize)
+    }
+
+    /// Splits `0..len` into `pieces` near-equal contiguous ranges.
+    fn split(len: usize, pieces: usize) -> Vec<(usize, usize)> {
+        let base = len / pieces;
+        let extra = len % pieces;
+        let mut out = Vec::with_capacity(pieces);
+        let mut start = 0;
+        for i in 0..pieces {
+            let l = base + usize::from(i < extra);
+            out.push((start, l));
+            start += l;
+        }
+        out
+    }
+
+    /// Returns every record of `dataset` within edit distance `k` of
+    /// `query`. `dataset` must be the dataset the index was built from.
+    pub fn search(&self, dataset: &Dataset, query: &[u8], k: u32) -> MatchSet {
+        let pieces = k as usize + 1;
+        if query.len() < pieces {
+            // Some piece would be empty: the pigeonhole filter is vacuous.
+            return self.buckets.search(dataset, query, k);
+        }
+        let mut candidates: Vec<RecordId> = Vec::new();
+        for (start, len) in Self::split(query.len(), pieces) {
+            let piece = &query[start..start + len];
+            for &pos in self.sa.find(piece) {
+                let (id, offset_in_record) = self.locate(pos);
+                // The piece must lie entirely within the record (the
+                // concatenation has no separators) ...
+                let rec_len = (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize;
+                if offset_in_record + len > rec_len {
+                    continue;
+                }
+                // ... and near its query position (edits shift by ≤ k).
+                if offset_in_record.abs_diff(start) > k as usize {
+                    continue;
+                }
+                candidates.push(id);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut rows = Vec::new();
+        let mut out = Vec::new();
+        for id in candidates {
+            let record = dataset.get(id);
+            if record.len().abs_diff(query.len()) > k as usize {
+                continue;
+            }
+            if let Some(d) = ed_within_banded_with(&mut rows, query, record, k) {
+                out.push(Match::new(id, d));
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_distance::levenshtein;
+
+    fn brute_force(ds: &Dataset, q: &[u8], k: u32) -> MatchSet {
+        ds.iter()
+            .filter_map(|(id, r)| {
+                let d = levenshtein(q, r);
+                (d <= k).then_some(Match::new(id, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_city_like_words() {
+        let words = [
+            "Berlin", "Bern", "Bonn", "Ulm", "Bärlin", "Berlingen", "B", "", "Ber",
+            "Ulmen", "Bernau", "nil", "reB",
+        ];
+        let ds = Dataset::from_records(words);
+        let idx = SuffixIndex::build(&ds);
+        for q in ["Berlin", "Bern", "Urm", "", "Xyz", "Berli", "Ulm", "rlin"] {
+            for k in 0..5 {
+                assert_eq!(
+                    idx.search(&ds, q.as_bytes(), k),
+                    brute_force(&ds, q.as_bytes(), k),
+                    "q={q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_straddling_record_boundaries_are_rejected() {
+        // "abc"+"def" concatenates to "abcdef"; a piece "cd" occurs in
+        // the text but inside no record.
+        let ds = Dataset::from_records(["abc", "def"]);
+        let idx = SuffixIndex::build(&ds);
+        assert_eq!(idx.search(&ds, b"cde", 1), brute_force(&ds, b"cde", 1));
+        assert!(idx.search(&ds, b"cde", 1).is_empty());
+    }
+
+    #[test]
+    fn split_is_balanced_and_complete() {
+        for len in [1usize, 5, 17, 100] {
+            for pieces in 1..=5.min(len) {
+                let parts = SuffixIndex::split(len, pieces);
+                assert_eq!(parts.len(), pieces);
+                assert_eq!(parts.iter().map(|&(_, l)| l).sum::<usize>(), len);
+                assert!(parts.iter().all(|&(_, l)| l > 0));
+                // Contiguity.
+                let mut expect = 0;
+                for &(s, l) in &parts {
+                    assert_eq!(s, expect);
+                    expect += l;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vacuous_filter_short_queries() {
+        let ds = Dataset::from_records(["ab", "ba", "zz", ""]);
+        let idx = SuffixIndex::build(&ds);
+        // |q| = 2 < k + 1 = 4: falls back to the bucket scan.
+        assert_eq!(idx.search(&ds, b"ab", 3), brute_force(&ds, b"ab", 3));
+        assert_eq!(idx.search(&ds, b"", 1), brute_force(&ds, b"", 1));
+    }
+
+    #[test]
+    fn duplicate_candidates_are_deduplicated() {
+        // One record contains a repeated piece; it must be reported once.
+        let ds = Dataset::from_records(["abcabc", "xyz"]);
+        let idx = SuffixIndex::build(&ds);
+        let res = idx.search(&ds, b"abcabc", 2);
+        assert_eq!(res.ids(), vec![0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Search-cost traces: how much work a trie descent actually did.
+//!
+//! The paper's tables compare wall-clock times; these counters expose
+//! the underlying quantities — nodes visited and DP rows computed — so
+//! the prune-mode analysis in EXPERIMENTS.md can show *why* one descent
+//! beats another.
+
+/// Work counters accumulated during one (or more) trie searches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchTrace {
+    /// Trie nodes whose children were considered.
+    pub nodes_visited: u64,
+    /// Symbols pushed into the incremental DP (= DP rows computed).
+    pub rows_computed: u64,
+    /// Subtrees skipped by a pruning rule.
+    pub subtrees_pruned: u64,
+}
+
+impl SearchTrace {
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &SearchTrace) {
+        self.nodes_visited += other.nodes_visited;
+        self.rows_computed += other.rows_computed;
+        self.subtrees_pruned += other.subtrees_pruned;
+    }
+}
+
+impl std::fmt::Display for SearchTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} rows, {} pruned",
+            self.nodes_visited, self.rows_computed, self.subtrees_pruned
+        )
+    }
+}

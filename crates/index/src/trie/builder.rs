@@ -1,0 +1,119 @@
+//! Trie construction: insert every record, maintaining the per-node
+//! min/max subtree lengths along the insertion path (§4.1: "the minimal
+//! and maximal length of a data set will be stored in the nodes").
+
+use super::node::{Node, NodeId, Trie, ROOT};
+use simsearch_data::Dataset;
+
+/// Builds the prefix tree for `dataset`.
+pub fn build(dataset: &Dataset) -> Trie {
+    let mut nodes = vec![Node::new()];
+    if dataset.is_empty() {
+        // Normalize the root's length interval (no insertions will
+        // touch it).
+        nodes[0].min_len = 0;
+        nodes[0].max_len = 0;
+    }
+    for (id, record) in dataset.iter() {
+        let len = record.len() as u32;
+        let mut at: NodeId = ROOT;
+        touch_lengths(&mut nodes, at, len);
+        for &b in record {
+            let next = match nodes[at as usize]
+                .children
+                .binary_search_by_key(&b, |&(c, _)| c)
+            {
+                Ok(i) => nodes[at as usize].children[i].1,
+                Err(i) => {
+                    let new_id = nodes.len() as NodeId;
+                    nodes.push(Node::new());
+                    nodes[at as usize].children.insert(i, (b, new_id));
+                    new_id
+                }
+            };
+            at = next;
+            touch_lengths(&mut nodes, at, len);
+        }
+        nodes[at as usize].records.push(id);
+    }
+    Trie {
+        nodes,
+        record_count: dataset.len(),
+    }
+}
+
+fn touch_lengths(nodes: &mut [Node], id: NodeId, len: u32) {
+    let n = &mut nodes[id as usize];
+    n.min_len = n.min_len.min(len);
+    n.max_len = n.max_len.max(len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::ROOT;
+
+    #[test]
+    fn paper_figure_4_uncompressed_node_count() {
+        // Berlin, Bern, Ulm: root + B,e,r (shared) + l,i,n + n + U,l,m
+        // = 1 + 3 + 3 + 1 + 3 = 11 nodes.
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm"]);
+        let trie = build(&ds);
+        assert_eq!(trie.node_count(), 11);
+        assert_eq!(trie.record_count(), 3);
+    }
+
+    #[test]
+    fn records_terminate_at_their_path() {
+        let ds = Dataset::from_records(["ab", "abc", "b"]);
+        let trie = build(&ds);
+        let a = trie.node(ROOT).child(b'a').unwrap();
+        let ab = trie.node(a).child(b'b').unwrap();
+        assert_eq!(trie.node(ab).records(), &[0]);
+        let abc = trie.node(ab).child(b'c').unwrap();
+        assert_eq!(trie.node(abc).records(), &[1]);
+        let b = trie.node(ROOT).child(b'b').unwrap();
+        assert_eq!(trie.node(b).records(), &[2]);
+    }
+
+    #[test]
+    fn min_max_lengths_are_subtree_aggregates() {
+        let ds = Dataset::from_records(["a", "abcd", "ab"]);
+        let trie = build(&ds);
+        let root = trie.node(ROOT);
+        assert_eq!(root.min_len(), 1);
+        assert_eq!(root.max_len(), 4);
+        let a = trie.node(root.child(b'a').unwrap());
+        assert_eq!(a.min_len(), 1);
+        assert_eq!(a.max_len(), 4);
+        let ab = trie.node(a.child(b'b').unwrap());
+        assert_eq!(ab.min_len(), 2);
+        assert_eq!(ab.max_len(), 4);
+    }
+
+    #[test]
+    fn duplicate_records_share_a_terminal() {
+        let ds = Dataset::from_records(["x", "x"]);
+        let trie = build(&ds);
+        let x = trie.node(ROOT).child(b'x').unwrap();
+        assert_eq!(trie.node(x).records(), &[0, 1]);
+        assert_eq!(trie.node_count(), 2);
+    }
+
+    #[test]
+    fn empty_record_terminates_at_root() {
+        let ds = Dataset::from_records(["", "a"]);
+        let trie = build(&ds);
+        assert_eq!(trie.node(ROOT).records(), &[0]);
+        assert_eq!(trie.node(ROOT).min_len(), 0);
+    }
+
+    #[test]
+    fn children_stay_sorted() {
+        let ds = Dataset::from_records(["zebra", "apple", "mango"]);
+        let trie = build(&ds);
+        let kids = trie.node(ROOT).children();
+        assert_eq!(kids.len(), 3);
+        assert!(kids.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

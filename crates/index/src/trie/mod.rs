@@ -1,0 +1,9 @@
+//! The paper's base index (§4.1): an uncompressed prefix tree with
+//! per-node min/max subtree lengths.
+
+mod builder;
+mod node;
+mod search;
+
+pub use builder::build;
+pub use node::{Node, NodeId, Trie, ROOT};

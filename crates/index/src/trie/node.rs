@@ -1,0 +1,109 @@
+//! Trie storage: an arena of nodes, children as sorted `(byte, child)`
+//! pairs.
+//!
+//! Nodes live in one `Vec` and refer to each other by index — no
+//! pointer-chasing allocation per node beyond its child list, and the
+//! arena form makes node counting (Figure 4) and memory accounting
+//! trivial.
+
+use simsearch_data::RecordId;
+
+/// Index of a node within the trie arena.
+pub type NodeId = u32;
+
+/// The arena index of the root node.
+pub const ROOT: NodeId = 0;
+
+/// One prefix-tree node.
+///
+/// Per the paper (§4.1, following PETER), every node carries the minimal
+/// and maximal length of the records reachable in its subtree, enabling
+/// "early cancellation of following the branches".
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Sorted `(first byte, child node)` pairs.
+    pub(crate) children: Vec<(u8, NodeId)>,
+    /// Records whose full string ends at this node.
+    pub(crate) records: Vec<RecordId>,
+    /// Minimal record length in this subtree.
+    pub(crate) min_len: u32,
+    /// Maximal record length in this subtree.
+    pub(crate) max_len: u32,
+}
+
+impl Node {
+    pub(crate) fn new() -> Self {
+        Self {
+            children: Vec::new(),
+            records: Vec::new(),
+            min_len: u32::MAX,
+            max_len: 0,
+        }
+    }
+
+    /// Sorted `(byte, child)` pairs.
+    pub fn children(&self) -> &[(u8, NodeId)] {
+        &self.children
+    }
+
+    /// Records terminating at this node.
+    pub fn records(&self) -> &[RecordId] {
+        &self.records
+    }
+
+    /// Minimal record length below (and at) this node.
+    pub fn min_len(&self) -> u32 {
+        self.min_len
+    }
+
+    /// Maximal record length below (and at) this node.
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// Child for byte `b`, if present.
+    pub fn child(&self, b: u8) -> Option<NodeId> {
+        self.children
+            .binary_search_by_key(&b, |&(c, _)| c)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+}
+
+/// An uncompressed prefix tree over a dataset.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) record_count: usize,
+}
+
+impl Trie {
+    /// Number of nodes, including the root (the Figure 4 metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of indexed records.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Approximate heap footprint in bytes (for index-size reporting; the
+    /// related work's motivating problem is exactly this number).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.children.len() * std::mem::size_of::<(u8, NodeId)>()
+                        + n.records.len() * std::mem::size_of::<RecordId>()
+                })
+                .sum::<usize>()
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: every index structure returns exactly the brute-force
+//! result set on random datasets and queries — the paper's correctness
+//! methodology (§4.4) as a property.
+
+use proptest::prelude::*;
+use simsearch_data::{Dataset, Match, MatchSet};
+use simsearch_distance::levenshtein;
+use simsearch_index::{qgram::SearchScratch, LengthBuckets, QgramIndex, RadixTrie, Trie};
+
+fn brute_force(ds: &Dataset, q: &[u8], k: u32) -> MatchSet {
+    ds.iter()
+        .filter_map(|(id, r)| {
+            let d = levenshtein(q, r);
+            (d <= k).then_some(Match::new(id, d))
+        })
+        .collect()
+}
+
+fn word() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"abcAB\xC3".to_vec()), 0..10)
+}
+
+fn corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(word(), 0..25)
+}
+
+proptest! {
+    #[test]
+    fn trie_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let trie = simsearch_index::trie::build(&ds);
+        prop_assert_eq!(trie.search(&q, k), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn radix_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let radix = simsearch_index::radix::build(&ds);
+        prop_assert_eq!(radix.search(&q, k), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn radix_with_freq_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let radix = simsearch_index::radix::build_with_freq(&ds, *b"ABabc");
+        prop_assert_eq!(radix.search(&q, k), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn qgram_equals_brute_force(words in corpus(), q in word(), k in 0u32..5, qsize in 1usize..4) {
+        let ds = Dataset::from_records(&words);
+        let idx = QgramIndex::build(&ds, qsize);
+        let mut scratch = SearchScratch::new(ds.len());
+        prop_assert_eq!(idx.search_with(&ds, &q, k, &mut scratch), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn length_buckets_equal_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let buckets = LengthBuckets::build(&ds);
+        prop_assert_eq!(buckets.search(&ds, &q, k), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn compression_preserves_structure_counts(words in corpus()) {
+        let ds = Dataset::from_records(&words);
+        let trie: Trie = simsearch_index::trie::build(&ds);
+        let radix: RadixTrie = simsearch_index::radix::build(&ds);
+        // Compression never increases the node count, and both see the
+        // same number of records.
+        prop_assert!(radix.node_count() <= trie.node_count());
+        prop_assert_eq!(radix.record_count(), trie.record_count());
+    }
+}
+
+proptest! {
+    #[test]
+    fn trie_paper_mode_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let trie = simsearch_index::trie::build(&ds);
+        prop_assert_eq!(trie.search_paper(&q, k), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn radix_paper_mode_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let radix = simsearch_index::radix::build(&ds);
+        prop_assert_eq!(radix.search_paper(&q, k), brute_force(&ds, &q, k));
+    }
+
+    #[test]
+    fn paper_and_modern_modes_agree(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let radix = simsearch_index::radix::build(&ds);
+        prop_assert_eq!(radix.search_paper(&q, k), radix.search(&q, k));
+        let trie = simsearch_index::trie::build(&ds);
+        prop_assert_eq!(trie.search_paper(&q, k), trie.search(&q, k));
+    }
+}
+
+proptest! {
+    #[test]
+    fn suffix_index_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let idx = simsearch_index::SuffixIndex::build(&ds);
+        prop_assert_eq!(idx.search(&ds, &q, k), brute_force(&ds, &q, k));
+    }
+}
+
+proptest! {
+    #[test]
+    fn trie_hamming_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        use simsearch_distance::hamming::hamming_within;
+        let ds = Dataset::from_records(&words);
+        let trie = simsearch_index::trie::build(&ds);
+        let expected: MatchSet = ds
+            .iter()
+            .filter_map(|(id, r)| hamming_within(&q, r, k).map(|d| Match::new(id, d)))
+            .collect();
+        prop_assert_eq!(trie.search_hamming(&q, k), expected);
+    }
+
+    #[test]
+    fn traced_searches_equal_untraced(words in corpus(), q in word(), k in 0u32..4) {
+        let ds = Dataset::from_records(&words);
+        let radix = simsearch_index::radix::build(&ds);
+        let (m1, t1) = radix.search_traced(&q, k);
+        prop_assert_eq!(&m1, &radix.search(&q, k));
+        let (m2, t2) = radix.search_paper_traced(&q, k);
+        prop_assert_eq!(&m2, &m1);
+        // The paper descent never prunes earlier than the modern one.
+        prop_assert!(t2.rows_computed >= t1.rows_computed || t1.nodes_visited >= t2.nodes_visited);
+        let _ = (t1, t2);
+    }
+}
+
+proptest! {
+    #[test]
+    fn bktree_equals_brute_force(words in corpus(), q in word(), k in 0u32..5) {
+        let ds = Dataset::from_records(&words);
+        let tree = simsearch_index::BkTree::build(&ds);
+        prop_assert_eq!(tree.search(&ds, &q, k), brute_force(&ds, &q, k));
+    }
+}

@@ -1,0 +1,286 @@
+//! Strategy 3 (paper §3.6): intelligent management of threads by a
+//! master, opening and closing workers only when needed.
+//!
+//! The paper sketches two rules — open a thread when average load exceeds
+//! 70 %, close one when it falls below 30 % — and resolves the inherent
+//! race ("thread t₁ wants to open while t₂ wants to close") with the
+//! master/slave principle: a single master owns all open/close decisions.
+//!
+//! This implementation follows that design. Worker threads are created
+//! once and *parked* when closed (the open/close decision is the master's;
+//! parking stands in for destroy/recreate so the management logic, not
+//! thread churn, is what gets measured). The load signal is queue
+//! pressure: with `p` pending jobs and `a` active workers, the master
+//! opens a worker when `p > 2a` (high load) and closes one when `p < a`
+//! (low load), sampling every 200 µs.
+
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Tuning knobs for the master's open/close rules.
+///
+/// The paper's sketch uses CPU-load watermarks (open above 70 %, close
+/// below 30 %); this implementation's load signal is queue pressure
+/// (pending jobs per active worker), with the same watermark structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Open a worker when `pending > open_factor × active`.
+    pub open_factor: f64,
+    /// Close a worker when `pending < close_factor × active`.
+    pub close_factor: f64,
+    /// Master sampling interval.
+    pub sample_interval: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            open_factor: 2.0,
+            close_factor: 1.0,
+            sample_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+/// What the master did during a run — exposed for tests and reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// Number of open decisions taken by the master.
+    pub opens: usize,
+    /// Number of close decisions taken by the master.
+    pub closes: usize,
+    /// Highest number of simultaneously working threads observed.
+    pub max_active: usize,
+}
+
+struct Shared {
+    next: AtomicUsize,
+    target: AtomicUsize,
+    finished: AtomicBool,
+    active_now: AtomicUsize,
+    max_active: AtomicUsize,
+    park: Mutex<()>,
+    wake: Condvar,
+}
+
+/// Executes `work(0..n)` under master-managed workers (at most
+/// `max_threads`), returning results in job order.
+pub fn run_adaptive<T, F>(max_threads: usize, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_adaptive_with_report(max_threads, n, work).0
+}
+
+/// Like [`run_adaptive`], also returning the master's decision log.
+///
+/// # Panics
+/// Panics if `max_threads == 0`.
+pub fn run_adaptive_with_report<T, F>(
+    max_threads: usize,
+    n: usize,
+    work: F,
+) -> (Vec<T>, AdaptiveReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_adaptive_configured(max_threads, n, AdaptiveConfig::default(), work)
+}
+
+/// Like [`run_adaptive_with_report`] with explicit open/close rules.
+///
+/// # Panics
+/// Panics if `max_threads == 0` or the config factors are inverted
+/// (`open_factor < close_factor` would make the master oscillate).
+pub fn run_adaptive_configured<T, F>(
+    max_threads: usize,
+    n: usize,
+    config: AdaptiveConfig,
+    work: F,
+) -> (Vec<T>, AdaptiveReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(max_threads > 0, "need at least one worker");
+    assert!(
+        config.open_factor >= config.close_factor,
+        "open watermark below close watermark"
+    );
+    if n == 0 {
+        return (Vec::new(), AdaptiveReport::default());
+    }
+    let max_threads = max_threads.min(n);
+    let work = &work;
+    let shared = Shared {
+        next: AtomicUsize::new(0),
+        target: AtomicUsize::new(1), // start minimal; the master opens more
+        finished: AtomicBool::new(false),
+        active_now: AtomicUsize::new(0),
+        max_active: AtomicUsize::new(0),
+        park: Mutex::new(()),
+        wake: Condvar::new(),
+    };
+    let shared = &shared;
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let mut report = AdaptiveReport::default();
+
+    std::thread::scope(|scope| {
+        // Workers (slaves).
+        for id in 0..max_threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                if shared.finished.load(Ordering::Acquire) {
+                    break;
+                }
+                if id >= shared.target.load(Ordering::Acquire) {
+                    // Closed by the master: park until woken.
+                    let mut guard = shared.park.lock();
+                    if !shared.finished.load(Ordering::Acquire)
+                        && id >= shared.target.load(Ordering::Acquire)
+                    {
+                        shared
+                            .wake
+                            .wait_for(&mut guard, Duration::from_millis(1));
+                    }
+                    continue;
+                }
+                let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let now = shared.active_now.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.max_active.fetch_max(now, Ordering::Relaxed);
+                let result = work(i);
+                shared.active_now.fetch_sub(1, Ordering::Relaxed);
+                tx.send((i, result)).expect("collector hung up");
+            });
+        }
+        drop(tx);
+
+        // Master: the only thread allowed to open or close workers.
+        let master = scope.spawn(move || {
+            let mut opens = 0;
+            let mut closes = 0;
+            loop {
+                let issued = shared.next.load(Ordering::Relaxed).min(n);
+                if issued >= n {
+                    break;
+                }
+                let pending = n - issued;
+                let active = shared.target.load(Ordering::Relaxed);
+                if (pending as f64) > config.open_factor * active as f64 && active < max_threads
+                {
+                    shared.target.store(active + 1, Ordering::Release);
+                    shared.wake.notify_all();
+                    opens += 1;
+                } else if (pending as f64) < config.close_factor * active as f64 && active > 1 {
+                    shared.target.store(active - 1, Ordering::Release);
+                    closes += 1;
+                }
+                std::thread::sleep(config.sample_interval);
+            }
+            shared.finished.store(true, Ordering::Release);
+            shared.wake.notify_all();
+            (opens, closes)
+        });
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+        // All jobs are collected; make sure stragglers exit promptly.
+        shared.finished.store(true, Ordering::Release);
+        shared.wake.notify_all();
+        let (opens, closes) = master.join().expect("master panicked");
+        report.opens = opens;
+        report.closes = closes;
+        report.max_active = shared.max_active.load(Ordering::Relaxed);
+        (
+            slots
+                .into_iter()
+                .map(|s| s.expect("job skipped"))
+                .collect(),
+            report,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_completeness() {
+        let (out, _) = run_adaptive_with_report(8, 500, |i| i * 7);
+        assert_eq!(out, (0..500).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn master_opens_workers_under_load() {
+        // Slow jobs keep the queue pressured; the master must scale up.
+        let (out, report) = run_adaptive_with_report(4, 200, |i| {
+            std::thread::sleep(Duration::from_micros(300));
+            i
+        });
+        assert_eq!(out.len(), 200);
+        assert!(report.opens >= 1, "master never opened a worker: {report:?}");
+        assert!(report.max_active >= 2, "never ran concurrently: {report:?}");
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_max_threads() {
+        let (_, report) = run_adaptive_with_report(3, 300, |i| {
+            std::thread::sleep(Duration::from_micros(100));
+            i
+        });
+        assert!(report.max_active <= 3, "{report:?}");
+    }
+
+    #[test]
+    fn single_worker_cap_degenerates_to_sequential() {
+        let (out, report) = run_adaptive_with_report(1, 50, |i| i);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        assert!(report.max_active <= 1);
+        assert_eq!(report.opens, 0);
+    }
+
+    #[test]
+    fn configured_rules_are_respected() {
+        // A never-open configuration stays at one worker.
+        let cfg = AdaptiveConfig {
+            open_factor: f64::INFINITY,
+            close_factor: 0.0,
+            sample_interval: Duration::from_micros(100),
+        };
+        let (out, report) = run_adaptive_configured(8, 100, cfg, |i| {
+            std::thread::sleep(Duration::from_micros(50));
+            i
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(report.opens, 0);
+        assert!(report.max_active <= 1, "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "open watermark below close watermark")]
+    fn inverted_watermarks_panic() {
+        let cfg = AdaptiveConfig {
+            open_factor: 0.5,
+            close_factor: 2.0,
+            sample_interval: Duration::from_micros(100),
+        };
+        run_adaptive_configured(2, 1, cfg, |i| i);
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let (out, report) = run_adaptive_with_report(4, 0, |_: usize| 0u32);
+        assert!(out.is_empty());
+        assert_eq!(report, AdaptiveReport::default());
+    }
+}

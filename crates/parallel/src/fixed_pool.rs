@@ -1,0 +1,95 @@
+//! Strategy 2 (paper §3.6, rung 6): a fixed number of threads with a
+//! static partition of the queries.
+//!
+//! "Open exactly one thread per CPU core" generalized to `t` threads —
+//! the paper sweeps `t ∈ {4, 8, 16, 32}` (Tables II/IV/VI/VIII). Queries
+//! are split into `t` contiguous chunks; each thread owns one chunk, so
+//! there is no synchronization after the spawn.
+
+/// Executes `work(0..n)` on `threads` scoped threads with contiguous
+/// partitioning, returning results in job order.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn run_fixed_pool<T, F>(threads: usize, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "a pool needs at least one thread");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    let work = &work;
+    // Chunk sizes differ by at most one (balanced partition).
+    let base = n / threads;
+    let extra = n % threads;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for t in 0..threads {
+            let len = base + usize::from(t < extra);
+            let range = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || range.map(work).collect::<Vec<T>>()));
+        }
+        let mut results = Vec::with_capacity(n);
+        for h in handles {
+            results.extend(h.join().expect("pool thread panicked"));
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_for_various_thread_counts() {
+        for threads in [1, 2, 3, 4, 7, 8, 16, 32] {
+            let out = run_fixed_pool(threads, 100, |i| i + 1);
+            assert_eq!(out, (1..=100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = run_fixed_pool(64, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uses_multiple_os_threads() {
+        let ids = std::sync::Mutex::new(HashSet::new());
+        run_fixed_pool(4, 64, |i| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            i
+        });
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn every_job_runs_once() {
+        let counter = AtomicUsize::new(0);
+        run_fixed_pool(8, 1000, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let out: Vec<u8> = run_fixed_pool(8, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        run_fixed_pool(0, 1, |i| i);
+    }
+}

@@ -1,0 +1,135 @@
+//! # simsearch-parallel
+//!
+//! The paper's thread-management strategies (§3.5/§3.6) behind one
+//! dispatch point. The paper evaluates three ways of closing/opening
+//! threads:
+//!
+//! 1. **one thread per query** ([`per_query`]) — rung 5, measurably *bad*;
+//! 2. **fixed pool, static partition** ([`fixed_pool`]) — rung 6, swept
+//!    over 4/8/16/32 threads in Tables II, IV, VI and VIII;
+//! 3. **master-managed adaptive pool** ([`adaptive`]) — the paper's
+//!    master/slave design with load-based open/close rules.
+//!
+//! A fourth executor, the dynamic [`work_queue`], is the classical
+//! load-balancing fix the paper's §3.6 hints at ("crucial … is a balanced
+//! distribution of queries") and is used in ablation benchmarks.
+//!
+//! All executors run a read-only job function `Fn(usize) -> T` over job
+//! indices `0..n` and return the results in job order, so callers observe
+//! identical semantics regardless of strategy — the paper's correctness
+//! methodology (every rung must produce the base implementation's
+//! results) falls out for free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod fixed_pool;
+pub mod per_query;
+pub mod work_queue;
+
+pub use adaptive::{
+    run_adaptive, run_adaptive_configured, run_adaptive_with_report, AdaptiveConfig,
+    AdaptiveReport,
+};
+pub use fixed_pool::run_fixed_pool;
+pub use per_query::run_thread_per_query;
+pub use work_queue::run_work_queue;
+
+/// How a batch of independent query jobs is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Single-threaded, in job order.
+    #[default]
+    Sequential,
+    /// One thread per query (paper strategy 1 / scan rung 5).
+    ThreadPerQuery,
+    /// Fixed pool with static contiguous partitioning
+    /// (paper strategy 2 / rung 6).
+    FixedPool {
+        /// Number of pool threads.
+        threads: usize,
+    },
+    /// Fixed pool pulling from a shared queue (dynamic balancing).
+    WorkQueue {
+        /// Number of pool threads.
+        threads: usize,
+    },
+    /// Master-managed adaptive pool (paper strategy 3).
+    Adaptive {
+        /// Upper bound on worker threads.
+        max_threads: usize,
+    },
+}
+
+impl Strategy {
+    /// Short stable name for reports.
+    pub fn name(self) -> String {
+        match self {
+            Strategy::Sequential => "sequential".into(),
+            Strategy::ThreadPerQuery => "thread-per-query".into(),
+            Strategy::FixedPool { threads } => format!("fixed-pool({threads})"),
+            Strategy::WorkQueue { threads } => format!("work-queue({threads})"),
+            Strategy::Adaptive { max_threads } => format!("adaptive(<={max_threads})"),
+        }
+    }
+}
+
+/// Executes `work(0..n)` under `strategy`, returning results in job order.
+/// # Examples
+///
+/// ```
+/// use simsearch_parallel::{run_queries, Strategy};
+///
+/// let squares = run_queries(Strategy::FixedPool { threads: 4 }, 10, |i| i * i);
+/// assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+/// ```
+pub fn run_queries<T, F>(strategy: Strategy, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match strategy {
+        Strategy::Sequential => (0..n).map(work).collect(),
+        Strategy::ThreadPerQuery => run_thread_per_query(n, work),
+        Strategy::FixedPool { threads } => run_fixed_pool(threads, n, work),
+        Strategy::WorkQueue { threads } => run_work_queue(threads, n, work),
+        Strategy::Adaptive { max_threads } => run_adaptive(max_threads, n, work),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Strategy; 5] = [
+        Strategy::Sequential,
+        Strategy::ThreadPerQuery,
+        Strategy::FixedPool { threads: 4 },
+        Strategy::WorkQueue { threads: 4 },
+        Strategy::Adaptive { max_threads: 4 },
+    ];
+
+    #[test]
+    fn every_strategy_returns_identical_results() {
+        let expected: Vec<usize> = (0..150).map(|i| i * i).collect();
+        for s in ALL {
+            assert_eq!(run_queries(s, 150, |i| i * i), expected, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn zero_jobs_for_every_strategy() {
+        for s in ALL {
+            let out: Vec<u8> = run_queries(s, 0, |_| 0);
+            assert!(out.is_empty(), "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Strategy 1 (paper §3.6, rung 5): one thread per query.
+//!
+//! The paper implements this deliberately naive strategy and measures it
+//! to be *slower* than the single-threaded rung 4 — thread creation and
+//! teardown dominate short queries. It is kept as a runnable rung so
+//! Tables III/VII reproduce that regression.
+
+/// Executes `work(0..n)` with one freshly spawned thread per job,
+/// returning results in job order.
+pub fn run_thread_per_query<T, F>(n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let work = &work;
+    std::thread::scope(|scope| {
+        // Spawn in batches to bound simultaneous threads: the paper notes
+        // that opening "as many threads as possible" at once exhausts
+        // resources; per-query threads are still created and destroyed
+        // for every single job.
+        const BATCH: usize = 256;
+        let mut results = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + BATCH).min(n);
+            let handles: Vec<_> = (start..end)
+                .map(|i| scope.spawn(move || work(i)))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("query thread panicked"));
+            }
+            start = end;
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = run_thread_per_query(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_thread_per_query(300, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 300);
+        assert_eq!(out.len(), 300);
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let out: Vec<u32> = run_thread_per_query(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests: every executor strategy is a deterministic,
+//! order-preserving map over the job indices — the invariant the paper's
+//! correctness methodology silently relies on when it parallelizes.
+
+use proptest::prelude::*;
+use simsearch_parallel::{run_adaptive_with_report, run_queries, Strategy};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Sequential,
+        Strategy::ThreadPerQuery,
+        Strategy::FixedPool { threads: 2 },
+        Strategy::FixedPool { threads: 5 },
+        Strategy::WorkQueue { threads: 3 },
+        Strategy::Adaptive { max_threads: 3 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn results_are_in_job_order(n in 0usize..80, salt in any::<u64>()) {
+        let expected: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(salt)).collect();
+        for s in strategies() {
+            let got = run_queries(s, n, |i| (i as u64).wrapping_mul(salt));
+            prop_assert_eq!(&got, &expected, "strategy {}", s.name());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once(n in 0usize..60) {
+        for s in strategies() {
+            let counter = AtomicUsize::new(0);
+            let per_job: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_queries(s, n, |i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                per_job[i].fetch_add(1, Ordering::Relaxed);
+            });
+            prop_assert_eq!(counter.load(Ordering::Relaxed), n, "strategy {}", s.name());
+            for (i, c) in per_job.iter().enumerate() {
+                prop_assert_eq!(c.load(Ordering::Relaxed), 1, "job {} under {}", i, s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_respects_worker_cap(n in 1usize..40, cap in 1usize..5) {
+        let (out, report) = run_adaptive_with_report(cap, n, |i| i);
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+        prop_assert!(report.max_active <= cap, "{report:?}");
+    }
+}

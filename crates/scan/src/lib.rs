@@ -1,0 +1,26 @@
+//! # simsearch-scan
+//!
+//! The paper's sequential-scan side (§3): the six-rung optimization
+//! ladder that turns a naive full-matrix scan into the solution that
+//! beats the index on short strings.
+//!
+//! * [`variant::SeqVariant`] — the rungs, labelled as in Tables III/VII;
+//! * [`scanner::SequentialScan`] — one engine executing any rung, plus
+//!   kernel/executor combinations beyond the paper for ablations.
+//!
+//! Every rung returns normalized [`simsearch_data::MatchSet`]s, and the
+//! crate's tests assert all rungs agree with each other and with brute
+//! force — the paper's own correctness methodology (§3.7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod scanner;
+pub mod substring;
+pub mod variant;
+
+pub use measure::{measure_scan, Measure};
+pub use scanner::SequentialScan;
+pub use substring::{substring_scan, substring_scan_myers, SubstringHit};
+pub use variant::SeqVariant;

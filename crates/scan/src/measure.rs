@@ -1,0 +1,115 @@
+//! Alternative similarity measures under the sequential scan.
+//!
+//! PETER — the related-work system the paper's index design follows —
+//! supports the Hamming distance alongside the edit distance (§2.3);
+//! the OSA Damerau–Levenshtein distance covers the adjacent-transposition
+//! typo class of the paper's motivating application. Both reuse the flat
+//! scan machinery, so the measure is one more configuration axis.
+
+use simsearch_data::{Dataset, Match, MatchSet};
+use simsearch_distance::damerau::damerau_osa_within;
+use simsearch_distance::ed_within_early_abort_with;
+use simsearch_distance::hamming::hamming_within;
+
+/// The similarity measure of a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Measure {
+    /// Unweighted Levenshtein distance (the paper's measure).
+    #[default]
+    Levenshtein,
+    /// Hamming distance: substitutions only, equal lengths (PETER's
+    /// second measure).
+    Hamming,
+    /// OSA Damerau–Levenshtein: Levenshtein plus adjacent
+    /// transpositions.
+    DamerauOsa,
+}
+
+impl Measure {
+    /// Stable short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Measure::Levenshtein => "levenshtein",
+            Measure::Hamming => "hamming",
+            Measure::DamerauOsa => "damerau-osa",
+        }
+    }
+}
+
+/// Scans `dataset` for all records within `k` of `query` under the given
+/// measure.
+pub fn measure_scan(dataset: &Dataset, query: &[u8], k: u32, measure: Measure) -> MatchSet {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (id, record) in dataset.iter() {
+        let d = match measure {
+            Measure::Levenshtein => {
+                if record.len().abs_diff(query.len()) > k as usize {
+                    None
+                } else {
+                    ed_within_early_abort_with(&mut rows, query, record, k)
+                }
+            }
+            Measure::Hamming => hamming_within(query, record, k),
+            Measure::DamerauOsa => damerau_osa_within(query, record, k),
+        };
+        if let Some(d) = d {
+            out.push(Match::new(id, d));
+        }
+    }
+    MatchSet::from_unsorted(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_records(["Berlin", "Barlin", "Berlni", "Bern", "nilreB"])
+    }
+
+    #[test]
+    fn hamming_requires_equal_lengths() {
+        let ds = sample();
+        let res = measure_scan(&ds, b"Berlin", 2, Measure::Hamming);
+        // "Bern" has different length -> excluded under Hamming.
+        assert!(res.contains(0)); // Berlin itself, d = 0
+        assert!(res.contains(1)); // Barlin, 1 substitution
+        assert!(res.contains(2)); // Berlni, 2 substitutions
+        assert!(!res.contains(3)); // Bern
+        assert!(!res.contains(4)); // nilreB: 6 substitutions? no, > 2
+    }
+
+    #[test]
+    fn damerau_catches_transpositions_cheaper() {
+        let ds = sample();
+        let lev = measure_scan(&ds, b"Berlin", 1, Measure::Levenshtein);
+        let dam = measure_scan(&ds, b"Berlin", 1, Measure::DamerauOsa);
+        // "Berlni" is a transposition: distance 2 under Levenshtein but
+        // 1 under Damerau.
+        assert!(!lev.contains(2));
+        assert!(dam.contains(2));
+        // Damerau never misses a Levenshtein match.
+        for m in lev.iter() {
+            assert!(dam.contains(m.id));
+        }
+    }
+
+    #[test]
+    fn levenshtein_measure_matches_the_regular_scan() {
+        let ds = sample();
+        for k in 0..4 {
+            let via_measure = measure_scan(&ds, b"Bern", k, Measure::Levenshtein);
+            let via_scanner = crate::SequentialScan::new(&ds)
+                .search_one(crate::SeqVariant::V4Flat, b"Bern", k);
+            assert_eq!(via_measure, via_scanner);
+        }
+    }
+
+    #[test]
+    fn measure_names() {
+        assert_eq!(Measure::Levenshtein.name(), "levenshtein");
+        assert_eq!(Measure::Hamming.name(), "hamming");
+        assert_eq!(Measure::DamerauOsa.name(), "damerau-osa");
+    }
+}

@@ -1,0 +1,269 @@
+//! The sequential scanner: one type, every rung of the ladder.
+//!
+//! [`SequentialScan`] borrows a dataset and can execute a workload under
+//! any [`SeqVariant`] — each rung implemented exactly as the paper
+//! describes it, including the deliberately wasteful aspects of the early
+//! rungs (fresh allocations, value-semantics copies), so that the
+//! rung-over-rung speedups of Tables III/VII are reproducible.
+
+use crate::variant::SeqVariant;
+use simsearch_data::{Dataset, Match, MatchSet, Workload};
+use simsearch_distance::{
+    ed_within_banded_with, ed_within_early_abort, ed_within_early_abort_with,
+    levenshtein_naive_alloc, BoundedKernel, KernelKind,
+};
+use simsearch_parallel::{run_queries, Strategy};
+
+/// A sequential-scan engine over one dataset.
+pub struct SequentialScan<'a> {
+    dataset: &'a Dataset,
+    /// Owned per-record copies, as the paper's base implementation holds
+    /// (a container of string objects). Used by rungs V1–V3.
+    owned: Vec<Vec<u8>>,
+}
+
+impl<'a> SequentialScan<'a> {
+    /// Prepares a scanner (materializes the owned-record container the
+    /// early rungs operate on).
+    pub fn new(dataset: &'a Dataset) -> Self {
+        Self {
+            dataset,
+            owned: dataset.to_owned_records(),
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// Answers one query under the given rung.
+    pub fn search_one(&self, variant: SeqVariant, query: &[u8], k: u32) -> MatchSet {
+        match variant {
+            SeqVariant::V1Base => self.v1_base(query, k),
+            SeqVariant::V2FastEd => self.v2_fast_ed(query, k),
+            SeqVariant::V3Borrowed => self.v3_borrowed(query, k),
+            // Rungs 4–6 share the flat kernel; 5 and 6 differ only in how
+            // whole workloads are scheduled.
+            SeqVariant::V4Flat | SeqVariant::V5ThreadPerQuery | SeqVariant::V6Pool { .. } => {
+                self.flat_search(query, k)
+            }
+        }
+    }
+
+    /// Executes a workload under the given rung, one result set per query.
+    pub fn run(&self, variant: SeqVariant, workload: &Workload) -> Vec<MatchSet> {
+        let strategy = match variant {
+            SeqVariant::V5ThreadPerQuery => Strategy::ThreadPerQuery,
+            SeqVariant::V6Pool { threads } => Strategy::FixedPool { threads },
+            _ => Strategy::Sequential,
+        };
+        run_queries(strategy, workload.len(), |i| {
+            let q = &workload.queries[i];
+            self.search_one(variant, &q.text, q.threshold)
+        })
+    }
+
+    /// Extension beyond the paper's ladder: executes a workload with an
+    /// arbitrary kernel/executor combination (used by the ablation
+    /// benchmarks).
+    pub fn run_with(
+        &self,
+        kernel: KernelKind,
+        strategy: Strategy,
+        workload: &Workload,
+    ) -> Vec<MatchSet> {
+        run_queries(strategy, workload.len(), |i| {
+            let q = &workload.queries[i];
+            self.kernel_search(kernel, &q.text, q.threshold)
+        })
+    }
+
+    /// Rung 1: owned copies of query and candidate per comparison, naive
+    /// full matrix with fresh nested allocations, no filters.
+    fn v1_base(&self, query: &[u8], k: u32) -> MatchSet {
+        let mut out = Vec::new();
+        for (id, record) in self.owned.iter().enumerate() {
+            // Value semantics: both operands are copied for the call,
+            // exactly what passing `std::string` by value does in C++.
+            let q: Vec<u8> = query.to_vec();
+            let c: Vec<u8> = record.clone();
+            let d = levenshtein_naive_alloc(&q, &c);
+            if d <= k {
+                out.push(Match::new(id as u32, d));
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+
+    /// Rung 2: rung 1 plus the §3.2 improvements — length filter and
+    /// decisive-diagonal abort. Copies and per-call buffers remain.
+    fn v2_fast_ed(&self, query: &[u8], k: u32) -> MatchSet {
+        let mut out = Vec::new();
+        for (id, record) in self.owned.iter().enumerate() {
+            let q: Vec<u8> = query.to_vec();
+            let c: Vec<u8> = record.clone();
+            if let Some(d) = ed_within_early_abort(&q, &c, k) {
+                out.push(Match::new(id as u32, d));
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+
+    /// Rung 3: reference semantics — no copies; the DP buffer is still
+    /// allocated per comparison (that falls in rung 4's remit).
+    fn v3_borrowed(&self, query: &[u8], k: u32) -> MatchSet {
+        let mut out = Vec::new();
+        for (id, record) in self.owned.iter().enumerate() {
+            if let Some(d) = ed_within_early_abort(query, record, k) {
+                out.push(Match::new(id as u32, d));
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+
+    /// Rungs 4–6 kernel: flat arena traversal, one reusable row buffer,
+    /// length check from the offsets table before touching record bytes.
+    fn flat_search(&self, query: &[u8], k: u32) -> MatchSet {
+        let mut rows = Vec::new();
+        let mut out = Vec::new();
+        let n = self.dataset.len() as u32;
+        for id in 0..n {
+            if self.dataset.record_len(id).abs_diff(query.len()) > k as usize {
+                continue;
+            }
+            if let Some(d) =
+                ed_within_early_abort_with(&mut rows, query, self.dataset.get(id), k)
+            {
+                out.push(Match::new(id, d));
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+
+    /// Flat scan with a selectable kernel (ablation extension).
+    fn kernel_search(&self, kernel: KernelKind, query: &[u8], k: u32) -> MatchSet {
+        let mut out = Vec::new();
+        let n = self.dataset.len() as u32;
+        match kernel {
+            KernelKind::EarlyAbort => return self.flat_search(query, k),
+            KernelKind::Banded => {
+                let mut rows = Vec::new();
+                for id in 0..n {
+                    if self.dataset.record_len(id).abs_diff(query.len()) > k as usize {
+                        continue;
+                    }
+                    if let Some(d) =
+                        ed_within_banded_with(&mut rows, query, self.dataset.get(id), k)
+                    {
+                        out.push(Match::new(id, d));
+                    }
+                }
+            }
+            KernelKind::Myers => {
+                let mut kernel = BoundedKernel::compile(KernelKind::Myers, query, k);
+                for id in 0..n {
+                    if self.dataset.record_len(id).abs_diff(query.len()) > k as usize {
+                        continue;
+                    }
+                    if let Some(d) = kernel.within(self.dataset.get(id)) {
+                        out.push(Match::new(id, d));
+                    }
+                }
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_data::workload::QueryRecord;
+    use simsearch_distance::levenshtein;
+
+    fn dataset() -> Dataset {
+        Dataset::from_records([
+            "Berlin", "Bern", "Bonn", "Ulm", "Bärlin", "Berlingen", "B", "", "Ber", "Ulmen",
+        ])
+    }
+
+    fn brute_force(ds: &Dataset, q: &[u8], k: u32) -> MatchSet {
+        ds.iter()
+            .filter_map(|(id, r)| {
+                let d = levenshtein(q, r);
+                (d <= k).then_some(Match::new(id, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_rung_returns_identical_results() {
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        for q in ["Berlin", "Bern", "Urm", "", "Xyz"] {
+            for k in 0..4 {
+                let expected = brute_force(&ds, q.as_bytes(), k);
+                for v in SeqVariant::ladder(4) {
+                    assert_eq!(
+                        scan.search_one(v, q.as_bytes(), k),
+                        expected,
+                        "variant {v:?} q={q} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_executes_whole_workloads_identically_across_rungs() {
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("Bern", 0),
+                QueryRecord::new("zzz", 3),
+            ],
+        };
+        let baseline = scan.run(SeqVariant::V1Base, &workload);
+        for v in SeqVariant::ladder(4).into_iter().skip(1) {
+            assert_eq!(scan.run(v, &workload), baseline, "variant {v:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_extensions_agree_with_the_ladder() {
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        let workload = Workload {
+            queries: vec![QueryRecord::new("Berlin", 2), QueryRecord::new("", 1)],
+        };
+        let baseline = scan.run(SeqVariant::V4Flat, &workload);
+        for kernel in KernelKind::ALL {
+            for strategy in [
+                Strategy::Sequential,
+                Strategy::FixedPool { threads: 2 },
+                Strategy::WorkQueue { threads: 2 },
+            ] {
+                assert_eq!(
+                    scan.run_with(kernel, strategy, &workload),
+                    baseline,
+                    "kernel {} strategy {}",
+                    kernel.name(),
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_and_empty_workload() {
+        let ds = Dataset::new();
+        let scan = SequentialScan::new(&ds);
+        assert!(scan.search_one(SeqVariant::V4Flat, b"x", 2).is_empty());
+        let empty = Workload::default();
+        assert!(scan.run(SeqVariant::V6Pool { threads: 4 }, &empty).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Approximate substring scan: find the records *containing* an
+//! approximate occurrence of a pattern — read-mapping style search over
+//! the DNA workload (the whole-string search's semi-global sibling).
+
+use simsearch_data::{Dataset, RecordId};
+use simsearch_distance::semi_global::{substring_distance, substring_distance_myers, SubstringMatch};
+
+/// One record containing an approximate occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstringHit {
+    /// The containing record.
+    pub id: RecordId,
+    /// The best occurrence within it.
+    pub best: SubstringMatch,
+}
+
+/// Scans `dataset` for records containing `pattern` within edit distance
+/// `k`, using the Sellers DP kernel. Results are ascending by record id.
+pub fn substring_scan(dataset: &Dataset, pattern: &[u8], k: u32) -> Vec<SubstringHit> {
+    scan_with(dataset, pattern, k, substring_distance)
+}
+
+/// Like [`substring_scan`] with the bit-parallel kernel (patterns of at
+/// most 64 bytes run in O(1) words per text byte).
+pub fn substring_scan_myers(dataset: &Dataset, pattern: &[u8], k: u32) -> Vec<SubstringHit> {
+    scan_with(dataset, pattern, k, substring_distance_myers)
+}
+
+fn scan_with(
+    dataset: &Dataset,
+    pattern: &[u8],
+    k: u32,
+    kernel: fn(&[u8], &[u8]) -> SubstringMatch,
+) -> Vec<SubstringHit> {
+    let mut out = Vec::new();
+    for (id, record) in dataset.iter() {
+        // A record shorter than |pattern| − k cannot host a within-k
+        // occurrence (at least |pattern| − k pattern symbols must align).
+        if record.len() + (k as usize) < pattern.len() {
+            continue;
+        }
+        let best = kernel(pattern, record);
+        if best.distance <= k {
+            out.push(SubstringHit { id, best });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads() -> Dataset {
+        Dataset::from_records([
+            "TTTTGATTACATTTT",  // exact occurrence
+            "TTTTGATCACATTTT",  // one substitution
+            "CCCCCCCCCCCCCCC",  // no occurrence
+            "GATTACA",          // the read *is* the pattern
+            "GAT",              // too short
+        ])
+    }
+
+    #[test]
+    fn finds_containing_records() {
+        let hits = substring_scan(&reads(), b"GATTACA", 0);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 3]);
+        assert_eq!(hits[0].best.distance, 0);
+        assert_eq!(hits[0].best.end, 11);
+    }
+
+    #[test]
+    fn threshold_loosens_the_match() {
+        let hits = substring_scan(&reads(), b"GATTACA", 1);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn myers_kernel_agrees() {
+        let ds = reads();
+        for k in 0..4 {
+            assert_eq!(
+                substring_scan(&ds, b"GATTACA", k),
+                substring_scan_myers(&ds, b"GATTACA", k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_record_filter_is_sound() {
+        // "GAT" (len 3) can host "GATTA" (len 5) only at distance ≥ 2.
+        let ds = reads();
+        let hits = substring_scan(&ds, b"GATTA", 2);
+        assert!(hits.iter().any(|h| h.id == 4));
+        let hits = substring_scan(&ds, b"GATTA", 1);
+        assert!(!hits.iter().any(|h| h.id == 4));
+    }
+}

@@ -1,0 +1,82 @@
+//! Typo-tolerant place-name lookup — the natural-language workload the
+//! paper's introduction motivates ("the user could make typing errors").
+//!
+//! Builds a synthetic gazetteer, fires misspelled lookups at every
+//! engine family, and prints a per-engine latency summary, reproducing
+//! the paper's city-names verdict in miniature.
+//!
+//! ```sh
+//! cargo run --release --example city_typeahead
+//! ```
+
+use simsearch::core::presets;
+use simsearch::core::{
+    experiment::time, EngineKind, IdxVariant, SearchEngine, SeqVariant, Strategy,
+};
+use simsearch::data::{Workload, WorkloadSpec, CITY_THRESHOLDS};
+
+fn main() {
+    let preset = presets::city(10_000);
+    println!(
+        "gazetteer: {} unique names, alphabet of {} byte symbols",
+        preset.dataset.len(),
+        preset.alphabet.len()
+    );
+
+    // A fresh workload of 200 misspelled lookups (k cycling 0..=3).
+    let workload: Workload =
+        WorkloadSpec::new(&CITY_THRESHOLDS, 200, 7).generate(&preset.dataset, &preset.alphabet);
+
+    let engines = vec![
+        SearchEngine::build(&preset.dataset, EngineKind::Scan(SeqVariant::V4Flat)),
+        SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Scan(SeqVariant::V6Pool { threads: 8 }),
+        ),
+        SearchEngine::build(&preset.dataset, EngineKind::Index(IdxVariant::I2Compressed)),
+        SearchEngine::build(
+            &preset.dataset,
+            EngineKind::IndexModern(IdxVariant::I2Compressed),
+        ),
+        SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Qgram {
+                q: 2,
+                strategy: Strategy::Sequential,
+            },
+        ),
+    ];
+
+    let mut reference = None;
+    println!("\n{:<42} {:>12} {:>10}", "engine", "200 queries", "µs/query");
+    for engine in &engines {
+        let (results, wall) = time(|| engine.run(&workload));
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(r, &results, "engines disagree!"),
+        }
+        println!(
+            "{:<42} {:>9.3} ms {:>10.1}",
+            engine.name(),
+            wall.as_secs_f64() * 1e3,
+            wall.as_secs_f64() * 1e6 / workload.len() as f64
+        );
+    }
+
+    // Show one lookup end to end.
+    let q = &workload.queries[2];
+    let hits = engines[0].search(&q.text, q.threshold);
+    println!(
+        "\nexample lookup {:?} (k = {}): {} hits",
+        String::from_utf8_lossy(&q.text),
+        q.threshold,
+        hits.len()
+    );
+    for m in hits.iter().take(5) {
+        println!(
+            "  {:?} (distance {})",
+            String::from_utf8_lossy(preset.dataset.get(m.id)),
+            m.distance
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The EDBT/ICDT 2013 competition workflow, end to end through files:
+//! generate a data file and a query file, read them back, answer every
+//! query, and write the result lists — exactly what the paper's
+//! implementations (and the `simsearch` CLI) do.
+//!
+//! ```sh
+//! cargo run --release --example competition
+//! ```
+
+use simsearch::core::{experiment::time, EngineKind, IdxVariant, SearchEngine, SeqVariant};
+use simsearch::data::{io, Alphabet, CityGenerator, MatchSet, WorkloadSpec, CITY_THRESHOLDS};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join(format!("simsearch-competition-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let data_path = dir.join("city.data");
+    let query_path = dir.join("city.queries");
+    let result_path = dir.join("city.results");
+
+    // Organizer side: publish data and queries.
+    let dataset = CityGenerator::new(2013).generate(5_000);
+    let alphabet = Alphabet::from_corpus(dataset.records());
+    let workload = WorkloadSpec::new(&CITY_THRESHOLDS, 500, 2013).generate(&dataset, &alphabet);
+    io::write_dataset(&data_path, &dataset)?;
+    io::write_queries(&query_path, &workload)?;
+    println!("published {:?} and {:?}", data_path, query_path);
+
+    // Participant side: read the files (excluded from the measured time,
+    // as in the paper's protocol), answer, write results.
+    let dataset = io::read_dataset(&data_path)?;
+    let workload = io::read_queries(&query_path)?;
+    let scan = SearchEngine::build(&dataset, EngineKind::Scan(SeqVariant::V4Flat));
+    let index = SearchEngine::build(&dataset, EngineKind::Index(IdxVariant::I2Compressed));
+    let (scan_results, scan_time) = time(|| scan.run(&workload));
+    let (index_results, index_time) = time(|| index.run(&workload));
+    assert_eq!(scan_results, index_results, "submissions disagree!");
+    println!(
+        "{} queries: scan {:.1} ms, index {:.1} ms",
+        workload.len(),
+        scan_time.as_secs_f64() * 1e3,
+        index_time.as_secs_f64() * 1e3
+    );
+
+    let id_lists: Vec<Vec<u32>> = scan_results.iter().map(MatchSet::ids).collect();
+    io::write_results(&result_path, &id_lists)?;
+    let total: usize = scan_results.iter().map(MatchSet::len).sum();
+    println!("wrote {total} matches to {:?}", result_path);
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: the string similarity search problem in a dozen lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use simsearch::core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
+use simsearch::data::Dataset;
+use simsearch::distance::{levenshtein_full_with, DpMatrix};
+
+fn main() {
+    // A tiny gazetteer.
+    let dataset = Dataset::from_records([
+        "Berlin", "Bern", "Bonn", "Bremen", "Ulm", "Magdeburg", "Marburg", "Hamburg",
+    ]);
+
+    // The paper's two contenders: an optimized sequential scan and a
+    // compressed prefix tree.
+    let scan = SearchEngine::build(&dataset, EngineKind::Scan(SeqVariant::V4Flat));
+    let index = SearchEngine::build(&dataset, EngineKind::Index(IdxVariant::I2Compressed));
+
+    // "Berlyn" with one typo, threshold k = 1.
+    let query = b"Berlyn";
+    for engine in [&scan, &index] {
+        let matches = engine.search(query, 1);
+        println!("{}:", engine.name());
+        for m in matches.iter() {
+            println!(
+                "  {:?} at distance {}",
+                String::from_utf8_lossy(dataset.get(m.id)),
+                m.distance
+            );
+        }
+    }
+
+    // Both engines always agree — the paper's correctness methodology.
+    assert_eq!(scan.search(query, 1), index.search(query, 1));
+
+    // The DP matrix of the paper's Figure 1: ed("AGGCGT", "AGAGT") = 2.
+    let mut matrix = DpMatrix::new();
+    let d = levenshtein_full_with(&mut matrix, b"AGGCGT", b"AGAGT");
+    println!("\nFigure 1 worked example — ed(AGGCGT, AGAGT) = {d}:");
+    println!("{matrix}");
+}

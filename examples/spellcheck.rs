@@ -1,0 +1,79 @@
+//! A tiny spell checker — the "accept input errors" application from the
+//! paper's introduction, built from the library's extension features:
+//! top-k nearest-neighbour search, Damerau–OSA ranking for transposition
+//! typos, and edit-script extraction to display what went wrong.
+//!
+//! ```sh
+//! cargo run --release --example spellcheck
+//! ```
+
+use simsearch::core::{search_top_k, EngineKind, IdxVariant, SearchEngine};
+use simsearch::data::Dataset;
+use simsearch::distance::damerau::damerau_osa;
+use simsearch::distance::{edit_script, EditStep};
+use simsearch::scan::{measure_scan, Measure};
+
+const DICTIONARY: &[&str] = &[
+    "search", "similar", "similarity", "sequence", "sequential", "distance", "instance",
+    "edit", "exit", "index", "tree", "three", "free", "thread", "threat", "scan", "span",
+    "string", "spring", "strong", "parallel", "partial", "compression", "comparison",
+    "performance", "perform", "platform",
+];
+
+fn main() {
+    let dict = Dataset::from_records(DICTIONARY);
+    let engine = SearchEngine::build(&dict, EngineKind::Index(IdxVariant::I2Compressed));
+
+    let typos = ["serach", "similarty", "thrad", "indx", "comprision", "sequentail"];
+    for typo in typos {
+        // Candidates by Levenshtein top-k, re-ranked by Damerau-OSA so
+        // adjacent transpositions ("serach" -> "search") rank first.
+        let mut candidates = search_top_k(&engine, typo.as_bytes(), 3, 4);
+        candidates.sort_by_key(|m| {
+            (
+                damerau_osa(typo.as_bytes(), dict.get(m.id)),
+                m.distance,
+                m.id,
+            )
+        });
+        print!("{typo:>12} ->");
+        for m in &candidates {
+            print!(
+                " {}({})",
+                String::from_utf8_lossy(dict.get(m.id)),
+                damerau_osa(typo.as_bytes(), dict.get(m.id))
+            );
+        }
+        println!();
+        // Explain the best correction with its edit script.
+        if let Some(best) = candidates.first() {
+            let (steps, _) = edit_script(typo.as_bytes(), dict.get(best.id));
+            let fixes: Vec<String> = steps
+                .iter()
+                .filter(|s| !matches!(s, EditStep::Keep { .. }))
+                .map(|s| match *s {
+                    EditStep::Substitute { x_pos, symbol } => {
+                        format!("replace '{}' at {x_pos} with '{}'", typo.as_bytes()[x_pos] as char, symbol as char)
+                    }
+                    EditStep::Delete { x_pos } => {
+                        format!("drop '{}' at {x_pos}", typo.as_bytes()[x_pos] as char)
+                    }
+                    EditStep::Insert { x_pos, symbol } => {
+                        format!("insert '{}' before {x_pos}", symbol as char)
+                    }
+                    EditStep::Keep { .. } => unreachable!(),
+                })
+                .collect();
+            println!("{:>12}    fix: {}", "", fixes.join(", "));
+        }
+    }
+
+    // Hamming mode: same-length corrections only (PETER's other measure).
+    let hits = measure_scan(&dict, b"thrae", 2, Measure::Hamming);
+    println!(
+        "\nHamming(≤2) neighbours of \"thrae\": {:?}",
+        hits.iter()
+            .map(|m| String::from_utf8_lossy(dict.get(m.id)).into_owned())
+            .collect::<Vec<_>>()
+    );
+}

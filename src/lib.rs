@@ -1,0 +1,18 @@
+//! # simsearch
+//!
+//! Facade crate of the `simsearch` workspace: a Rust reproduction of
+//! *"Trying to outperform a well-known index with a sequential scan"*
+//! (Hentschel, Meyer, Rommel; EDBT/ICDT 2013).
+//!
+//! Re-exports the public API of every sub-crate. See the README for a
+//! quickstart and `DESIGN.md` for the full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use simsearch_core as core;
+pub use simsearch_data as data;
+pub use simsearch_distance as distance;
+pub use simsearch_filters as filters;
+pub use simsearch_index as index;
+pub use simsearch_parallel as parallel;
+pub use simsearch_scan as scan;

@@ -1,0 +1,90 @@
+//! The paper's worked examples and stated properties, as executable
+//! assertions.
+
+use simsearch::core::presets;
+use simsearch::data::{DatasetStats, Dataset};
+use simsearch::distance::{
+    ed_within_early_abort, levenshtein, levenshtein_full_with, DpMatrix,
+};
+
+/// §2.2 / Figure 1: the full DP matrix for "AGGCGT" vs "AGAGT".
+#[test]
+fn figure_1_matrix() {
+    let mut m = DpMatrix::new();
+    let d = levenshtein_full_with(&mut m, b"AGGCGT", b"AGAGT");
+    assert_eq!(d, 2);
+    // The paper's walkthrough: the final entry copies M[5][4] because
+    // both strings end in 'T'.
+    assert_eq!(m.get(6, 5), m.get(5, 4));
+    // Boundary conditions (eq. (2)).
+    for i in 0..=6 {
+        assert_eq!(m.get(i, 0), i as u32);
+    }
+    for j in 0..=5 {
+        assert_eq!(m.get(0, j), j as u32);
+    }
+}
+
+/// §3.2 / Figure 2: with k = 1 the decisive-diagonal abort rejects
+/// "AGGCGT" vs "AGAGT" early (the paper aborts after M[4][3]).
+#[test]
+fn figure_2_early_abort() {
+    assert_eq!(ed_within_early_abort(b"AGGCGT", b"AGAGT", 1), None);
+    assert_eq!(ed_within_early_abort(b"AGGCGT", b"AGAGT", 2), Some(2));
+    // The worked condition (8): 6 >= 5, (4 - 1) = 3, and M[4][3] = 2 > 1.
+    let mut m = DpMatrix::new();
+    levenshtein_full_with(&mut m, b"AGGCGT", b"AGAGT");
+    assert_eq!(m.get(4, 3), 2);
+}
+
+/// §4.2 / Figure 4: inserting Berlin, Bern and Ulm, compression merges
+/// single-child chains ("the sample prefix tree only includes half of
+/// the nodes").
+#[test]
+fn figure_4_compression() {
+    let ds = Dataset::from_records(["Berlin", "Bern", "Ulm"]);
+    let trie = simsearch::index::trie::build(&ds);
+    let radix = simsearch::index::radix::build(&ds);
+    assert_eq!(trie.node_count(), 11);
+    assert_eq!(radix.node_count(), 5);
+    assert!(radix.node_count() * 2 <= trie.node_count());
+}
+
+/// Table I: the synthetic datasets match the paper's stated properties
+/// (alphabet size, length bounds, threshold cycles).
+#[test]
+fn table_1_dataset_properties() {
+    let city = presets::city(5_000);
+    let stats = DatasetStats::compute(&city.dataset);
+    assert_eq!(stats.records, 5_000);
+    assert!(stats.max_len <= 64, "city names must be at most 64 bytes");
+    assert!(stats.symbols > 100, "city alphabet should be large (ca. 255)");
+    let ks: Vec<u32> = city.workload.prefix(4).iter().map(|q| q.threshold).collect();
+    assert_eq!(ks, vec![0, 1, 2, 3]);
+
+    let dna = presets::dna(1_000);
+    let stats = DatasetStats::compute(&dna.dataset);
+    assert_eq!(stats.records, 1_000);
+    assert!(stats.symbols <= 5, "DNA alphabet is A, C, G, N, T");
+    assert!((80.0..120.0).contains(&stats.mean_len), "reads are ca. 100");
+    let ks: Vec<u32> = dna.workload.prefix(4).iter().map(|q| q.threshold).collect();
+    assert_eq!(ks, vec![0, 4, 8, 16]);
+}
+
+/// §2.1: the problem definition — every returned string satisfies
+/// eq. (1), and nothing satisfying it is missed.
+#[test]
+fn problem_definition_equation_1() {
+    let ds = Dataset::from_records(["AGGCGT", "AGAGT", "AGGT", "TTTT"]);
+    let engine = simsearch::core::SearchEngine::build(
+        &ds,
+        simsearch::core::EngineKind::Scan(simsearch::core::SeqVariant::V4Flat),
+    );
+    for k in 0..5 {
+        let result = engine.search(b"AGGCGT", k);
+        for (id, record) in ds.iter() {
+            let within = levenshtein(b"AGGCGT", record) <= k;
+            assert_eq!(result.contains(id), within, "id={id} k={k}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end pipeline integration: generate → serialize → parse →
+//! search → serialize results, with determinism checks at every stage.
+
+use simsearch::core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
+use simsearch::data::{io, Alphabet, CityGenerator, DnaGenerator, MatchSet, WorkloadSpec};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("simsearch-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn full_city_pipeline_round_trips() {
+    let dataset = CityGenerator::new(77).generate(800);
+    let alphabet = Alphabet::from_corpus(dataset.records());
+    let workload = WorkloadSpec::new(&[0, 1, 2, 3], 60, 77).generate(&dataset, &alphabet);
+
+    // Serialize and re-read both files.
+    let dpath = tmp("pipeline.data");
+    let qpath = tmp("pipeline.queries");
+    io::write_dataset(&dpath, &dataset).unwrap();
+    io::write_queries(&qpath, &workload).unwrap();
+    let dataset2 = io::read_dataset(&dpath).unwrap();
+    let workload2 = io::read_queries(&qpath).unwrap();
+    assert_eq!(dataset.len(), dataset2.len());
+    assert!(dataset.iter().zip(dataset2.iter()).all(|(a, b)| a == b));
+    assert_eq!(workload, workload2);
+
+    // Search on the re-read data must equal search on the original.
+    let e1 = SearchEngine::build(&dataset, EngineKind::Scan(SeqVariant::V4Flat));
+    let e2 = SearchEngine::build(&dataset2, EngineKind::Index(IdxVariant::I2Compressed));
+    assert_eq!(e1.run(&workload), e2.run(&workload2));
+
+    // Results serialize in the competition format.
+    let results = e1.run(&workload);
+    let rpath = tmp("pipeline.results");
+    let id_lists: Vec<Vec<u32>> = results.iter().map(MatchSet::ids).collect();
+    io::write_results(&rpath, &id_lists).unwrap();
+    let text = std::fs::read_to_string(&rpath).unwrap();
+    assert_eq!(text.lines().count(), workload.len());
+
+    for p in [dpath, qpath, rpath] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
+fn dna_generation_is_stable_across_runs() {
+    // The same seed must produce byte-identical reads and workloads —
+    // the property every measurement in EXPERIMENTS.md relies on.
+    let a = DnaGenerator::new(123).genome_len(20_000).generate(300);
+    let b = DnaGenerator::new(123).genome_len(20_000).generate(300);
+    assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    let alpha = Alphabet::from_corpus(a.records());
+    let wa = WorkloadSpec::new(&[0, 4, 8, 16], 50, 9).generate(&a, &alpha);
+    let wb = WorkloadSpec::new(&[0, 4, 8, 16], 50, 9).generate(&b, &alpha);
+    assert_eq!(wa, wb);
+}
+
+#[test]
+fn search_results_are_deterministic_across_engines_and_runs() {
+    let dataset = DnaGenerator::new(5).genome_len(15_000).generate(200);
+    let alphabet = Alphabet::from_corpus(dataset.records());
+    let workload = WorkloadSpec::new(&[0, 4, 8, 16], 20, 5).generate(&dataset, &alphabet);
+    let engine = SearchEngine::build(&dataset, EngineKind::Index(IdxVariant::I1BaseTrie));
+    let r1 = engine.run(&workload);
+    let r2 = engine.run(&workload);
+    assert_eq!(r1, r2);
+    // Parallel executions produce the same ordered output.
+    let pooled = SearchEngine::build(
+        &dataset,
+        EngineKind::Index(IdxVariant::I3Pool { threads: 4 }),
+    );
+    assert_eq!(pooled.run(&workload), r1);
+}
