@@ -1,0 +1,15 @@
+#!/bin/sh
+# Offline CI gate: the workspace has zero external dependencies, so
+# everything here runs with --offline and must pass on a machine with no
+# registry access.
+set -eux
+
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+# Bench binaries run in single-iteration smoke mode under `cargo test`
+# (no --bench flag), keeping every bench code path compile- and
+# run-checked without measuring.
+cargo test -q --offline --benches -p simsearch-bench
+cargo clippy --offline --workspace --all-targets -- -D warnings

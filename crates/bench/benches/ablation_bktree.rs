@@ -3,14 +3,14 @@
 //! contenders (BK-trees degrade towards a scan as k grows relative to
 //! string length).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant, Strategy};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().city();
-    let workload = preset.workload.prefix(40);
+    let workload = preset.workload.prefix(h.queries(40));
     let engines = [
         ("flat_scan", EngineKind::Scan(SeqVariant::V4Flat)),
         (
@@ -24,22 +24,10 @@ fn bench(c: &mut Criterion) {
             },
         ),
     ];
-    let mut group = c.benchmark_group("ablation_bktree_city");
+    let mut group = h.group("ablation_bktree_city");
     for (name, kind) in engines {
         let engine = SearchEngine::build(&preset.dataset, kind);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| engine.run(&workload))
-        });
+        group.bench(name, || engine.run(&workload));
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

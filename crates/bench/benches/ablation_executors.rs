@@ -4,14 +4,14 @@
 //! costs vary by orders of magnitude, which is exactly the imbalance the
 //! paper's §3.6 worries about.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, KernelKind, SearchEngine, Strategy};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().dna();
-    let workload = preset.workload.prefix(24);
+    let workload = preset.workload.prefix(h.queries(24));
     let strategies = [
         Strategy::Sequential,
         Strategy::ThreadPerQuery,
@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         Strategy::WorkQueue { threads: 4 },
         Strategy::Adaptive { max_threads: 4 },
     ];
-    let mut group = c.benchmark_group("ablation_executors_dna");
+    let mut group = h.group("ablation_executors_dna");
     for strategy in strategies {
         let engine = SearchEngine::build(
             &preset.dataset,
@@ -28,21 +28,7 @@ fn bench(c: &mut Criterion) {
                 strategy,
             },
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            &strategy,
-            |b, _| b.iter(|| engine.run(&workload)),
-        );
+        group.bench(&strategy.name(), || engine.run(&workload));
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,31 +3,28 @@
 //! the plain compressed index, the frequency-annotated index, and the
 //! inverted q-gram index.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine, Strategy};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let scale = Scale::bench();
-    for (name, preset, queries) in [
-        ("city", scale.city(), 50),
-        ("dna", scale.dna(), 20),
-    ] {
-        let workload = preset.workload.prefix(queries);
-        let mut group = c.benchmark_group(format!("ablation_filters_{name}"));
+    for (name, preset, queries) in [("city", scale.city(), 50), ("dna", scale.dna(), 20)] {
+        let workload = preset.workload.prefix(h.queries(queries));
+        let mut group = h.group(&format!("ablation_filters_{name}"));
         let plain = SearchEngine::build(
             &preset.dataset,
             EngineKind::IndexModern(IdxVariant::I2Compressed),
         );
-        group.bench_function("radix_plain", |b| b.iter(|| plain.run(&workload)));
+        group.bench("radix_plain", || plain.run(&workload));
         let freq = SearchEngine::build(
             &preset.dataset,
             EngineKind::RadixFreq {
                 strategy: Strategy::Sequential,
             },
         );
-        group.bench_function("radix_freq_vectors", |b| b.iter(|| freq.run(&workload)));
+        group.bench("radix_freq_vectors", || freq.run(&workload));
         let qgram = SearchEngine::build(
             &preset.dataset,
             EngineKind::Qgram {
@@ -35,24 +32,14 @@ fn bench(c: &mut Criterion) {
                 strategy: Strategy::Sequential,
             },
         );
-        group.bench_function("qgram_index", |b| b.iter(|| qgram.run(&workload)));
+        group.bench("qgram_index", || qgram.run(&workload));
         let suffix = SearchEngine::build(
             &preset.dataset,
             EngineKind::Suffix {
                 strategy: Strategy::Sequential,
             },
         );
-        group.bench_function("suffix_array", |b| b.iter(|| suffix.run(&workload)));
+        group.bench("suffix_array", || suffix.run(&workload));
         group.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,27 +2,19 @@
 //! sorted, index probe — on the city-names profile (the venue's join
 //! competition track).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_core::join::{index_join, nested_loop_join, sorted_join};
 use simsearch_core::presets;
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
-    let preset = presets::city(1_500);
+fn main() {
+    let h = Harness::new();
+    // Smoke mode joins a smaller corpus; the join is quadratic-ish.
+    let records = if h.measuring() { 1_500 } else { 300 };
+    let preset = presets::city(records);
     let ds = &preset.dataset;
-    let mut group = c.benchmark_group("ablation_join_city_k1");
-    group.bench_function("nested_loop", |b| b.iter(|| nested_loop_join(ds, 1)));
-    group.bench_function("length_sorted", |b| b.iter(|| sorted_join(ds, 1)));
-    group.bench_function("index_probe", |b| b.iter(|| index_join(ds, 1)));
+    let mut group = h.group("ablation_join_city_k1");
+    group.bench("nested_loop", || nested_loop_join(ds, 1));
+    group.bench("length_sorted", || sorted_join(ds, 1));
+    group.bench("index_probe", || index_join(ds, 1));
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,19 +2,16 @@
 //! rung-2 early-abort kernel vs the banded (Ukkonen) and bit-parallel
 //! (Myers) extensions, on both workload profiles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, KernelKind, SearchEngine, Strategy};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let scale = Scale::bench();
-    for (name, preset, queries) in [
-        ("city", scale.city(), 50),
-        ("dna", scale.dna(), 20),
-    ] {
-        let workload = preset.workload.prefix(queries);
-        let mut group = c.benchmark_group(format!("ablation_kernels_{name}"));
+    for (name, preset, queries) in [("city", scale.city(), 50), ("dna", scale.dna(), 20)] {
+        let workload = preset.workload.prefix(h.queries(queries));
+        let mut group = h.group(&format!("ablation_kernels_{name}"));
         for kernel in KernelKind::ALL {
             let engine = SearchEngine::build(
                 &preset.dataset,
@@ -23,22 +20,8 @@ fn bench(c: &mut Criterion) {
                     strategy: Strategy::Sequential,
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kernel.name()),
-                &kernel,
-                |b, _| b.iter(|| engine.run(&workload)),
-            );
+            group.bench(kernel.name(), || engine.run(&workload));
         }
         group.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

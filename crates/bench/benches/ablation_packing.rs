@@ -3,22 +3,22 @@
 //! bounded edit distance? Compares the byte-level banded kernel against
 //! the packed-sequence kernel over the same candidate set.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_bench::Scale;
 use simsearch_data::PackedDataset;
 use simsearch_distance::packed::{ed_within_packed_with, query_codes};
 use simsearch_distance::{ed_within_banded_with, levenshtein};
+use simsearch_testkit::bench::Harness;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().dna();
     let packed = PackedDataset::pack(&preset.dataset).expect("DNA packs");
     let queries: Vec<(Vec<u8>, u32)> = preset
         .workload
         .queries
         .iter()
-        .take(5)
+        .take(h.queries(5))
         .map(|q| (q.text.clone(), q.threshold))
         .collect();
     // Cross-check once: both kernels agree on the first query.
@@ -33,10 +33,10 @@ fn bench(c: &mut Criterion) {
             assert_eq!(byte, pk, "kernel divergence on {:?}", levenshtein(q, r));
         }
     }
-    let mut group = c.benchmark_group("ablation_packing_dna");
-    group.bench_function("byte_banded", |b| {
+    let mut group = h.group("ablation_packing_dna");
+    {
         let mut rows = Vec::new();
-        b.iter(|| {
+        group.bench("byte_banded", || {
             let mut hits = 0u32;
             for (q, k) in &queries {
                 for (_, r) in preset.dataset.iter() {
@@ -46,15 +46,15 @@ fn bench(c: &mut Criterion) {
                 }
             }
             black_box(hits)
-        })
-    });
-    group.bench_function("packed_3bit_banded", |b| {
+        });
+    }
+    {
         let mut rows = Vec::new();
         let compiled: Vec<(Vec<u8>, u32)> = queries
             .iter()
             .map(|(q, k)| (query_codes(q).unwrap(), *k))
             .collect();
-        b.iter(|| {
+        group.bench("packed_3bit_banded", || {
             let mut hits = 0u32;
             for (qc, k) in &compiled {
                 for seq in packed.iter() {
@@ -64,17 +64,7 @@ fn bench(c: &mut Criterion) {
                 }
             }
             black_box(hits)
-        })
-    });
+        });
+    }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,39 +3,26 @@
 //! with banded rows. This is the knob that decides the paper's headline
 //! question (see EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let scale = Scale::bench();
-    for (name, preset, queries) in [
-        ("city", scale.city(), 30),
-        ("dna", scale.dna(), 10),
-    ] {
-        let workload = preset.workload.prefix(queries);
-        let mut group = c.benchmark_group(format!("ablation_pruning_{name}"));
+    for (name, preset, queries) in [("city", scale.city(), 30), ("dna", scale.dna(), 10)] {
+        let workload = preset.workload.prefix(h.queries(queries));
+        let mut group = h.group(&format!("ablation_pruning_{name}"));
         let paper = SearchEngine::build(
             &preset.dataset,
             EngineKind::Index(IdxVariant::I2Compressed),
         );
-        group.bench_function("paper_prune", |b| b.iter(|| paper.run(&workload)));
+        group.bench("paper_prune", || paper.run(&workload));
         let modern = SearchEngine::build(
             &preset.dataset,
             EngineKind::IndexModern(IdxVariant::I2Compressed),
         );
-        group.bench_function("modern_prune", |b| b.iter(|| modern.run(&workload)));
+        group.bench("modern_prune", || modern.run(&workload));
         group.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,48 +3,34 @@
 //! solution?"* — the scan and both index modes measured over a record
 //! sweep on city names.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_core::presets;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
-    for records in [1_000usize, 4_000, 16_000] {
+fn main() {
+    let h = Harness::new();
+    // Smoke mode keeps only the smallest sweep point to stay fast.
+    let sweep: &[usize] = if h.measuring() {
+        &[1_000, 4_000, 16_000]
+    } else {
+        &[1_000]
+    };
+    for &records in sweep {
         let preset = presets::city(records);
-        let workload = preset.workload.prefix(20);
-        let mut group = c.benchmark_group(format!("ablation_scaling_city_{records}"));
+        let workload = preset.workload.prefix(h.queries(20));
+        let mut group = h.group(&format!("ablation_scaling_city_{records}"));
         let scan = SearchEngine::build(&preset.dataset, EngineKind::Scan(SeqVariant::V4Flat));
-        group.bench_with_input(BenchmarkId::new("scan", records), &records, |b, _| {
-            b.iter(|| scan.run(&workload))
-        });
+        group.bench("scan", || scan.run(&workload));
         let paper_idx = SearchEngine::build(
             &preset.dataset,
             EngineKind::Index(IdxVariant::I2Compressed),
         );
-        group.bench_with_input(
-            BenchmarkId::new("index_paper", records),
-            &records,
-            |b, _| b.iter(|| paper_idx.run(&workload)),
-        );
+        group.bench("index_paper", || paper_idx.run(&workload));
         let modern_idx = SearchEngine::build(
             &preset.dataset,
             EngineKind::IndexModern(IdxVariant::I2Compressed),
         );
-        group.bench_with_input(
-            BenchmarkId::new("index_modern", records),
-            &records,
-            |b, _| b.iter(|| modern_idx.run(&workload)),
-        );
+        group.bench("index_modern", || modern_idx.run(&workload));
         group.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,38 +2,25 @@
 //! pre-sorting by length … reduce the execution time?"* — flat scan vs
 //! the length-bucketed layout.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, SearchEngine, SeqVariant, Strategy};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let scale = Scale::bench();
-    for (name, preset, queries) in [
-        ("city", scale.city(), 50),
-        ("dna", scale.dna(), 20),
-    ] {
-        let workload = preset.workload.prefix(queries);
-        let mut group = c.benchmark_group(format!("ablation_sorting_{name}"));
+    for (name, preset, queries) in [("city", scale.city(), 50), ("dna", scale.dna(), 20)] {
+        let workload = preset.workload.prefix(h.queries(queries));
+        let mut group = h.group(&format!("ablation_sorting_{name}"));
         let scan = SearchEngine::build(&preset.dataset, EngineKind::Scan(SeqVariant::V4Flat));
-        group.bench_function("flat_scan", |b| b.iter(|| scan.run(&workload)));
+        group.bench("flat_scan", || scan.run(&workload));
         let buckets = SearchEngine::build(
             &preset.dataset,
             EngineKind::Buckets {
                 strategy: Strategy::Sequential,
             },
         );
-        group.bench_function("length_buckets", |b| b.iter(|| buckets.run(&workload)));
+        group.bench("length_buckets", || buckets.run(&workload));
         group.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

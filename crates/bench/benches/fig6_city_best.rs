@@ -1,50 +1,36 @@
-//! Figure 6: best sequential vs best index-based solution on city names.
-//! Expected shape (paper): the optimized scan beats the paper-pruned
-//! index; the modern-pruned index is included for the flip analysis in
-//! EXPERIMENTS.md.
+//! Figure 6: best sequential scan vs. best index-based solution on the
+//! city-names dataset, at each solution's best thread count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_bench::experiments::{CITY_IDX_BEST_THREADS, CITY_SEQ_BEST_THREADS};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().city();
-    let workload = preset.workload.prefix(50);
-    let mut group = c.benchmark_group("fig6_city_best");
-    let scan = SearchEngine::build(
+    let workload = preset.workload.prefix(h.queries(50));
+    let best_scan = SearchEngine::build(
         &preset.dataset,
         EngineKind::Scan(SeqVariant::V6Pool {
             threads: CITY_SEQ_BEST_THREADS,
         }),
     );
-    group.bench_function("best_scan", |b| b.iter(|| scan.run(&workload)));
-    let paper_idx = SearchEngine::build(
+    let best_index = SearchEngine::build(
         &preset.dataset,
         EngineKind::Index(IdxVariant::I3Pool {
             threads: CITY_IDX_BEST_THREADS,
         }),
     );
-    group.bench_function("best_index_paper", |b| b.iter(|| paper_idx.run(&workload)));
-    let modern_idx = SearchEngine::build(
+    let best_index_modern = SearchEngine::build(
         &preset.dataset,
         EngineKind::IndexModern(IdxVariant::I3Pool {
             threads: CITY_IDX_BEST_THREADS,
         }),
     );
-    group.bench_function("best_index_modern", |b| {
-        b.iter(|| modern_idx.run(&workload))
-    });
+    let mut group = h.group("fig6_city_best");
+    group.bench("best_scan", || best_scan.run(&workload));
+    group.bench("best_index_paper", || best_index.run(&workload));
+    group.bench("best_index_modern", || best_index_modern.run(&workload));
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

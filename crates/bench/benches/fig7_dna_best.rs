@@ -1,50 +1,36 @@
-//! Figure 7: best sequential vs best index-based solution on DNA reads.
-//! Expected shape (paper): the index beats the optimized scan; in this
-//! reproduction that verdict holds under modern pruning — see the
-//! prune-mode analysis in EXPERIMENTS.md.
+//! Figure 7: best sequential scan vs. best index-based solution on the
+//! DNA dataset, at each solution's best thread count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simsearch_bench::experiments::{DNA_IDX_BEST_THREADS, DNA_SEQ_BEST_THREADS};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().dna();
-    let workload = preset.workload.prefix(20);
-    let mut group = c.benchmark_group("fig7_dna_best");
-    let scan = SearchEngine::build(
+    let workload = preset.workload.prefix(h.queries(30));
+    let best_scan = SearchEngine::build(
         &preset.dataset,
         EngineKind::Scan(SeqVariant::V6Pool {
             threads: DNA_SEQ_BEST_THREADS,
         }),
     );
-    group.bench_function("best_scan", |b| b.iter(|| scan.run(&workload)));
-    let paper_idx = SearchEngine::build(
+    let best_index = SearchEngine::build(
         &preset.dataset,
         EngineKind::Index(IdxVariant::I3Pool {
             threads: DNA_IDX_BEST_THREADS,
         }),
     );
-    group.bench_function("best_index_paper", |b| b.iter(|| paper_idx.run(&workload)));
-    let modern_idx = SearchEngine::build(
+    let best_index_modern = SearchEngine::build(
         &preset.dataset,
         EngineKind::IndexModern(IdxVariant::I3Pool {
             threads: DNA_IDX_BEST_THREADS,
         }),
     );
-    group.bench_function("best_index_modern", |b| {
-        b.iter(|| modern_idx.run(&workload))
-    });
+    let mut group = h.group("fig7_dna_best");
+    group.bench("best_scan", || best_scan.run(&workload));
+    group.bench("best_index_paper", || best_index.run(&workload));
+    group.bench("best_index_modern", || best_index_modern.run(&workload));
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

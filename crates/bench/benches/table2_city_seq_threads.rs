@@ -1,35 +1,21 @@
 //! Table II: management of parallelism in the sequential solution on the
 //! city-names dataset — rung 6 swept over 4/8/16/32 pool threads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, SearchEngine, SeqVariant};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().city();
-    let workload = preset.workload.prefix(50);
-    let mut group = c.benchmark_group("table2_city_seq_threads");
+    let workload = preset.workload.prefix(h.queries(50));
+    let mut group = h.group("table2_city_seq_threads");
     for threads in simsearch_bench::experiments::THREAD_SWEEP {
         let engine = SearchEngine::build(
             &preset.dataset,
             EngineKind::Scan(SeqVariant::V6Pool { threads }),
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| b.iter(|| engine.run(&workload)),
-        );
+        group.bench(&threads.to_string(), || engine.run(&workload));
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

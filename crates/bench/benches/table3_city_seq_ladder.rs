@@ -2,32 +2,18 @@
 //! Expected shape: each rung at least as fast as the previous, except
 //! rung 5 (thread-per-query), which regresses; rung 2 is the big drop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, SearchEngine, SeqVariant};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().city();
-    let workload = preset.workload.prefix(30);
-    let mut group = c.benchmark_group("table3_city_seq_ladder");
+    let workload = preset.workload.prefix(h.queries(30));
+    let mut group = h.group("table3_city_seq_ladder");
     for (i, variant) in SeqVariant::ladder(8).into_iter().enumerate() {
         let engine = SearchEngine::build(&preset.dataset, EngineKind::Scan(variant));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("rung{}", i + 1)),
-            &variant,
-            |b, _| b.iter(|| engine.run(&workload)),
-        );
+        group.bench(&format!("rung{}", i + 1), || engine.run(&workload));
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

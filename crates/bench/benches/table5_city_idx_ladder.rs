@@ -2,37 +2,23 @@
 //! compressed tree, parallel compressed tree (all with the paper's §4.1
 //! pruning), plus the modern-pruning extension for comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, IdxVariant, SearchEngine};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().city();
-    let workload = preset.workload.prefix(30);
-    let mut group = c.benchmark_group("table5_city_idx_ladder");
+    let workload = preset.workload.prefix(h.queries(30));
+    let mut group = h.group("table5_city_idx_ladder");
     for (i, variant) in IdxVariant::ladder(32).into_iter().enumerate() {
         let engine = SearchEngine::build(&preset.dataset, EngineKind::Index(variant));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("rung{}", i + 1)),
-            &variant,
-            |b, _| b.iter(|| engine.run(&workload)),
-        );
+        group.bench(&format!("rung{}", i + 1), || engine.run(&workload));
     }
     let modern = SearchEngine::build(
         &preset.dataset,
         EngineKind::IndexModern(IdxVariant::I2Compressed),
     );
-    group.bench_function("ext_modern_pruning", |b| b.iter(|| modern.run(&workload)));
+    group.bench("ext_modern_pruning", || modern.run(&workload));
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

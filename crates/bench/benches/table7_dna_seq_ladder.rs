@@ -2,46 +2,26 @@
 //! Rung 1 (naive full matrix) runs on a shorter workload prefix — the
 //! paper itself only estimates this rung ("≈ half a day").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simsearch_bench::Scale;
 use simsearch_core::{EngineKind, SearchEngine, SeqVariant};
-use std::time::Duration;
+use simsearch_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let preset = Scale::bench().dna();
-    let workload = preset.workload.prefix(20);
-    let naive_workload = preset.workload.prefix(4);
-    let mut group = c.benchmark_group("table7_dna_seq_ladder");
+    let workload = preset.workload.prefix(h.queries(20));
+    // The naive rung gets an even shorter prefix; in smoke mode a single
+    // query keeps the full-matrix scan affordable.
+    let naive_workload = preset.workload.prefix(if h.measuring() { 4 } else { 1 });
+    let mut group = h.group("table7_dna_seq_ladder");
     for (i, variant) in SeqVariant::ladder(16).into_iter().enumerate() {
         let engine = SearchEngine::build(&preset.dataset, EngineKind::Scan(variant));
-        let w = if variant == SeqVariant::V1Base {
-            &naive_workload
+        let (w, suffix) = if variant == SeqVariant::V1Base {
+            (&naive_workload, "_subsampled")
         } else {
-            &workload
+            (&workload, "")
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!(
-                "rung{}{}",
-                i + 1,
-                if variant == SeqVariant::V1Base {
-                    "_subsampled"
-                } else {
-                    ""
-                }
-            )),
-            &variant,
-            |b, _| b.iter(|| engine.run(w)),
-        );
+        group.bench(&format!("rung{}{suffix}", i + 1), || engine.run(w));
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
-    targets = bench
-}
-criterion_main!(benches);

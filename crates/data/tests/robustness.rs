@@ -1,12 +1,14 @@
 //! Robustness: the file readers must never panic on arbitrary input —
 //! they either parse or return a structured error.
 
-use proptest::prelude::*;
 use simsearch_data::io;
+use simsearch_testkit::{check, gen, prop_assert, Config};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+const SEED: u64 = 0x20B_057;
 
 fn tmp() -> PathBuf {
     std::env::temp_dir().join(format!(
@@ -16,51 +18,82 @@ fn tmp() -> PathBuf {
     ))
 }
 
-proptest! {
-    #[test]
-    fn read_dataset_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let path = tmp();
-        std::fs::write(&path, &bytes).unwrap();
-        let result = io::read_dataset(&path);
-        std::fs::remove_file(&path).unwrap();
-        // Data files have no invalid contents: every byte stream parses.
-        let ds = result.expect("data files always parse");
-        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
-        prop_assert!(ds.len() <= newlines + 1);
-    }
+#[test]
+fn read_dataset_never_panics() {
+    check(
+        "read_dataset_never_panics",
+        Config::default().seed(SEED),
+        &gen::bytes_any(0..300),
+        |bytes| {
+            let path = tmp();
+            std::fs::write(&path, bytes).unwrap();
+            let result = io::read_dataset(&path);
+            std::fs::remove_file(&path).unwrap();
+            // Data files have no invalid contents: every byte stream parses.
+            let ds = result.expect("data files always parse");
+            let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+            prop_assert!(ds.len() <= newlines + 1);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn read_queries_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let path = tmp();
-        std::fs::write(&path, &bytes).unwrap();
-        // Must not panic; Err is fine (malformed lines).
-        let _ = io::read_queries(&path);
-        std::fs::remove_file(&path).unwrap();
-    }
+#[test]
+fn read_queries_never_panics() {
+    check(
+        "read_queries_never_panics",
+        Config::default().seed(SEED),
+        &gen::bytes_any(0..300),
+        |bytes| {
+            let path = tmp();
+            std::fs::write(&path, bytes).unwrap();
+            // Must not panic; Err is fine (malformed lines).
+            let _ = io::read_queries(&path);
+            std::fs::remove_file(&path).unwrap();
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn load_radix_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
-        let path = tmp();
-        std::fs::write(&path, &bytes).unwrap();
-        let _ = simsearch_index::load_radix(&path);
-        std::fs::remove_file(&path).unwrap();
-    }
+#[test]
+fn load_radix_never_panics_on_garbage() {
+    check(
+        "load_radix_never_panics_on_garbage",
+        Config::default().seed(SEED),
+        &gen::bytes_any(0..400),
+        |bytes| {
+            let path = tmp();
+            std::fs::write(&path, bytes).unwrap();
+            let _ = simsearch_index::load_radix(&path);
+            std::fs::remove_file(&path).unwrap();
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn load_radix_never_panics_on_truncations(n_records in 1usize..6, cut in 0usize..200) {
-        // A valid file truncated at an arbitrary point must error, not panic.
-        let records: Vec<String> = (0..n_records).map(|i| format!("rec{i}")).collect();
-        let ds = simsearch_data::Dataset::from_records(&records);
-        let trie = simsearch_index::radix::build(&ds);
-        let path = tmp();
-        simsearch_index::save_radix(&path, &trie).unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-        let cut = cut.min(bytes.len());
-        std::fs::write(&path, &bytes[..cut]).unwrap();
-        let result = simsearch_index::load_radix(&path);
-        std::fs::remove_file(&path).unwrap();
-        if cut < bytes.len() {
-            prop_assert!(result.is_err(), "truncated file parsed successfully");
-        }
-    }
+#[test]
+fn load_radix_never_panics_on_truncations() {
+    check(
+        "load_radix_never_panics_on_truncations",
+        Config::default().seed(SEED),
+        &gen::zip(gen::usize_in(1..6), gen::usize_in(0..200)),
+        |(n_records, cut)| {
+            // A valid file truncated at an arbitrary point must error, not
+            // panic.
+            let records: Vec<String> = (0..*n_records).map(|i| format!("rec{i}")).collect();
+            let ds = simsearch_data::Dataset::from_records(&records);
+            let trie = simsearch_index::radix::build(&ds);
+            let path = tmp();
+            simsearch_index::save_radix(&path, &trie).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let cut = (*cut).min(bytes.len());
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let result = simsearch_index::load_radix(&path);
+            std::fs::remove_file(&path).unwrap();
+            if cut < bytes.len() {
+                prop_assert!(result.is_err(), "truncated file parsed successfully");
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for every distance kernel: agreement with the
-//! full-matrix oracle, plus the metric axioms of the edit distance.
+//! full-matrix oracle, the metric axioms of the edit distance, and the
+//! 1,000-triple cross-kernel oracle over both alphabets.
 
-use proptest::prelude::*;
 use simsearch_distance::{
     banded::ed_within_banded,
     damerau::damerau_osa,
@@ -14,209 +14,437 @@ use simsearch_distance::{
     two_row::levenshtein_two_row,
     BoundedKernel, KernelKind,
 };
+use simsearch_testkit::{
+    assert_all_kernels_agree, check, gen, prop_assert, prop_assert_eq, Config, Gen,
+};
 
 /// Short strings over a small alphabet: maximizes collision-rich cases.
-fn small_string() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(b"abAB".to_vec()), 0..12)
+fn small_string() -> Gen<Vec<u8>> {
+    gen::bytes_from(b"abAB", 0..12)
 }
 
 /// Arbitrary-byte strings of moderate length.
-fn byte_string() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..40)
+fn byte_string() -> Gen<Vec<u8>> {
+    gen::bytes_any(0..40)
 }
 
 /// DNA strings long enough to cross the 64-byte Myers block boundary.
-fn dna_string() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(b"ACGNT".to_vec()), 0..150)
+fn dna_string() -> Gen<Vec<u8>> {
+    gen::dna_string(0..150)
 }
 
-proptest! {
-    #[test]
-    fn two_row_equals_full(x in byte_string(), y in byte_string()) {
-        prop_assert_eq!(levenshtein_two_row(&x, &y), levenshtein(&x, &y));
-    }
+#[test]
+fn two_row_equals_full() {
+    check(
+        "two_row_equals_full",
+        Config::default(),
+        &gen::zip(byte_string(), byte_string()),
+        |(x, y)| {
+            prop_assert_eq!(levenshtein_two_row(x, y), levenshtein(x, y));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn naive_alloc_equals_full(x in small_string(), y in small_string()) {
-        prop_assert_eq!(levenshtein_naive_alloc(&x, &y), levenshtein(&x, &y));
-    }
+#[test]
+fn naive_alloc_equals_full() {
+    check(
+        "naive_alloc_equals_full",
+        Config::default(),
+        &gen::zip(small_string(), small_string()),
+        |(x, y)| {
+            prop_assert_eq!(levenshtein_naive_alloc(x, y), levenshtein(x, y));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn early_abort_equals_full(x in small_string(), y in small_string(), k in 0u32..6) {
-        let truth = levenshtein(&x, &y);
-        let want = (truth <= k).then_some(truth);
-        prop_assert_eq!(ed_within_early_abort(&x, &y, k), want);
-    }
+#[test]
+fn early_abort_equals_full() {
+    check(
+        "early_abort_equals_full",
+        Config::default(),
+        &gen::zip3(small_string(), small_string(), gen::u32_in(0..6)),
+        |(x, y, k)| {
+            let truth = levenshtein(x, y);
+            let want = (truth <= *k).then_some(truth);
+            prop_assert_eq!(ed_within_early_abort(x, y, *k), want);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn banded_equals_full(x in byte_string(), y in byte_string(), k in 0u32..10) {
-        let truth = levenshtein(&x, &y);
-        let want = (truth <= k).then_some(truth);
-        prop_assert_eq!(ed_within_banded(&x, &y, k), want);
-    }
+#[test]
+fn banded_equals_full() {
+    check(
+        "banded_equals_full",
+        Config::default(),
+        &gen::zip3(byte_string(), byte_string(), gen::u32_in(0..10)),
+        |(x, y, k)| {
+            let truth = levenshtein(x, y);
+            let want = (truth <= *k).then_some(truth);
+            prop_assert_eq!(ed_within_banded(x, y, *k), want);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn myers_equals_full(x in dna_string(), y in dna_string()) {
-        if let Some(m) = MyersAny::new(&x) {
-            prop_assert_eq!(m.distance(&y), levenshtein(&x, &y));
-        } else {
-            prop_assert!(x.is_empty());
-        }
-    }
-
-    #[test]
-    fn myers_within_equals_full(x in dna_string(), y in dna_string(), k in 0u32..20) {
-        if let Some(m) = MyersAny::new(&x) {
-            let truth = levenshtein(&x, &y);
-            let want = (truth <= k).then_some(truth);
-            prop_assert_eq!(m.within(&y, k), want);
-        }
-    }
-
-    #[test]
-    fn all_bounded_kernels_agree(x in small_string(), y in small_string(), k in 0u32..6) {
-        let truth = levenshtein(&x, &y);
-        let want = (truth <= k).then_some(truth);
-        for kind in KernelKind::ALL {
-            let mut kernel = BoundedKernel::compile(kind, &x, k);
-            prop_assert_eq!(kernel.within(&y), want, "kernel {}", kind.name());
-        }
-    }
-
-    #[test]
-    fn incremental_fully_pushed_equals_full(x in small_string(), y in small_string(), k in 0u32..6) {
-        let mut dp = IncrementalDp::new(&x, k);
-        for &c in &y {
-            dp.push(c);
-        }
-        let truth = levenshtein(&x, &y);
-        let want = (truth <= k).then_some(truth);
-        prop_assert_eq!(dp.distance(), want);
-    }
-
-    #[test]
-    fn incremental_prune_is_sound(x in small_string(), y in small_string(), k in 0u32..4) {
-        // If the prune fires at any prefix of y, then no extension of that
-        // prefix — in particular y itself — may be within k.
-        let mut dp = IncrementalDp::new(&x, k);
-        let mut pruned = false;
-        for &c in &y {
-            dp.push(c);
-            if !dp.can_extend() {
-                pruned = true;
-                break;
+#[test]
+fn myers_equals_full() {
+    check(
+        "myers_equals_full",
+        Config::default(),
+        &gen::zip(dna_string(), dna_string()),
+        |(x, y)| {
+            if let Some(m) = MyersAny::new(x) {
+                prop_assert_eq!(m.distance(y), levenshtein(x, y));
+            } else {
+                prop_assert!(x.is_empty());
             }
-        }
-        if pruned {
-            prop_assert!(levenshtein(&x, &y) > k);
-        }
-    }
-
-    #[test]
-    fn packed_equals_banded(x in dna_string(), y in dna_string(), k in 0u32..20) {
-        let qc = query_codes(&x).unwrap();
-        let p = simsearch_data::PackedSeq::pack(&y).unwrap();
-        let mut buf = Vec::new();
-        prop_assert_eq!(
-            ed_within_packed_with(&mut buf, &qc, &p, k),
-            ed_within_banded(&x, &y, k)
-        );
-    }
-
-    // ---- metric axioms ----
-
-    #[test]
-    fn symmetry(x in byte_string(), y in byte_string()) {
-        prop_assert_eq!(levenshtein(&x, &y), levenshtein(&y, &x));
-    }
-
-    #[test]
-    fn identity(x in byte_string()) {
-        prop_assert_eq!(levenshtein(&x, &x), 0);
-    }
-
-    #[test]
-    fn positivity(x in byte_string(), y in byte_string()) {
-        if x != y {
-            prop_assert!(levenshtein(&x, &y) > 0);
-        }
-    }
-
-    #[test]
-    fn triangle_inequality(x in small_string(), y in small_string(), z in small_string()) {
-        prop_assert!(levenshtein(&x, &z) <= levenshtein(&x, &y) + levenshtein(&y, &z));
-    }
-
-    #[test]
-    fn length_difference_is_lower_bound(x in byte_string(), y in byte_string()) {
-        prop_assert!(levenshtein(&x, &y) >= x.len().abs_diff(y.len()) as u32);
-    }
-
-    #[test]
-    fn max_length_is_upper_bound(x in byte_string(), y in byte_string()) {
-        prop_assert!(levenshtein(&x, &y) <= x.len().max(y.len()) as u32);
-    }
-
-    #[test]
-    fn hamming_upper_bounds_levenshtein(x in byte_string()) {
-        // Build an equal-length y by mutating x.
-        let y: Vec<u8> = x.iter().map(|&b| b.wrapping_add(1)).collect();
-        if let Some(h) = hamming(&x, &y) {
-            prop_assert!(levenshtein(&x, &y) <= h);
-        }
-    }
-
-    #[test]
-    fn damerau_never_exceeds_levenshtein(x in small_string(), y in small_string()) {
-        prop_assert!(damerau_osa(&x, &y) <= levenshtein(&x, &y));
-    }
-
-    #[test]
-    fn single_edit_distance_is_at_most_one(x in byte_string(), pos in any::<usize>(), b in any::<u8>()) {
-        let mut y = x.clone();
-        if y.is_empty() {
-            y.push(b);
-        } else {
-            let p = pos % y.len();
-            y[p] = b;
-        }
-        prop_assert!(levenshtein(&x, &y) <= 1);
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #[test]
-    fn edit_scripts_are_minimal_and_correct(x in byte_string(), y in byte_string()) {
-        let (steps, d) = simsearch_distance::edit_script(&x, &y);
-        prop_assert_eq!(d, levenshtein(&x, &y));
-        let cost: u32 = steps.iter().map(simsearch_distance::EditStep::cost).sum();
-        prop_assert_eq!(cost, d);
-        prop_assert_eq!(simsearch_distance::apply_script(&x, &steps), y);
-    }
+#[test]
+fn myers_within_equals_full() {
+    check(
+        "myers_within_equals_full",
+        Config::default(),
+        &gen::zip3(dna_string(), dna_string(), gen::u32_in(0..20)),
+        |(x, y, k)| {
+            if let Some(m) = MyersAny::new(x) {
+                let truth = levenshtein(x, y);
+                let want = (truth <= *k).then_some(truth);
+                prop_assert_eq!(m.within(y, *k), want);
+            }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #[test]
-    fn substring_distance_never_exceeds_global(x in dna_string(), y in dna_string()) {
-        let sub = simsearch_distance::substring_distance(&x, &y).distance;
-        prop_assert!(sub <= levenshtein(&x, &y));
-        // And never exceeds the pattern length (aligning to the empty substring).
-        prop_assert!(sub <= x.len() as u32);
-    }
+#[test]
+fn all_bounded_kernels_agree() {
+    check(
+        "all_bounded_kernels_agree",
+        Config::default(),
+        &gen::zip3(small_string(), small_string(), gen::u32_in(0..6)),
+        |(x, y, k)| {
+            let truth = levenshtein(x, y);
+            let want = (truth <= *k).then_some(truth);
+            for kind in KernelKind::ALL {
+                let mut kernel = BoundedKernel::compile(kind, x, *k);
+                prop_assert_eq!(kernel.within(y), want, "kernel {}", kind.name());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn substring_myers_agrees_with_dp(x in proptest::collection::vec(proptest::sample::select(b"ACGNT".to_vec()), 0..60), y in dna_string()) {
-        prop_assert_eq!(
-            simsearch_distance::semi_global::substring_distance_myers(&x, &y),
-            simsearch_distance::substring_distance(&x, &y)
-        );
-    }
+// ---- cross-kernel oracle (satellite 1) ----
+//
+// Every kernel in the workspace — full, two_row, banded, early_abort,
+// myers, myers_block, packed — must agree on 1,000 seeded random
+// (query, candidate, k) triples per alphabet. Bounded variants are held
+// to their ≤k contract against the full-matrix truth.
 
-    #[test]
-    fn planted_occurrence_is_found(needle in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..20), prefix in dna_string(), suffix in dna_string()) {
-        let mut text = prefix.clone();
-        text.extend_from_slice(&needle);
-        text.extend_from_slice(&suffix);
-        prop_assert_eq!(simsearch_distance::substring_distance(&needle, &text).distance, 0);
-    }
+#[test]
+fn cross_kernel_oracle_city() {
+    check(
+        "cross_kernel_oracle_city",
+        Config::cases(1_000).seed(0xC17E_0AC1),
+        &gen::zip3(
+            gen::city_string(0..40),
+            gen::city_string(0..40),
+            gen::u32_in(0..8),
+        ),
+        |(q, c, k)| assert_all_kernels_agree(q, c, *k),
+    );
+}
+
+#[test]
+fn cross_kernel_oracle_dna() {
+    // Lengths up to 150 exercise MyersBlock's multi-word path, and the
+    // DNA alphabet makes the packed 3-bit kernel participate.
+    check(
+        "cross_kernel_oracle_dna",
+        Config::cases(1_000).seed(0xD2A_0AC1),
+        &gen::zip3(dna_string(), dna_string(), gen::u32_in(0..20)),
+        |(q, c, k)| assert_all_kernels_agree(q, c, *k),
+    );
+}
+
+#[test]
+fn cross_kernel_oracle_mutated_pairs() {
+    // Near-miss pairs: the candidate is the query perturbed by at most
+    // `budget` edits, so the k decision boundary is hit constantly.
+    check(
+        "cross_kernel_oracle_mutated_pairs",
+        Config::cases(1_000).seed(0x0E17_0AC1),
+        &gen::zip(
+            gen::mutated(gen::dna_string(1..100), 0..6, gen::DNA),
+            gen::u32_in(0..6),
+        ),
+        |((q, c, _budget), k)| assert_all_kernels_agree(q, c, *k),
+    );
+}
+
+#[test]
+fn incremental_fully_pushed_equals_full() {
+    check(
+        "incremental_fully_pushed_equals_full",
+        Config::default(),
+        &gen::zip3(small_string(), small_string(), gen::u32_in(0..6)),
+        |(x, y, k)| {
+            let mut dp = IncrementalDp::new(x, *k);
+            for &c in y {
+                dp.push(c);
+            }
+            let truth = levenshtein(x, y);
+            let want = (truth <= *k).then_some(truth);
+            prop_assert_eq!(dp.distance(), want);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn incremental_prune_is_sound() {
+    check(
+        "incremental_prune_is_sound",
+        Config::default(),
+        &gen::zip3(small_string(), small_string(), gen::u32_in(0..4)),
+        |(x, y, k)| {
+            // If the prune fires at any prefix of y, then no extension of
+            // that prefix — in particular y itself — may be within k.
+            let mut dp = IncrementalDp::new(x, *k);
+            let mut pruned = false;
+            for &c in y {
+                dp.push(c);
+                if !dp.can_extend() {
+                    pruned = true;
+                    break;
+                }
+            }
+            if pruned {
+                prop_assert!(levenshtein(x, y) > *k);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn packed_equals_banded() {
+    check(
+        "packed_equals_banded",
+        Config::default(),
+        &gen::zip3(dna_string(), dna_string(), gen::u32_in(0..20)),
+        |(x, y, k)| {
+            let qc = query_codes(x).unwrap();
+            let p = simsearch_data::PackedSeq::pack(y).unwrap();
+            let mut buf = Vec::new();
+            prop_assert_eq!(
+                ed_within_packed_with(&mut buf, &qc, &p, *k),
+                ed_within_banded(x, y, *k)
+            );
+            Ok(())
+        },
+    );
+}
+
+// ---- metric axioms ----
+
+#[test]
+fn symmetry() {
+    check(
+        "symmetry",
+        Config::default(),
+        &gen::zip(byte_string(), byte_string()),
+        |(x, y)| {
+            prop_assert_eq!(levenshtein(x, y), levenshtein(y, x));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn identity() {
+    check("identity", Config::default(), &byte_string(), |x| {
+        prop_assert_eq!(levenshtein(x, x), 0);
+        Ok(())
+    });
+}
+
+#[test]
+fn positivity() {
+    check(
+        "positivity",
+        Config::default(),
+        &gen::zip(byte_string(), byte_string()),
+        |(x, y)| {
+            if x != y {
+                prop_assert!(levenshtein(x, y) > 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn triangle_inequality() {
+    check(
+        "triangle_inequality",
+        Config::default(),
+        &gen::zip3(small_string(), small_string(), small_string()),
+        |(x, y, z)| {
+            prop_assert!(levenshtein(x, z) <= levenshtein(x, y) + levenshtein(y, z));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn length_difference_is_lower_bound() {
+    check(
+        "length_difference_is_lower_bound",
+        Config::default(),
+        &gen::zip(byte_string(), byte_string()),
+        |(x, y)| {
+            prop_assert!(levenshtein(x, y) >= x.len().abs_diff(y.len()) as u32);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn max_length_is_upper_bound() {
+    check(
+        "max_length_is_upper_bound",
+        Config::default(),
+        &gen::zip(byte_string(), byte_string()),
+        |(x, y)| {
+            prop_assert!(levenshtein(x, y) <= x.len().max(y.len()) as u32);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn hamming_upper_bounds_levenshtein() {
+    check(
+        "hamming_upper_bounds_levenshtein",
+        Config::default(),
+        &byte_string(),
+        |x| {
+            // Build an equal-length y by mutating x.
+            let y: Vec<u8> = x.iter().map(|&b| b.wrapping_add(1)).collect();
+            if let Some(h) = hamming(x, &y) {
+                prop_assert!(levenshtein(x, &y) <= h);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn damerau_never_exceeds_levenshtein() {
+    check(
+        "damerau_never_exceeds_levenshtein",
+        Config::default(),
+        &gen::zip(small_string(), small_string()),
+        |(x, y)| {
+            prop_assert!(damerau_osa(x, y) <= levenshtein(x, y));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn single_edit_distance_is_at_most_one() {
+    check(
+        "single_edit_distance_is_at_most_one",
+        Config::default(),
+        &gen::zip3(byte_string(), gen::u64_any(), gen::byte_any()),
+        |(x, pos, b)| {
+            let mut y = x.clone();
+            if y.is_empty() {
+                y.push(*b);
+            } else {
+                let p = (*pos as usize) % y.len();
+                y[p] = *b;
+            }
+            prop_assert!(levenshtein(x, &y) <= 1);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn edit_scripts_are_minimal_and_correct() {
+    check(
+        "edit_scripts_are_minimal_and_correct",
+        Config::default(),
+        &gen::zip(byte_string(), byte_string()),
+        |(x, y)| {
+            let (steps, d) = simsearch_distance::edit_script(x, y);
+            prop_assert_eq!(d, levenshtein(x, y));
+            let cost: u32 = steps.iter().map(simsearch_distance::EditStep::cost).sum();
+            prop_assert_eq!(cost, d);
+            prop_assert_eq!(&simsearch_distance::apply_script(x, &steps), y);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn substring_distance_never_exceeds_global() {
+    check(
+        "substring_distance_never_exceeds_global",
+        Config::default(),
+        &gen::zip(dna_string(), dna_string()),
+        |(x, y)| {
+            let sub = simsearch_distance::substring_distance(x, y).distance;
+            prop_assert!(sub <= levenshtein(x, y));
+            // And never exceeds the pattern length (aligning to the empty
+            // substring).
+            prop_assert!(sub <= x.len() as u32);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn substring_myers_agrees_with_dp() {
+    check(
+        "substring_myers_agrees_with_dp",
+        Config::default(),
+        &gen::zip(gen::dna_string(0..60), dna_string()),
+        |(x, y)| {
+            prop_assert_eq!(
+                simsearch_distance::semi_global::substring_distance_myers(x, y),
+                simsearch_distance::substring_distance(x, y)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn planted_occurrence_is_found() {
+    check(
+        "planted_occurrence_is_found",
+        Config::default(),
+        &gen::zip3(gen::bytes_from(b"ACGT", 1..20), dna_string(), dna_string()),
+        |(needle, prefix, suffix)| {
+            let mut text = prefix.clone();
+            text.extend_from_slice(needle);
+            text.extend_from_slice(suffix);
+            prop_assert_eq!(
+                simsearch_distance::substring_distance(needle, &text).distance,
+                0
+            );
+            Ok(())
+        },
+    );
 }

@@ -1,105 +1,159 @@
 //! Property tests: no filter may ever reject a pair that is actually
 //! within the threshold (soundness); chains inherit soundness.
 
-use proptest::prelude::*;
 use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
 use simsearch_data::Dataset;
 use simsearch_distance::levenshtein;
 use simsearch_filters::{FilterChain, FrequencyFilter, LengthFilter, QgramFilter};
+use simsearch_testkit::{check, gen, prop_assert, Config, Gen};
 
-fn corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15),
-        1..12,
-    )
+const ALPHABET: &[u8] = b"ACGNTE";
+const SEED: u64 = 0xF117E25;
+
+fn corpus() -> Gen<Vec<Vec<u8>>> {
+    gen::corpus(gen::bytes_from(ALPHABET, 0..15), 1..12)
 }
 
-proptest! {
-    #[test]
-    fn length_filter_is_sound(words in corpus(), query in proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15), k in 0u32..6) {
-        let ds = Dataset::from_records(&words);
-        let f = LengthFilter::build(&ds);
-        for (id, w) in words.iter().enumerate() {
-            if levenshtein(&query, w) <= k {
-                prop_assert!(f.admits(query.len() as u32, id as u32, k));
-            }
-        }
-    }
+fn query() -> Gen<Vec<u8>> {
+    gen::bytes_from(ALPHABET, 0..15)
+}
 
-    #[test]
-    fn frequency_filter_is_sound(words in corpus(), query in proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15), k in 0u32..6) {
-        let ds = Dataset::from_records(&words);
-        for tracked in [DNA_SYMBOLS, VOWEL_SYMBOLS] {
-            let f = FrequencyFilter::build(&ds, tracked);
-            let p = simsearch_filters::DynFilter::prepare(&f, &query, k);
+#[test]
+fn length_filter_is_sound() {
+    check(
+        "length_filter_is_sound",
+        Config::default().seed(SEED),
+        &gen::zip3(corpus(), query(), gen::u32_in(0..6)),
+        |(words, query, k)| {
+            let ds = Dataset::from_records(words);
+            let f = LengthFilter::build(&ds);
             for (id, w) in words.iter().enumerate() {
-                if levenshtein(&query, w) <= k {
-                    prop_assert!(p.admits(id as u32), "tracked={tracked:?} q={query:?} w={w:?}");
+                if levenshtein(query, w) <= *k {
+                    prop_assert!(f.admits(query.len() as u32, id as u32, *k));
                 }
             }
-        }
-    }
-
-    #[test]
-    fn qgram_filter_is_sound(words in corpus(), query in proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15), k in 0u32..6, q in 1usize..5) {
-        let ds = Dataset::from_records(&words);
-        let f = QgramFilter::build(&ds, q);
-        let p = simsearch_filters::DynFilter::prepare(&f, &query, k);
-        for (id, w) in words.iter().enumerate() {
-            if levenshtein(&query, w) <= k {
-                prop_assert!(p.admits(id as u32), "q={q} query={query:?} w={w:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn full_chain_is_sound(words in corpus(), query in proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15), k in 0u32..6) {
-        let ds = Dataset::from_records(&words);
-        let chain = FilterChain::new()
-            .push(LengthFilter::build(&ds))
-            .push(FrequencyFilter::build(&ds, DNA_SYMBOLS))
-            .push(QgramFilter::build(&ds, 2));
-        let p = chain.prepare(&query, k);
-        for (id, w) in words.iter().enumerate() {
-            if levenshtein(&query, w) <= k {
-                prop_assert!(p.admits(id as u32));
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #[test]
-    fn positional_qgram_filter_is_sound(words in corpus(), query in proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15), k in 0u32..6, q in 1usize..5) {
-        use simsearch_filters::positional::{collect_positional_profile, PositionalQgramFilter};
-        let ds = Dataset::from_records(&words);
-        let f = PositionalQgramFilter::build(&ds, q);
-        let mut profile = Vec::new();
-        collect_positional_profile(&query, q, &mut profile);
-        for (id, w) in words.iter().enumerate() {
-            if levenshtein(&query, w) <= k {
-                prop_assert!(f.admits(&profile, query.len(), id as u32, k), "q={q} query={query:?} w={w:?}");
+#[test]
+fn frequency_filter_is_sound() {
+    check(
+        "frequency_filter_is_sound",
+        Config::default().seed(SEED),
+        &gen::zip3(corpus(), query(), gen::u32_in(0..6)),
+        |(words, query, k)| {
+            let ds = Dataset::from_records(words);
+            for tracked in [DNA_SYMBOLS, VOWEL_SYMBOLS] {
+                let f = FrequencyFilter::build(&ds, tracked);
+                let p = simsearch_filters::DynFilter::prepare(&f, query, *k);
+                for (id, w) in words.iter().enumerate() {
+                    if levenshtein(query, w) <= *k {
+                        prop_assert!(
+                            p.admits(id as u32),
+                            "tracked={tracked:?} q={query:?} w={w:?}"
+                        );
+                    }
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn positional_never_admits_more_than_plain(words in corpus(), query in proptest::collection::vec(proptest::sample::select(b"ACGNTE".to_vec()), 0..15), k in 0u32..5) {
-        use simsearch_filters::positional::{collect_positional_profile, PositionalQgramFilter};
-        use simsearch_filters::qgram::collect_profile;
-        let ds = Dataset::from_records(&words);
-        let plain = QgramFilter::build(&ds, 2);
-        let pos = PositionalQgramFilter::build(&ds, 2);
-        let mut pp = Vec::new();
-        collect_profile(&query, 2, &mut pp);
-        let mut qp = Vec::new();
-        collect_positional_profile(&query, 2, &mut qp);
-        for id in 0..words.len() as u32 {
-            // Positional is a strict strengthening: whenever it admits,
-            // the plain filter admits too.
-            if pos.admits(&qp, query.len(), id, k) {
-                prop_assert!(plain.admits(&pp, query.len(), id, k));
+#[test]
+fn qgram_filter_is_sound() {
+    check(
+        "qgram_filter_is_sound",
+        Config::default().seed(SEED),
+        &gen::zip4(corpus(), query(), gen::u32_in(0..6), gen::usize_in(1..5)),
+        |(words, query, k, q)| {
+            let ds = Dataset::from_records(words);
+            let f = QgramFilter::build(&ds, *q);
+            let p = simsearch_filters::DynFilter::prepare(&f, query, *k);
+            for (id, w) in words.iter().enumerate() {
+                if levenshtein(query, w) <= *k {
+                    prop_assert!(p.admits(id as u32), "q={q} query={query:?} w={w:?}");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn full_chain_is_sound() {
+    check(
+        "full_chain_is_sound",
+        Config::default().seed(SEED),
+        &gen::zip3(corpus(), query(), gen::u32_in(0..6)),
+        |(words, query, k)| {
+            let ds = Dataset::from_records(words);
+            let chain = FilterChain::new()
+                .push(LengthFilter::build(&ds))
+                .push(FrequencyFilter::build(&ds, DNA_SYMBOLS))
+                .push(QgramFilter::build(&ds, 2));
+            let p = chain.prepare(query, *k);
+            for (id, w) in words.iter().enumerate() {
+                if levenshtein(query, w) <= *k {
+                    prop_assert!(p.admits(id as u32));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn positional_qgram_filter_is_sound() {
+    use simsearch_filters::positional::{collect_positional_profile, PositionalQgramFilter};
+    check(
+        "positional_qgram_filter_is_sound",
+        Config::default().seed(SEED),
+        &gen::zip4(corpus(), query(), gen::u32_in(0..6), gen::usize_in(1..5)),
+        |(words, query, k, q)| {
+            let ds = Dataset::from_records(words);
+            let f = PositionalQgramFilter::build(&ds, *q);
+            let mut profile = Vec::new();
+            collect_positional_profile(query, *q, &mut profile);
+            for (id, w) in words.iter().enumerate() {
+                if levenshtein(query, w) <= *k {
+                    prop_assert!(
+                        f.admits(&profile, query.len(), id as u32, *k),
+                        "q={q} query={query:?} w={w:?}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn positional_never_admits_more_than_plain() {
+    use simsearch_filters::positional::{collect_positional_profile, PositionalQgramFilter};
+    use simsearch_filters::qgram::collect_profile;
+    check(
+        "positional_never_admits_more_than_plain",
+        Config::default().seed(SEED),
+        &gen::zip3(corpus(), query(), gen::u32_in(0..5)),
+        |(words, query, k)| {
+            let ds = Dataset::from_records(words);
+            let plain = QgramFilter::build(&ds, 2);
+            let pos = PositionalQgramFilter::build(&ds, 2);
+            let mut pp = Vec::new();
+            collect_profile(query, 2, &mut pp);
+            let mut qp = Vec::new();
+            collect_positional_profile(query, 2, &mut qp);
+            for id in 0..words.len() as u32 {
+                // Positional is a strict strengthening: whenever it admits,
+                // the plain filter admits too.
+                if pos.admits(&qp, query.len(), id, *k) {
+                    prop_assert!(plain.admits(&pp, query.len(), id, *k));
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -14,9 +14,8 @@
 //! opens a worker when `p > 2a` (high load) and closes one when `p < a`
 //! (low load), sampling every 200 µs.
 
-use crossbeam::channel;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Tuning knobs for the master's open/close rules.
@@ -126,7 +125,7 @@ where
         wake: Condvar::new(),
     };
     let shared = &shared;
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
     let mut report = AdaptiveReport::default();
 
     std::thread::scope(|scope| {
@@ -139,13 +138,14 @@ where
                 }
                 if id >= shared.target.load(Ordering::Acquire) {
                     // Closed by the master: park until woken.
-                    let mut guard = shared.park.lock();
+                    let guard = shared.park.lock().expect("park mutex poisoned");
                     if !shared.finished.load(Ordering::Acquire)
                         && id >= shared.target.load(Ordering::Acquire)
                     {
-                        shared
+                        let _ = shared
                             .wake
-                            .wait_for(&mut guard, Duration::from_millis(1));
+                            .wait_timeout(guard, Duration::from_millis(1))
+                            .expect("park mutex poisoned");
                     }
                     continue;
                 }

@@ -8,8 +8,8 @@
 //! the cost of one atomic per job. The `ablation_executors` benchmark
 //! compares the two.
 
-use crossbeam::channel;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Executes `work(0..n)` on `threads` scoped threads pulling from a
 /// shared queue, returning results in job order.
@@ -28,7 +28,7 @@ where
     let threads = threads.min(n);
     let work = &work;
     let next = AtomicUsize::new(0);
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();

@@ -1,54 +1,119 @@
 //! Property tests: every executor strategy is a deterministic,
 //! order-preserving map over the job indices — the invariant the paper's
 //! correctness methodology silently relies on when it parallelizes.
+//!
+//! The pool here is the std-only rewrite (`std::thread` +
+//! `std::sync::{Mutex, Condvar, mpsc}`), so these tests double as its
+//! acceptance suite: same seed and job set at thread counts 1, 4 and 8
+//! must produce identical, stably-ordered results.
 
-use proptest::prelude::*;
 use simsearch_parallel::{run_adaptive_with_report, run_queries, Strategy};
+use simsearch_testkit::{check, gen, prop_assert, prop_assert_eq, Config, Xoshiro256};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// The thread counts the determinism contract is stated over.
+const THREADS: [usize; 3] = [1, 4, 8];
+
 fn strategies() -> Vec<Strategy> {
-    vec![
-        Strategy::Sequential,
-        Strategy::ThreadPerQuery,
-        Strategy::FixedPool { threads: 2 },
-        Strategy::FixedPool { threads: 5 },
-        Strategy::WorkQueue { threads: 3 },
-        Strategy::Adaptive { max_threads: 3 },
-    ]
+    let mut out = vec![Strategy::Sequential, Strategy::ThreadPerQuery];
+    for t in THREADS {
+        out.push(Strategy::FixedPool { threads: t });
+        out.push(Strategy::WorkQueue { threads: t });
+        out.push(Strategy::Adaptive { max_threads: t });
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn results_are_in_job_order(n in 0usize..80, salt in any::<u64>()) {
-        let expected: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(salt)).collect();
-        for s in strategies() {
-            let got = run_queries(s, n, |i| (i as u64).wrapping_mul(salt));
-            prop_assert_eq!(&got, &expected, "strategy {}", s.name());
-        }
-    }
-
-    #[test]
-    fn every_job_runs_exactly_once(n in 0usize..60) {
-        for s in strategies() {
-            let counter = AtomicUsize::new(0);
-            let per_job: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-            run_queries(s, n, |i| {
-                counter.fetch_add(1, Ordering::Relaxed);
-                per_job[i].fetch_add(1, Ordering::Relaxed);
-            });
-            prop_assert_eq!(counter.load(Ordering::Relaxed), n, "strategy {}", s.name());
-            for (i, c) in per_job.iter().enumerate() {
-                prop_assert_eq!(c.load(Ordering::Relaxed), 1, "job {} under {}", i, s.name());
+#[test]
+fn results_are_in_job_order() {
+    check(
+        "results_are_in_job_order",
+        Config::cases(16).seed(0x00DE_7E12),
+        &gen::zip(gen::usize_in(0..80), gen::u64_any()),
+        |(n, salt)| {
+            let expected: Vec<u64> = (0..*n as u64).map(|i| i.wrapping_mul(*salt)).collect();
+            for s in strategies() {
+                let got = run_queries(s, *n, |i| (i as u64).wrapping_mul(*salt));
+                prop_assert_eq!(&got, &expected, "strategy {}", s.name());
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn adaptive_respects_worker_cap(n in 1usize..40, cap in 1usize..5) {
-        let (out, report) = run_adaptive_with_report(cap, n, |i| i);
-        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
-        prop_assert!(report.max_active <= cap, "{report:?}");
+#[test]
+fn every_job_runs_exactly_once() {
+    check(
+        "every_job_runs_exactly_once",
+        Config::cases(16).seed(0x00DE_7E12),
+        &gen::usize_in(0..60),
+        |&n| {
+            for s in strategies() {
+                let counter = AtomicUsize::new(0);
+                let per_job: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                run_queries(s, n, |i| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    per_job[i].fetch_add(1, Ordering::Relaxed);
+                });
+                prop_assert_eq!(counter.load(Ordering::Relaxed), n, "strategy {}", s.name());
+                for (i, c) in per_job.iter().enumerate() {
+                    prop_assert_eq!(c.load(Ordering::Relaxed), 1, "job {} under {}", i, s.name());
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adaptive_respects_worker_cap() {
+    check(
+        "adaptive_respects_worker_cap",
+        Config::cases(16).seed(0x00DE_7E12),
+        &gen::zip(gen::usize_in(1..40), gen::usize_in(1..5)),
+        |(n, cap)| {
+            let (out, report) = run_adaptive_with_report(*cap, *n, |i| i);
+            prop_assert_eq!(out, (0..*n).collect::<Vec<_>>());
+            prop_assert!(report.max_active <= *cap, "{report:?}");
+            Ok(())
+        },
+    );
+}
+
+/// Seeded work under every thread count produces byte-identical,
+/// stably-ordered result vectors — re-running the same seed at t=1, 4
+/// and 8 cannot change a single element.
+#[test]
+fn seeded_runs_are_identical_across_thread_counts() {
+    for seed in [1u64, 0xDEAD_BEEF, 0x5EED] {
+        // Per-job cost derives from the seed only, so every thread count
+        // faces the same (skewed) workload.
+        let jobs: Vec<u64> = {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            (0..200).map(|_| rng.next_u64()).collect()
+        };
+        let run = |threads: usize| -> Vec<u64> {
+            run_queries(Strategy::WorkQueue { threads }, jobs.len(), |i| {
+                // A little real work with data-dependent cost.
+                let rounds = (jobs[i] % 64) as u32;
+                (0..rounds).fold(jobs[i], |acc, r| {
+                    acc.rotate_left(r % 63).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                })
+            })
+        };
+        let reference = run(1);
+        for t in THREADS {
+            assert_eq!(run(t), reference, "seed {seed:#x} diverges at t={t}");
+        }
+        // The fixed pool and adaptive executor agree with the queue too.
+        for t in THREADS {
+            let fixed = run_queries(Strategy::FixedPool { threads: t }, jobs.len(), |i| {
+                let rounds = (jobs[i] % 64) as u32;
+                (0..rounds).fold(jobs[i], |acc, r| {
+                    acc.rotate_left(r % 63).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                })
+            });
+            assert_eq!(fixed, reference, "fixed pool diverges at t={t}");
+        }
     }
 }

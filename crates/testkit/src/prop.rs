@@ -1,0 +1,247 @@
+//! The property-test runner: deterministic case generation, panic
+//! capture, and greedy shrinking to a minimal counterexample.
+//!
+//! Each case draws its input from a fresh PRNG seeded with
+//! `splitmix(base_seed, case_index)`, so a failure report's `seed` +
+//! `case` pair replays the exact input regardless of how many cases ran
+//! before it. Set `TESTKIT_SEED` / `TESTKIT_CASES` to override any
+//! check's defaults when reproducing.
+
+use crate::gen::Gen;
+use crate::shrink::Shrink;
+use simsearch_data::rng::{SplitMix64, Xoshiro256};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of one property evaluation: `Ok(())` or a failure message.
+pub type TestResult = Result<(), String>;
+
+/// Runner configuration. Environment overrides (`TESTKIT_SEED`,
+/// `TESTKIT_CASES`) take precedence over the programmed values so a
+/// failure can be replayed without editing the test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; case `i` uses the PRNG stream seeded with
+    /// `splitmix(seed, i)`.
+    pub seed: u64,
+    /// Upper bound on shrink-candidate evaluations after a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            seed: 0x005E_ED0F_7E57_CA5E,
+            max_shrink_steps: 4_096,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with `cases` random cases.
+    pub fn cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn resolved(self) -> Self {
+        let mut cfg = self;
+        if let Ok(s) = std::env::var("TESTKIT_SEED") {
+            let parsed = s
+                .strip_prefix("0x")
+                .map_or_else(|| s.parse(), |hex| u64::from_str_radix(hex, 16));
+            cfg.seed = parsed.unwrap_or_else(|_| panic!("unparsable TESTKIT_SEED '{s}'"));
+        }
+        if let Ok(c) = std::env::var("TESTKIT_CASES") {
+            cfg.cases = c
+                .parse()
+                .unwrap_or_else(|_| panic!("unparsable TESTKIT_CASES '{c}'"));
+        }
+        cfg
+    }
+}
+
+/// Derives the per-case seed from the base seed — exposed so a test can
+/// rebuild the exact PRNG stream of a reported case by hand.
+pub fn case_seed(base_seed: u64, case: u32) -> u64 {
+    let mut sm = SplitMix64::new(base_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9));
+    sm.next_u64()
+}
+
+fn run_one<T>(prop: &impl Fn(&T) -> TestResult, value: &T) -> TestResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs `prop` against `config.cases` values drawn from `gen`. On the
+/// first failure the input is shrunk to a local minimum and the test
+/// panics with a report containing the value, the error, and the
+/// `TESTKIT_SEED`/`TESTKIT_CASES` pair that replays it.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) when the property is
+/// falsified.
+pub fn check<T>(name: &str, config: Config, gen: &Gen<T>, prop: impl Fn(&T) -> TestResult)
+where
+    T: Shrink + Debug + 'static,
+{
+    let cfg = config.resolved();
+    for case in 0..cfg.cases {
+        let mut rng = Xoshiro256::seed_from_u64(case_seed(cfg.seed, case));
+        let value = gen.sample(&mut rng);
+        let Err(first_error) = run_one(&prop, &value) else {
+            continue;
+        };
+
+        // Greedy shrink: take the first failing candidate, repeat until
+        // no candidate fails or the step budget runs out.
+        let mut minimal = value;
+        let mut minimal_error = first_error.clone();
+        let mut steps = 0u32;
+        'shrinking: while steps < cfg.max_shrink_steps {
+            let mut advanced = false;
+            for candidate in minimal.shrink() {
+                steps += 1;
+                if steps >= cfg.max_shrink_steps {
+                    break 'shrinking;
+                }
+                if let Err(e) = run_one(&prop, &candidate) {
+                    minimal = candidate;
+                    minimal_error = e;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+
+        panic!(
+            "\nproperty `{name}` falsified at case {case} of {cases}\n\
+             \n  minimal counterexample (after {steps} shrink steps):\n    {minimal:?}\n\
+             \n  error: {minimal_error}\n\
+             \n  original error: {first_error}\n\
+             \n  replay exactly: TESTKIT_SEED={seed:#x} TESTKIT_CASES={ncases} cargo test {name}\n",
+            cases = cfg.cases,
+            seed = cfg.seed,
+            ncases = case + 1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_is_silent() {
+        check(
+            "sum_is_commutative",
+            Config::cases(64),
+            &gen::zip(gen::u32_in(0..1000), gen::u32_in(0..1000)),
+            |(a, b)| {
+                crate::prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn case_seeds_differ_and_are_stable() {
+        assert_ne!(case_seed(1, 0), case_seed(1, 1));
+        assert_ne!(case_seed(1, 0), case_seed(2, 0));
+        assert_eq!(case_seed(42, 7), case_seed(42, 7));
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_counterexample() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "vectors_stay_short",
+                Config::cases(200),
+                &gen::bytes_any(0..30),
+                |v| {
+                    crate::prop_assert!(v.len() < 5, "len {}", v.len());
+                    Ok(())
+                },
+            );
+        }));
+        let msg = result
+            .expect_err("property must fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic");
+        // The shrinker must reach a 5-element vector of zeros.
+        assert!(
+            msg.contains("[0, 0, 0, 0, 0]"),
+            "not shrunk to minimum:\n{msg}"
+        );
+        assert!(msg.contains("TESTKIT_SEED"), "no replay line:\n{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "no_byte_is_seven",
+                Config::cases(400),
+                &gen::bytes_any(0..20),
+                |v| {
+                    assert!(!v.contains(&7), "found a 7");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = result
+            .expect_err("property must fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic");
+        assert!(msg.contains("[7]"), "not shrunk to [7]:\n{msg}");
+        assert!(msg.contains("panicked"), "panic not reported:\n{msg}");
+    }
+
+    #[test]
+    fn same_seed_same_failure() {
+        let run = || {
+            catch_unwind(AssertUnwindSafe(|| {
+                check(
+                    "u32_stays_small",
+                    Config::cases(100).seed(99),
+                    &gen::u32_in(0..100_000),
+                    |v| {
+                        crate::prop_assert!(*v < 90_000);
+                        Ok(())
+                    },
+                );
+            }))
+            .expect_err("must fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

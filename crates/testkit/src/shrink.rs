@@ -1,0 +1,211 @@
+//! Value shrinking: when a property fails, the runner repeatedly asks
+//! the failing value for simpler candidates and keeps the simplest one
+//! that still fails, converging on a minimal counterexample.
+//!
+//! Candidates must be *strictly simpler* than the value that produced
+//! them (shorter, or closer to zero), so the greedy loop in
+//! [`crate::prop::check`] always terminates.
+
+/// A type whose values can propose strictly simpler variants of
+/// themselves. The default implementation proposes nothing, which makes
+/// any type usable in properties (it just won't shrink).
+pub trait Shrink: Sized + Clone {
+    /// Candidate simplifications, simplest first. Every candidate must
+    /// be strictly simpler than `self`.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Shrink for () {}
+impl Shrink for char {}
+impl Shrink for f64 {}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                if v / 2 > 0 {
+                    out.push(v / 2);
+                }
+                if v - 1 > v / 2 {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                if v < 0 {
+                    // Prefer the positive mirror; it is "simpler" by
+                    // convention and strictly closer to zero afterwards.
+                    out.push(-(v / 2));
+                }
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_signed!(i8, i16, i32, i64, isize);
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        // Remove one element at a time.
+        for i in 0..n {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink one element at a time (a few candidates per slot keep
+        // the fan-out bounded; the outer loop iterates anyway).
+        for i in 0..n {
+            for cand in self[i].shrink().into_iter().take(3) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<A: Shrink, B: Shrink> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Shrink, B: Shrink, C: Shrink> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone(), self.2.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b, self.2.clone()));
+        }
+        for c in self.2.shrink() {
+            out.push((self.0.clone(), self.1.clone(), c));
+        }
+        out
+    }
+}
+
+impl<A: Shrink, B: Shrink, C: Shrink, D: Shrink> Shrink for (A, B, C, D) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone(), self.2.clone(), self.3.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b, self.2.clone(), self.3.clone()));
+        }
+        for c in self.2.shrink() {
+            out.push((self.0.clone(), self.1.clone(), c, self.3.clone()));
+        }
+        for d in self.3.shrink() {
+            out.push((self.0.clone(), self.1.clone(), self.2.clone(), d));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_empty_are_fixed_points() {
+        assert!(0u32.shrink().is_empty());
+        assert!(Vec::<u8>::new().shrink().is_empty());
+        assert!(!false.shrink().iter().any(|_| true));
+    }
+
+    #[test]
+    fn unsigned_candidates_are_strictly_smaller() {
+        for v in [1u32, 2, 3, 100, u32::MAX] {
+            for c in v.shrink() {
+                assert!(c < v, "{c} not smaller than {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn vec_candidates_never_grow() {
+        let v = vec![5u8, 0, 9];
+        for c in v.shrink() {
+            assert!(c.len() < v.len() || c.iter().sum::<u8>() < v.iter().sum::<u8>());
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let t = (2u32, vec![1u8]);
+        for (a, b) in t.shrink() {
+            let changed_a = a != t.0;
+            let changed_b = b != t.1;
+            assert!(changed_a ^ changed_b);
+        }
+    }
+}
