@@ -12,4 +12,12 @@ cargo test -q --offline --workspace
 # (no --bench flag), keeping every bench code path compile- and
 # run-checked without measuring.
 cargo test -q --offline --benches -p simsearch-bench
+cargo test -q --offline --bench ablation_lcp_reuse -p simsearch-bench
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Canonical benchmark snapshots (published by `cargo bench` via
+# testkit's publish_snapshot) must stay committed at the repo root.
+for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
+    BENCH_ablation_lcp_reuse_city.json BENCH_ablation_lcp_reuse_dna.json; do
+    test -f "$snapshot"
+done

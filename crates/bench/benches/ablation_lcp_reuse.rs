@@ -1,0 +1,40 @@
+//! Ablation: what does LCP-based DP reuse buy a flat scan? The V4 flat
+//! scan (restart every record) vs the V7 sorted-prefix scan (resume at
+//! the LCP) vs the best index under modern pruning, on both workload
+//! profiles. DNA's heavy-prefix sortedness is where reuse should pay the
+//! most; city names bound the benefit on short, diverse strings.
+
+use simsearch_bench::experiments::{CITY_IDX_BEST_THREADS, DNA_IDX_BEST_THREADS};
+use simsearch_bench::Scale;
+use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
+use simsearch_testkit::bench::Harness;
+
+fn main() {
+    let h = Harness::new();
+    let scale = Scale::bench();
+    for (name, preset, queries, idx_threads, thresholds) in [
+        ("city", scale.city(), 50, CITY_IDX_BEST_THREADS, "0, 1, 2, 3"),
+        ("dna", scale.dna(), 20, DNA_IDX_BEST_THREADS, "0, 4, 8, 16"),
+    ] {
+        let workload = preset.workload.prefix(h.queries(queries));
+        let v4 = SearchEngine::build(&preset.dataset, EngineKind::Scan(SeqVariant::V4Flat));
+        let v7 = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        );
+        let index = SearchEngine::build(
+            &preset.dataset,
+            EngineKind::IndexModern(IdxVariant::I3Pool {
+                threads: idx_threads,
+            }),
+        );
+        let group_name = format!("ablation_lcp_reuse_{name}");
+        let mut group = h.group(&group_name);
+        group.set_workload(name, preset.dataset.len(), workload.len(), thresholds);
+        group.bench("v4_flat", || v4.run(&workload));
+        group.bench("v7_sorted_prefix", || v7.run(&workload));
+        group.bench("best_index_modern", || index.run(&workload));
+        group.finish();
+        h.publish_snapshot(&group_name);
+    }
+}

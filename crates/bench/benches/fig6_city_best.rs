@@ -29,8 +29,11 @@ fn main() {
         }),
     );
     let mut group = h.group("fig6_city_best");
+    group.set_workload("city", preset.dataset.len(), workload.len(), "0, 1, 2, 3");
     group.bench("best_scan", || best_scan.run(&workload));
     group.bench("best_index_paper", || best_index.run(&workload));
     group.bench("best_index_modern", || best_index_modern.run(&workload));
     group.finish();
+    // The canonical snapshot lives at the repo root (ci.sh checks it in).
+    h.publish_snapshot("fig6_city_best");
 }

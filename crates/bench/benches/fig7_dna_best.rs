@@ -29,8 +29,11 @@ fn main() {
         }),
     );
     let mut group = h.group("fig7_dna_best");
+    group.set_workload("dna", preset.dataset.len(), workload.len(), "0, 4, 8, 16");
     group.bench("best_scan", || best_scan.run(&workload));
     group.bench("best_index_paper", || best_index.run(&workload));
     group.bench("best_index_modern", || best_index_modern.run(&workload));
     group.finish();
+    // The canonical snapshot lives at the repo root (ci.sh checks it in).
+    h.publish_snapshot("fig7_dna_best");
 }

@@ -78,9 +78,10 @@ pub fn seq_threads_table(preset: &Preset, counts: &[usize], title: &str) -> Tabl
     t
 }
 
-/// Tables III and VII: the six-rung scan ladder. `naive_stride > 1`
-/// subsamples rung 1 and extrapolates (labelled), as the paper itself
-/// only estimates the naive DNA rung.
+/// Tables III and VII: the six-rung scan ladder plus the V7
+/// sorted-prefix extension row. `naive_stride > 1` subsamples rung 1 and
+/// extrapolates (labelled), as the paper itself only estimates the naive
+/// DNA rung.
 pub fn seq_ladder_table(
     preset: &Preset,
     counts: &[usize],
@@ -89,7 +90,7 @@ pub fn seq_ladder_table(
     title: &str,
 ) -> Table {
     let mut t = table_with_counts(title, counts);
-    for variant in SeqVariant::ladder(pool_threads) {
+    for variant in SeqVariant::ladder_extended(pool_threads) {
         let engine = SearchEngine::build(&preset.dataset, EngineKind::Scan(variant));
         let subsample = variant == SeqVariant::V1Base && naive_stride > 1;
         let ms: Vec<Measurement> = if subsample {
@@ -258,6 +259,10 @@ pub fn verify_engines(preset: &Preset, queries: usize) -> Result<(), simsearch_c
             &preset.dataset,
             EngineKind::Index(IdxVariant::I3Pool { threads: 4 }),
         ),
+        SearchEngine::build(
+            &preset.dataset,
+            EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        ),
     ];
     cross_validate(&reference, &candidates, &prefix)
 }
@@ -328,6 +333,24 @@ pub fn diagnostics_table(preset: &Preset, queries: usize) -> Table {
         "scan (early-abort kernel)",
         vec![
             format!("{:.0}", scan_cells as f64 / n),
+            "-".into(),
+            "-".into(),
+        ],
+    );
+
+    // V7 sorted-prefix scan: the kernel counts its own cells; the saving
+    // versus the row above is exactly what LCP reuse buys.
+    let v7 = simsearch_scan::SequentialScan::new(&preset.dataset);
+    v7.prepare(SeqVariant::V7SortedPrefix);
+    let mut v7_cells: u64 = 0;
+    for q in prefix.iter() {
+        let (_, cells) = v7.v7_search(&q.text, q.threshold);
+        v7_cells += cells;
+    }
+    t.push_row(
+        "scan V7 (sorted prefix, LCP reuse)",
+        vec![
+            format!("{:.0}", v7_cells as f64 / n),
             "-".into(),
             "-".into(),
         ],
@@ -450,7 +473,9 @@ mod tests {
         let (city, _) = tiny();
         let counts = [5, 10];
         let seq = seq_ladder_table(&city, &counts, 2, 1, "T");
-        assert_eq!(seq.rows.len(), 6);
+        // 6 paper rungs + the V7 sorted-prefix extension row.
+        assert_eq!(seq.rows.len(), 7);
+        assert!(seq.rows[6].0.starts_with("x)"));
         let idx = idx_ladder_table(&city, &counts, 2, "T");
         // 3 paper rungs + 2 modern-pruning extension rows.
         assert_eq!(idx.rows.len(), 5);
@@ -492,13 +517,15 @@ mod tests {
     }
 
     #[test]
-    fn diagnostics_table_has_three_rows() {
+    fn diagnostics_table_has_four_rows() {
         let (city, _) = tiny();
         let t = diagnostics_table(&city, 5);
-        assert_eq!(t.rows.len(), 3);
-        // The paper prune must do at least as much work as the modern one.
+        assert_eq!(t.rows.len(), 4);
         let cells = |r: &str| r.parse::<f64>().unwrap();
-        assert!(cells(&t.rows[1].1[0]) >= cells(&t.rows[2].1[0]));
+        // V7 must compute fewer cells than the V4 early-abort kernel.
+        assert!(cells(&t.rows[1].1[0]) < cells(&t.rows[0].1[0]));
+        // The paper prune must do at least as much work as the modern one.
+        assert!(cells(&t.rows[2].1[0]) >= cells(&t.rows[3].1[0]));
     }
 
     #[test]

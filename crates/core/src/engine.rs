@@ -149,7 +149,14 @@ impl<'a> SearchEngine<'a> {
     /// the benchmarks).
     pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
         let backend = match kind {
-            EngineKind::Scan(v) => Backend::Scan(SequentialScan::new(dataset), v),
+            EngineKind::Scan(v) => {
+                let scan = SequentialScan::new(dataset);
+                // Build-time preprocessing (owned copies for V1–V3, the
+                // sorted view for V7) happens here, not in the first
+                // timed query.
+                scan.prepare(v);
+                Backend::Scan(scan, v)
+            }
             EngineKind::ScanCustom { kernel, strategy } => {
                 Backend::ScanCustom(SequentialScan::new(dataset), kernel, strategy)
             }
@@ -327,6 +334,7 @@ mod tests {
             EngineKind::Scan(SeqVariant::V1Base),
             EngineKind::Scan(SeqVariant::V4Flat),
             EngineKind::Scan(SeqVariant::V6Pool { threads: 2 }),
+            EngineKind::Scan(SeqVariant::V7SortedPrefix),
             EngineKind::ScanCustom {
                 kernel: KernelKind::Banded,
                 strategy: Strategy::WorkQueue { threads: 2 },

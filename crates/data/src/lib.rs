@@ -18,6 +18,8 @@
 //! * [`freq`] — frequency vectors (paper §6 future work, used by the
 //!   filter crate and as trie annotations);
 //! * [`packed`] — 3-bit DNA dictionary compression (paper §6 future work);
+//! * [`sorted`] — lexicographically sorted arena view with an LCP array
+//!   (the V7 sorted-prefix scan's preprocessing);
 //! * [`rng`] — the self-contained deterministic PRNG behind it all.
 //!
 //! Strings are treated as byte sequences throughout, mirroring the
@@ -34,6 +36,7 @@ pub mod io;
 pub mod matches;
 pub mod packed;
 pub mod rng;
+pub mod sorted;
 pub mod stats;
 pub mod workload;
 
@@ -44,5 +47,6 @@ pub use matches::{Match, MatchSet};
 pub use generate::{CityGenerator, DnaGenerator};
 pub use packed::{PackedDataset, PackedSeq};
 pub use rng::Xoshiro256;
+pub use sorted::SortedView;
 pub use stats::DatasetStats;
 pub use workload::{QueryRecord, Workload, WorkloadSpec, CITY_THRESHOLDS, DNA_THRESHOLDS};

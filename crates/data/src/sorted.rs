@@ -1,0 +1,187 @@
+//! Lexicographically sorted view of a [`Dataset`] with an LCP array.
+//!
+//! The paper's trie amortizes DP work across shared prefixes; that
+//! amortization does not require a tree, only *adjacency* of shared
+//! prefixes — which a sorted flat arena provides with strictly
+//! sequential memory access (the same ordering insight sort-based
+//! methods like PASS-JOIN exploit). [`SortedView`] is the one-time
+//! preprocessing behind the V7 scan rung: a permutation table, a
+//! remapped contiguous arena in sorted order, and the longest-common-
+//! prefix length between each pair of adjacent records, so a scanner
+//! can resume a row-stack DP at `lcp[i]` instead of row zero.
+
+use crate::dataset::{Dataset, RecordId};
+
+/// A dataset re-ordered lexicographically, with adjacency metadata.
+///
+/// Positions (`0..len()`) address records in *sorted* order; every match
+/// is translated back to the insertion-order [`RecordId`] via
+/// [`SortedView::original_id`], so result sets stay comparable with every
+/// other engine.
+///
+/// # Examples
+///
+/// ```
+/// use simsearch_data::{Dataset, SortedView};
+///
+/// let ds = Dataset::from_records(["Ulm", "Bern", "Berlin"]);
+/// let sv = SortedView::build(&ds);
+/// assert_eq!(sv.get(0), b"Berlin");
+/// assert_eq!(sv.get(1), b"Bern");
+/// assert_eq!(sv.lcp(1), 3); // "Ber" shared with "Berlin"
+/// assert_eq!(sv.original_id(0), 2); // "Berlin" was inserted third
+/// ```
+#[derive(Clone, Debug)]
+pub struct SortedView {
+    /// Records remapped into one contiguous arena in sorted order.
+    sorted: Dataset,
+    /// `perm[pos]` = insertion-order id of the record at sorted `pos`.
+    perm: Vec<RecordId>,
+    /// `lcp[pos]` = length of the longest common prefix of the records at
+    /// sorted positions `pos - 1` and `pos`; `lcp[0] = 0`.
+    lcp: Vec<u32>,
+}
+
+/// Longest common prefix length of two byte strings.
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl SortedView {
+    /// Sorts the dataset (ties broken by insertion id, so the permutation
+    /// is deterministic), remaps the arena, and computes the LCP array.
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut perm: Vec<RecordId> = (0..dataset.len() as u32).collect();
+        perm.sort_by(|&a, &b| dataset.get(a).cmp(dataset.get(b)).then(a.cmp(&b)));
+        let mut sorted = Dataset::with_capacity(dataset.len(), dataset.arena_len());
+        let mut lcp = Vec::with_capacity(dataset.len());
+        for (pos, &id) in perm.iter().enumerate() {
+            let record = dataset.get(id);
+            lcp.push(if pos == 0 {
+                0
+            } else {
+                common_prefix(sorted.get(pos as u32 - 1), record) as u32
+            });
+            sorted.push(record);
+        }
+        Self { sorted, perm, lcp }
+    }
+
+    /// Number of records (same as the source dataset).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Borrows the record at sorted position `pos`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> &[u8] {
+        self.sorted.get(pos as u32)
+    }
+
+    /// Length of the record at sorted position `pos`, from the offsets
+    /// table alone.
+    #[inline]
+    pub fn record_len(&self, pos: usize) -> usize {
+        self.sorted.record_len(pos as u32)
+    }
+
+    /// Longest common prefix between the records at sorted positions
+    /// `pos - 1` and `pos` (`0` at position `0`).
+    #[inline]
+    pub fn lcp(&self, pos: usize) -> usize {
+        self.lcp[pos] as usize
+    }
+
+    /// Translates a sorted position back to the insertion-order id.
+    #[inline]
+    pub fn original_id(&self, pos: usize) -> RecordId {
+        self.perm[pos]
+    }
+
+    /// The permutation table: `permutation()[pos]` is the insertion-order
+    /// id of the record at sorted position `pos`.
+    pub fn permutation(&self) -> &[RecordId] {
+        &self.perm
+    }
+
+    /// The remapped (sorted-order) dataset backing this view.
+    pub fn sorted_dataset(&self) -> &Dataset {
+        &self.sorted
+    }
+
+    /// Iterates `(original_id, record)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> + '_ {
+        (0..self.len()).map(move |pos| (self.perm[pos], self.get(pos)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(records: &[&str]) -> SortedView {
+        SortedView::build(&Dataset::from_records(records))
+    }
+
+    #[test]
+    fn records_come_out_sorted_with_exact_lcp() {
+        let sv = view(&["Ulm", "Berlin", "Bern", "", "Berlingen", "Ulm"]);
+        let order: Vec<&[u8]> = (0..sv.len()).map(|p| sv.get(p)).collect();
+        let mut expected = order.clone();
+        expected.sort();
+        assert_eq!(order, expected);
+        assert_eq!(sv.lcp(0), 0);
+        for pos in 1..sv.len() {
+            assert_eq!(
+                sv.lcp(pos),
+                common_prefix(sv.get(pos - 1), sv.get(pos)),
+                "pos {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_translates_back_to_insertion_order() {
+        let ds = Dataset::from_records(["Ulm", "Berlin", "Bern"]);
+        let sv = SortedView::build(&ds);
+        for pos in 0..sv.len() {
+            assert_eq!(ds.get(sv.original_id(pos)), sv.get(pos));
+        }
+        let mut seen: Vec<RecordId> = sv.permutation().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_records_keep_insertion_order() {
+        let sv = view(&["b", "a", "b", "a"]);
+        // Ties break by insertion id: both "a"s first, ids ascending.
+        assert_eq!(sv.permutation(), &[1, 3, 0, 2]);
+        assert_eq!(sv.lcp(1), 1);
+        assert_eq!(sv.lcp(2), 0);
+        assert_eq!(sv.lcp(3), 1);
+    }
+
+    #[test]
+    fn empty_dataset_and_empty_records() {
+        let sv = SortedView::build(&Dataset::new());
+        assert!(sv.is_empty());
+        let sv = view(&["", "", "x"]);
+        assert_eq!(sv.get(0), b"");
+        assert_eq!(sv.lcp(1), 0);
+        assert_eq!(sv.record_len(2), 1);
+    }
+
+    #[test]
+    fn iter_pairs_sorted_records_with_original_ids() {
+        let ds = Dataset::from_records(["bb", "aa"]);
+        let sv = SortedView::build(&ds);
+        let pairs: Vec<(RecordId, &[u8])> = sv.iter().collect();
+        assert_eq!(pairs, vec![(1, b"aa" as &[u8]), (0, b"bb")]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for [`SortedView`]: the permutation is a bijection,
+//! the LCP array is exact, and id translation round-trips — the
+//! invariants the V7 sorted-prefix scan's correctness rests on.
+
+use simsearch_data::{Dataset, SortedView};
+use simsearch_testkit::{check, gen, prop_assert, prop_assert_eq, Config, Gen};
+
+const SEED: u64 = 0x0050_47ED;
+
+fn corpus() -> Gen<Vec<Vec<u8>>> {
+    // Duplicates, empty strings and shared prefixes are all likely.
+    gen::vec_of(gen::bytes_from(b"abAB\xC3", 0..12), 0..40)
+}
+
+#[test]
+fn permutation_is_a_bijection() {
+    check(
+        "permutation_is_a_bijection",
+        Config::default().seed(SEED),
+        &corpus(),
+        |words| {
+            let ds = Dataset::from_records(words);
+            let sv = SortedView::build(&ds);
+            prop_assert_eq!(sv.len(), ds.len());
+            let mut seen: Vec<u32> = sv.permutation().to_vec();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..ds.len() as u32).collect::<Vec<_>>());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn view_is_sorted_and_lcp_is_exact() {
+    check(
+        "view_is_sorted_and_lcp_is_exact",
+        Config::default().seed(SEED),
+        &corpus(),
+        |words| {
+            let ds = Dataset::from_records(words);
+            let sv = SortedView::build(&ds);
+            if !sv.is_empty() {
+                prop_assert_eq!(sv.lcp(0), 0);
+            }
+            for pos in 1..sv.len() {
+                let (a, b) = (sv.get(pos - 1), sv.get(pos));
+                prop_assert!(a <= b, "records out of order at {}", pos);
+                let true_lcp = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+                prop_assert_eq!(sv.lcp(pos), true_lcp, "lcp wrong at {}", pos);
+                // The LCP never exceeds either neighbour's length.
+                prop_assert!(sv.lcp(pos) <= sv.record_len(pos - 1).min(sv.record_len(pos)));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn id_translation_round_trips() {
+    check(
+        "id_translation_round_trips",
+        Config::default().seed(SEED),
+        &corpus(),
+        |words| {
+            let ds = Dataset::from_records(words);
+            let sv = SortedView::build(&ds);
+            for pos in 0..sv.len() {
+                // Sorted bytes equal the insertion-order record they map to.
+                prop_assert_eq!(sv.get(pos), ds.get(sv.original_id(pos)));
+                prop_assert_eq!(sv.record_len(pos), ds.record_len(sv.original_id(pos)));
+            }
+            // And the inverse direction: every insertion id appears at the
+            // position holding its bytes.
+            let mut inverse = vec![usize::MAX; ds.len()];
+            for pos in 0..sv.len() {
+                inverse[sv.original_id(pos) as usize] = pos;
+            }
+            for (id, record) in ds.iter() {
+                prop_assert_eq!(sv.get(inverse[id as usize]), record);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn build_is_deterministic() {
+    check(
+        "build_is_deterministic",
+        Config::cases(30).seed(SEED),
+        &corpus(),
+        |words| {
+            let ds = Dataset::from_records(words);
+            let a = SortedView::build(&ds);
+            let b = SortedView::build(&ds);
+            prop_assert_eq!(a.permutation(), b.permutation());
+            Ok(())
+        },
+    );
+}

@@ -16,6 +16,7 @@
 //! | [`banded`] | Ukkonen band + per-row abort | extension; kernel ablation |
 //! | [`myers`], [`myers_block`] | bit-parallel (≤64 / blocked) | extension; kernel ablation |
 //! | [`incremental`] | row-stack DP with band | trie descent (§4.1) |
+//! | [`row_stack`] | resumable row-stack (LCP reuse, counting) | sorted-prefix scan (rung V7) |
 //! | [`prefix_bound`] | length-interval bounds | trie pruning (§4.1, eqs. (9)/(10)) |
 //! | [`hamming`], [`damerau`] | alternative measures | PETER parity / typo modelling |
 //! | [`alignment`] | edit-script traceback | library feature |
@@ -43,6 +44,7 @@ pub mod myers;
 pub mod myers_block;
 pub mod packed;
 pub mod prefix_bound;
+pub mod row_stack;
 pub mod semi_global;
 pub mod two_row;
 
@@ -54,6 +56,7 @@ pub use incremental::IncrementalDp;
 pub use matrix::DpMatrix;
 pub use myers::Myers64;
 pub use myers_block::{MyersAny, MyersBlock};
+pub use row_stack::{RowStackKernel, RowStackMode};
 pub use semi_global::{substring_distance, substring_within, SubstringMatch};
 
 /// Selects which bounded-distance kernel a scan uses.

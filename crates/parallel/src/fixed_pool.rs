@@ -20,18 +20,12 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = threads.min(n);
     let work = &work;
     // Chunk sizes differ by at most one (balanced partition).
-    let base = n / threads;
-    let extra = n % threads;
+    let ranges = crate::chunk_ranges(n, threads);
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        let mut start = 0;
-        for t in 0..threads {
-            let len = base + usize::from(t < extra);
-            let range = start..start + len;
-            start += len;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
             handles.push(scope.spawn(move || range.map(work).collect::<Vec<T>>()));
         }
         let mut results = Vec::with_capacity(n);

@@ -75,6 +75,45 @@ impl Strategy {
     }
 }
 
+/// Splits `0..n` into at most `chunks` contiguous ranges whose lengths
+/// differ by at most one — the static partition the fixed pool hands its
+/// threads, exposed for callers that parallelize over *data* chunks
+/// instead of queries (e.g. the V7 sorted-prefix scan, whose DP state
+/// restarts at every chunk boundary).
+///
+/// Returns fewer than `chunks` ranges when `n < chunks`; never returns
+/// an empty range.
+///
+/// # Panics
+/// Panics if `chunks == 0` while `n > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use simsearch_parallel::chunk_ranges;
+///
+/// assert_eq!(chunk_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(chunk_ranges(2, 8).len(), 2);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(chunks > 0, "a partition needs at least one chunk");
+    let chunks = chunks.min(n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 /// Executes `work(0..n)` under `strategy`, returning results in job order.
 /// # Examples
 ///
@@ -131,5 +170,29 @@ mod tests {
             let out: Vec<u8> = run_queries(s, 0, |_| 0);
             assert!(out.is_empty(), "{}", s.name());
         }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once_and_balance() {
+        for n in [0usize, 1, 2, 3, 7, 10, 100, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(n, chunks);
+                let covered: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} chunks={chunks}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(ExactSizeIterator::len).min(),
+                    ranges.iter().map(ExactSizeIterator::len).max(),
+                ) {
+                    assert!(max - min <= 1, "unbalanced: n={n} chunks={chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_panics_on_nonempty_input() {
+        chunk_ranges(5, 0);
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! The paper's sequential-scan side (§3): the six-rung optimization
 //! ladder that turns a naive full-matrix scan into the solution that
-//! beats the index on short strings.
+//! beats the index on short strings, plus the V7 sorted-prefix
+//! extension (LCP-resumable DP over a lexicographically sorted arena).
 //!
 //! * [`variant::SeqVariant`] — the rungs, labelled as in Tables III/VII;
 //! * [`scanner::SequentialScan`] — one engine executing any rung, plus

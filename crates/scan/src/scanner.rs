@@ -7,34 +7,71 @@
 //! rung-over-rung speedups of Tables III/VII are reproducible.
 
 use crate::variant::SeqVariant;
-use simsearch_data::{Dataset, Match, MatchSet, Workload};
+use simsearch_data::{Dataset, Match, MatchSet, SortedView, Workload};
 use simsearch_distance::{
     ed_within_banded_with, ed_within_early_abort, ed_within_early_abort_with,
-    levenshtein_naive_alloc, BoundedKernel, KernelKind,
+    levenshtein_naive_alloc, BoundedKernel, KernelKind, RowStackKernel, RowStackMode,
 };
-use simsearch_parallel::{run_queries, Strategy};
+use simsearch_parallel::{chunk_ranges, run_queries, Strategy};
+use std::ops::Range;
+use std::sync::OnceLock;
 
 /// A sequential-scan engine over one dataset.
+///
+/// Auxiliary structures are lazy: the owned-record container (rungs
+/// V1–V3's value-semantics world) and the [`SortedView`] (rung V7) are
+/// built on first use — or eagerly via [`SequentialScan::prepare`], so an
+/// engine can pay the one-time cost at build time rather than inside the
+/// first timed query.
 pub struct SequentialScan<'a> {
     dataset: &'a Dataset,
     /// Owned per-record copies, as the paper's base implementation holds
     /// (a container of string objects). Used by rungs V1–V3.
-    owned: Vec<Vec<u8>>,
+    owned: OnceLock<Vec<Vec<u8>>>,
+    /// Lexicographically sorted view with LCP array. Used by rung V7.
+    sorted: OnceLock<SortedView>,
 }
 
 impl<'a> SequentialScan<'a> {
-    /// Prepares a scanner (materializes the owned-record container the
-    /// early rungs operate on).
+    /// Borrows a dataset. No auxiliary structure is built yet — V4+ scans
+    /// never touch the owned copies, and only V7 sorts.
     pub fn new(dataset: &'a Dataset) -> Self {
         Self {
             dataset,
-            owned: dataset.to_owned_records(),
+            owned: OnceLock::new(),
+            sorted: OnceLock::new(),
         }
     }
 
     /// The underlying dataset.
     pub fn dataset(&self) -> &Dataset {
         self.dataset
+    }
+
+    /// Eagerly builds whatever auxiliary structure `variant` needs
+    /// (owned copies for V1–V3, the sorted view for V7), so the cost is
+    /// excluded from query timing. Idempotent.
+    pub fn prepare(&self, variant: SeqVariant) {
+        match variant {
+            SeqVariant::V1Base | SeqVariant::V2FastEd | SeqVariant::V3Borrowed => {
+                self.owned();
+            }
+            SeqVariant::V7SortedPrefix => {
+                self.sorted_view();
+            }
+            _ => {}
+        }
+    }
+
+    /// The owned-record container, built on first use.
+    fn owned(&self) -> &[Vec<u8>] {
+        self.owned.get_or_init(|| self.dataset.to_owned_records())
+    }
+
+    /// The sorted view (permutation, remapped arena, LCP array), built on
+    /// first use.
+    pub fn sorted_view(&self) -> &SortedView {
+        self.sorted.get_or_init(|| SortedView::build(self.dataset))
     }
 
     /// Answers one query under the given rung.
@@ -48,6 +85,7 @@ impl<'a> SequentialScan<'a> {
             SeqVariant::V4Flat | SeqVariant::V5ThreadPerQuery | SeqVariant::V6Pool { .. } => {
                 self.flat_search(query, k)
             }
+            SeqVariant::V7SortedPrefix => self.v7_search(query, k).0,
         }
     }
 
@@ -79,11 +117,85 @@ impl<'a> SequentialScan<'a> {
         })
     }
 
+    /// Executes a workload under rung V7 with an explicit executor —
+    /// query-level parallelism; every query owns its row stack, so all
+    /// strategies are trivially race-free.
+    pub fn run_v7(&self, strategy: Strategy, workload: &Workload) -> Vec<MatchSet> {
+        self.prepare(SeqVariant::V7SortedPrefix);
+        run_queries(strategy, workload.len(), |i| {
+            let q = &workload.queries[i];
+            self.v7_search(&q.text, q.threshold).0
+        })
+    }
+
+    /// Rung V7 for one query: walk the sorted view once, resuming the
+    /// row-stack DP at the running LCP minimum. Returns the matches and
+    /// the number of DP cells computed (for diagnostics).
+    pub fn v7_search(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        let sv = self.sorted_view();
+        let mut dp = RowStackKernel::new(RowStackMode::Banded, query, k);
+        let out = self.v7_scan_range(&mut dp, query, k, 0..sv.len());
+        (MatchSet::from_unsorted(out), dp.cells_computed())
+    }
+
+    /// Rung V7 with intra-query data parallelism: the sorted view is cut
+    /// into `chunks` contiguous ranges ([`chunk_ranges`]) and each range
+    /// is scanned with its own row stack — DP state restarts (shared
+    /// prefix 0) at every chunk boundary, so any executor is correct.
+    pub fn v7_search_parallel(
+        &self,
+        query: &[u8],
+        k: u32,
+        strategy: Strategy,
+        chunks: usize,
+    ) -> MatchSet {
+        let sv = self.sorted_view();
+        let ranges = chunk_ranges(sv.len(), chunks.max(1));
+        let parts = run_queries(strategy, ranges.len(), |i| {
+            let mut dp = RowStackKernel::new(RowStackMode::Banded, query, k);
+            self.v7_scan_range(&mut dp, query, k, ranges[i].clone())
+        });
+        MatchSet::from_unsorted(parts.into_iter().flatten().collect())
+    }
+
+    /// The V7 inner loop over one contiguous range of sorted positions.
+    ///
+    /// `stack_lcp` carries the minimum LCP seen since the last record the
+    /// kernel actually processed — records skipped by the length filter
+    /// still constrain how much of the stack the next record may reuse
+    /// (the LCP range-minimum property).
+    fn v7_scan_range(
+        &self,
+        dp: &mut RowStackKernel,
+        query: &[u8],
+        k: u32,
+        range: Range<usize>,
+    ) -> Vec<Match> {
+        let sv = self.sorted_view();
+        let mut out = Vec::new();
+        let start = range.start;
+        // The first record in a range restarts from row zero.
+        let mut stack_lcp = 0usize;
+        for pos in range {
+            if pos > start {
+                stack_lcp = stack_lcp.min(sv.lcp(pos));
+            }
+            if sv.record_len(pos).abs_diff(query.len()) > k as usize {
+                continue;
+            }
+            if let Some(d) = dp.resume(sv.get(pos), stack_lcp) {
+                out.push(Match::new(sv.original_id(pos), d));
+            }
+            stack_lcp = usize::MAX;
+        }
+        out
+    }
+
     /// Rung 1: owned copies of query and candidate per comparison, naive
     /// full matrix with fresh nested allocations, no filters.
     fn v1_base(&self, query: &[u8], k: u32) -> MatchSet {
         let mut out = Vec::new();
-        for (id, record) in self.owned.iter().enumerate() {
+        for (id, record) in self.owned().iter().enumerate() {
             // Value semantics: both operands are copied for the call,
             // exactly what passing `std::string` by value does in C++.
             let q: Vec<u8> = query.to_vec();
@@ -100,7 +212,7 @@ impl<'a> SequentialScan<'a> {
     /// decisive-diagonal abort. Copies and per-call buffers remain.
     fn v2_fast_ed(&self, query: &[u8], k: u32) -> MatchSet {
         let mut out = Vec::new();
-        for (id, record) in self.owned.iter().enumerate() {
+        for (id, record) in self.owned().iter().enumerate() {
             let q: Vec<u8> = query.to_vec();
             let c: Vec<u8> = record.clone();
             if let Some(d) = ed_within_early_abort(&q, &c, k) {
@@ -114,7 +226,7 @@ impl<'a> SequentialScan<'a> {
     /// allocated per comparison (that falls in rung 4's remit).
     fn v3_borrowed(&self, query: &[u8], k: u32) -> MatchSet {
         let mut out = Vec::new();
-        for (id, record) in self.owned.iter().enumerate() {
+        for (id, record) in self.owned().iter().enumerate() {
             if let Some(d) = ed_within_early_abort(query, record, k) {
                 out.push(Match::new(id as u32, d));
             }
@@ -204,7 +316,7 @@ mod tests {
         for q in ["Berlin", "Bern", "Urm", "", "Xyz"] {
             for k in 0..4 {
                 let expected = brute_force(&ds, q.as_bytes(), k);
-                for v in SeqVariant::ladder(4) {
+                for v in SeqVariant::ladder_extended(4) {
                     assert_eq!(
                         scan.search_one(v, q.as_bytes(), k),
                         expected,
@@ -228,9 +340,78 @@ mod tests {
             ],
         };
         let baseline = scan.run(SeqVariant::V1Base, &workload);
-        for v in SeqVariant::ladder(4).into_iter().skip(1) {
+        for v in SeqVariant::ladder_extended(4).into_iter().skip(1) {
             assert_eq!(scan.run(v, &workload), baseline, "variant {v:?}");
         }
+    }
+
+    #[test]
+    fn auxiliary_structures_are_lazy() {
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        scan.search_one(SeqVariant::V4Flat, b"Berlin", 1);
+        assert!(scan.owned.get().is_none(), "V4 must not build owned copies");
+        assert!(scan.sorted.get().is_none(), "V4 must not sort");
+        scan.prepare(SeqVariant::V7SortedPrefix);
+        assert!(scan.sorted.get().is_some());
+        assert!(scan.owned.get().is_none());
+        scan.prepare(SeqVariant::V1Base);
+        assert!(scan.owned.get().is_some());
+    }
+
+    #[test]
+    fn v7_agrees_under_every_executor_and_chunking() {
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 1),
+                QueryRecord::new("zzz", 3),
+            ],
+        };
+        let baseline = scan.run(SeqVariant::V1Base, &workload);
+        for strategy in [
+            Strategy::Sequential,
+            Strategy::ThreadPerQuery,
+            Strategy::FixedPool { threads: 3 },
+            Strategy::WorkQueue { threads: 3 },
+            Strategy::Adaptive { max_threads: 3 },
+        ] {
+            assert_eq!(scan.run_v7(strategy, &workload), baseline, "{}", strategy.name());
+            for chunks in [1, 2, 7, 64] {
+                for (q, expected) in workload.queries.iter().zip(&baseline) {
+                    assert_eq!(
+                        &scan.v7_search_parallel(&q.text, q.threshold, strategy, chunks),
+                        expected,
+                        "{} chunks={chunks}",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v7_counts_fewer_cells_than_it_would_from_scratch() {
+        // Records with long shared prefixes: LCP reuse must save cells
+        // versus restarting every record at row zero (chunks = n).
+        let ds = Dataset::from_records([
+            "prefix_aaa", "prefix_aab", "prefix_abb", "prefix_bbb", "prefix_bbc",
+        ]);
+        let scan = SequentialScan::new(&ds);
+        let (_, reused_cells) = scan.v7_search(b"prefix_abc", 3);
+        let mut scratch_cells = 0;
+        for pos in 0..scan.sorted_view().len() {
+            let mut dp = RowStackKernel::new(RowStackMode::Banded, b"prefix_abc", 3);
+            scan.v7_scan_range(&mut dp, b"prefix_abc", 3, pos..pos + 1);
+            scratch_cells += dp.cells_computed();
+        }
+        assert!(
+            reused_cells < scratch_cells,
+            "reuse {reused_cells} vs scratch {scratch_cells}"
+        );
     }
 
     #[test]

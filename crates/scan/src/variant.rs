@@ -24,6 +24,12 @@ pub enum SeqVariant {
         /// Number of pool threads.
         threads: usize,
     },
+    /// Rung 7 (extension beyond the paper): sorted-prefix scan. A
+    /// one-time lexicographic sort gives the flat arena the trie's only
+    /// structural advantage — adjacency of shared prefixes — and a
+    /// resumable row-stack DP pops to `lcp[i]` between records instead
+    /// of recomputing from row zero.
+    V7SortedPrefix,
 }
 
 impl SeqVariant {
@@ -42,7 +48,24 @@ impl SeqVariant {
         ]
     }
 
-    /// The paper's row label for this rung.
+    /// The paper's six rungs plus the V7 sorted-prefix extension, for
+    /// suites that sweep everything this crate can run.
+    pub fn ladder_extended(pool_threads: usize) -> [SeqVariant; 7] {
+        [
+            SeqVariant::V1Base,
+            SeqVariant::V2FastEd,
+            SeqVariant::V3Borrowed,
+            SeqVariant::V4Flat,
+            SeqVariant::V5ThreadPerQuery,
+            SeqVariant::V6Pool {
+                threads: pool_threads,
+            },
+            SeqVariant::V7SortedPrefix,
+        ]
+    }
+
+    /// The paper's row label for this rung (extensions use the "x)"
+    /// prefix, matching the index-ladder extension rows).
     pub fn label(self) -> String {
         match self {
             SeqVariant::V1Base => "1) Base implementation".into(),
@@ -53,6 +76,7 @@ impl SeqVariant {
             SeqVariant::V6Pool { threads } => {
                 format!("6) Management of parallelism ({threads} threads)")
             }
+            SeqVariant::V7SortedPrefix => "x) Sorted-prefix scan (LCP reuse)".into(),
         }
     }
 }
@@ -67,6 +91,15 @@ mod tests {
         assert_eq!(l.len(), 6);
         assert_eq!(l[0], SeqVariant::V1Base);
         assert_eq!(l[5], SeqVariant::V6Pool { threads: 8 });
+    }
+
+    #[test]
+    fn extended_ladder_appends_v7() {
+        let l = SeqVariant::ladder_extended(8);
+        assert_eq!(l.len(), 7);
+        assert_eq!(&l[..6], &SeqVariant::ladder(8));
+        assert_eq!(l[6], SeqVariant::V7SortedPrefix);
+        assert!(SeqVariant::V7SortedPrefix.label().starts_with("x)"));
     }
 
     #[test]

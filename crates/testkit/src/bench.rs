@@ -21,7 +21,27 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Identifier of the JSON trajectory format this harness writes.
-pub const JSON_SCHEMA: &str = "simsearch-bench-v1";
+///
+/// v2 extends v1 with an optional `workload` object (dataset name,
+/// record/query counts, threshold description) and, when that metadata
+/// is present, a derived `throughput_qps` field per result. Both
+/// additions are optional, so v1 files remain a strict subset and
+/// readers of either version can consume v2 output.
+pub const JSON_SCHEMA: &str = "simsearch-bench-v2";
+
+/// Workload metadata attached to a group — what one iteration of each
+/// benchmark in the group actually processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMeta {
+    /// Dataset name (e.g. "city", "dna").
+    pub dataset: String,
+    /// Records scanned/indexed per query.
+    pub records: usize,
+    /// Queries executed per iteration.
+    pub queries: usize,
+    /// Human-readable threshold description (e.g. "k in 0..=3").
+    pub thresholds: String,
+}
 
 /// Timing knobs, deliberately shaped like the criterion settings the
 /// repository used before (10 samples over ~3 s after a short warmup).
@@ -134,7 +154,25 @@ impl Harness {
         Group {
             harness: self,
             name: name.to_string(),
+            workload: None,
             results: Vec::new(),
+        }
+    }
+
+    /// Copies a finished group's `BENCH_<group>.json` from the output
+    /// directory to the workspace root, where canonical snapshots are
+    /// committed. No-op in smoke mode or when the trajectory file is
+    /// missing.
+    pub fn publish_snapshot(&self, group: &str) {
+        if !self.measuring {
+            return;
+        }
+        let file = format!("BENCH_{group}.json");
+        let src = self.out_dir.join(&file);
+        let dst = workspace_root().join(&file);
+        match std::fs::copy(&src, &dst) {
+            Ok(_) => println!("published {}", dst.display()),
+            Err(e) => eprintln!("warning: could not publish {}: {e}", src.display()),
         }
     }
 }
@@ -144,10 +182,28 @@ impl Harness {
 pub struct Group<'a> {
     harness: &'a Harness,
     name: String,
+    workload: Option<WorkloadMeta>,
     results: Vec<BenchResult>,
 }
 
 impl Group<'_> {
+    /// Attaches workload metadata to the group's JSON output. With the
+    /// per-iteration query count known, every result also gets a derived
+    /// `throughput_qps` field.
+    pub fn set_workload(
+        &mut self,
+        dataset: &str,
+        records: usize,
+        queries: usize,
+        thresholds: &str,
+    ) {
+        self.workload = Some(WorkloadMeta {
+            dataset: dataset.to_string(),
+            records,
+            queries,
+            thresholds: thresholds.to_string(),
+        });
+    }
     /// Runs (smoke mode) or measures (bench mode) one benchmark.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
         if !self.harness.measuring {
@@ -211,11 +267,30 @@ impl Group<'_> {
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
         out.push_str(&format!("  \"group\": \"{}\",\n", escape(&self.name)));
+        if let Some(w) = &self.workload {
+            out.push_str(&format!(
+                "  \"workload\": {{\"dataset\": \"{}\", \"records\": {}, \
+                 \"queries\": {}, \"thresholds\": \"{}\"}},\n",
+                escape(&w.dataset),
+                w.records,
+                w.queries,
+                escape(&w.thresholds),
+            ));
+        }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            // One iteration runs the whole workload, so queries per
+            // second falls out of the median time when the query count
+            // is known.
+            let qps = self.workload.as_ref().map_or(String::new(), |w| {
+                format!(
+                    ", \"throughput_qps\": {:.1}",
+                    w.queries as f64 * 1e9 / r.median_ns.max(1) as f64
+                )
+            });
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"iters\": {}, \"samples\": {}, \
-                 \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}}}{}\n",
+                 \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}{}}}{}\n",
                 escape(&r.name),
                 r.iters,
                 r.samples,
@@ -223,6 +298,7 @@ impl Group<'_> {
                 r.mean_ns,
                 r.median_ns,
                 r.p95_ns,
+                qps,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -235,14 +311,16 @@ impl Group<'_> {
 /// Cargo runs bench binaries with the package directory as the working
 /// directory; walk up to the workspace root (the outermost ancestor with
 /// a `Cargo.lock`) so every target writes into the shared `target/`.
-fn default_out_dir() -> PathBuf {
+fn workspace_root() -> PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    let root = cwd
-        .ancestors()
+    cwd.ancestors()
         .filter(|d| d.join("Cargo.lock").exists())
         .last()
-        .map_or(cwd.clone(), std::path::Path::to_path_buf);
-    root.join("target").join("testkit-bench")
+        .map_or(cwd.clone(), std::path::Path::to_path_buf)
+}
+
+fn default_out_dir() -> PathBuf {
+    workspace_root().join("target").join("testkit-bench")
 }
 
 fn summarize(name: &str, iters: u64, samples_ns: &mut [u64]) -> BenchResult {
@@ -329,6 +407,32 @@ mod tests {
             "\"name\": \"busier\"",
             "median_ns",
             "p95_ns",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Without workload metadata the v1-compatible subset is written.
+        assert!(!json.contains("workload"));
+        assert!(!json.contains("throughput_qps"));
+    }
+
+    #[test]
+    fn workload_metadata_adds_throughput() {
+        let dir = tmp_dir("workload");
+        let h = Harness::with_mode(true, &dir).config(BenchConfig {
+            warmup: Duration::from_micros(200),
+            samples: 3,
+            sample_time: Duration::from_micros(200),
+        });
+        let mut g = h.group("unit_workload");
+        g.set_workload("city", 400, 50, "k in 0..=3");
+        g.bench("scan", || std::hint::black_box((0..100u32).sum::<u32>()));
+        g.finish();
+        let json = std::fs::read_to_string(dir.join("BENCH_unit_workload.json")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        for needle in [
+            "\"workload\": {\"dataset\": \"city\", \"records\": 400, \
+             \"queries\": 50, \"thresholds\": \"k in 0..=3\"}",
+            "throughput_qps",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

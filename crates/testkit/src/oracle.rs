@@ -185,6 +185,7 @@ pub fn assert_all_kernels_agree(query: &[u8], candidate: &[u8], k: u32) -> TestR
 fn challenger_kinds() -> Vec<EngineKind> {
     vec![
         EngineKind::Scan(SeqVariant::V1Base),
+        EngineKind::Scan(SeqVariant::V7SortedPrefix),
         EngineKind::Index(IdxVariant::I1BaseTrie),
         EngineKind::Index(IdxVariant::I2Compressed),
         EngineKind::IndexModern(IdxVariant::I2Compressed),
@@ -209,8 +210,9 @@ fn challenger_kinds() -> Vec<EngineKind> {
 ///
 /// The reference is the paper's final scan rung
 /// ([`SeqVariant::V4Flat`]); challenged against it are the base scan,
-/// both trie rungs (paper and modern pruning), the q-gram index, length
-/// buckets, the suffix-array engine, and the BK-tree.
+/// the V7 sorted-prefix scan, both trie rungs (paper and modern
+/// pruning), the q-gram index, length buckets, the suffix-array engine,
+/// and the BK-tree.
 pub fn assert_scan_index_equal(dataset: &Dataset, workload: &Workload) -> TestResult {
     let reference = SearchEngine::build(dataset, EngineKind::Scan(SeqVariant::V4Flat));
     let challengers: Vec<_> = challenger_kinds()

@@ -9,7 +9,7 @@ use simsearch::core::{
 
 fn all_engine_kinds() -> Vec<EngineKind> {
     let mut kinds = Vec::new();
-    for v in SeqVariant::ladder(3) {
+    for v in SeqVariant::ladder_extended(3) {
         kinds.push(EngineKind::Scan(v));
     }
     for kernel in KernelKind::ALL {

@@ -287,6 +287,36 @@ fn scan_and_indexes_agree_on_dna_workload() {
 }
 
 #[test]
+fn v7_matches_the_v1_oracle_under_every_executor() {
+    use simsearch_parallel::Strategy;
+    use simsearch_scan::{SeqVariant, SequentialScan};
+
+    let city = CityGenerator::new(0xC17E_7E57).generate(400);
+    let dna = DnaGenerator::new(0xD7A_7E57).genome_len(4_000).generate(250);
+    for (name, dataset) in [("city", city), ("dna", dna)] {
+        let alphabet = Alphabet::from_corpus(dataset.records());
+        let workload = WorkloadSpec::new(&[1, 2, 3], 1_000, 0x0007_5047_ED00).generate(&dataset, &alphabet);
+        assert_eq!(workload.len(), 1_000);
+        let scan = SequentialScan::new(&dataset);
+        let baseline = scan.run(SeqVariant::V1Base, &workload);
+        let mut strategies = vec![Strategy::Sequential, Strategy::ThreadPerQuery];
+        for threads in [1, 4, 8] {
+            strategies.push(Strategy::FixedPool { threads });
+            strategies.push(Strategy::WorkQueue { threads });
+            strategies.push(Strategy::Adaptive { max_threads: threads });
+        }
+        for strategy in strategies {
+            assert_eq!(
+                scan.run_v7(strategy, &workload),
+                baseline,
+                "{name} under {}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn random_corpora_scan_index_equivalence() {
     // Property form: fresh random corpus and workload every case, smaller
     // but adversarially shaped (empty strings, duplicate records).
