@@ -21,3 +21,37 @@ for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
     BENCH_ablation_lcp_reuse_city.json BENCH_ablation_lcp_reuse_dna.json; do
     test -f "$snapshot"
 done
+
+# Serving-layer smoke test, fully offline: boot simsearchd on an
+# ephemeral loopback port, probe HEALTH, run one query, check that
+# STATS parses as JSON (the client's --check-stats-json uses the
+# in-house validator — no python/jq needed), then SHUTDOWN and
+# require the drain to finish within a timeout.
+SIMSEARCH=./target/release/simsearch
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+"$SIMSEARCH" generate --kind city --count 2000 --seed 7 --out "$smoke_dir/city.data"
+"$SIMSEARCH" serve --data "$smoke_dir/city.data" --port 0 \
+    --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+"$SIMSEARCH" client --port "$port" --send 'HEALTH' | grep -qx 'OK healthy'
+"$SIMSEARCH" client --port "$port" --send 'QUERY 2 Berlin' | grep -q '^OK '
+"$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS' \
+    | grep -q 'simsearch-bench-v2'
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"

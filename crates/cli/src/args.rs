@@ -24,8 +24,51 @@ pub enum Command {
         /// Reference result file.
         expected: PathBuf,
     },
+    /// `simsearch serve`: run the `simsearchd` query daemon.
+    Serve(ServeArgs),
+    /// `simsearch client`: send protocol frames to a running daemon.
+    Client(ClientArgs),
     /// `simsearch help`.
     Help,
+}
+
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Data file (one record per line). `--dataset` is an alias.
+    pub data: PathBuf,
+    /// Engine selector (default: scan-sorted, the V7 kernel — it also
+    /// feeds the `dp_cells` counter in `STATS`).
+    pub engine: EngineChoice,
+    /// Engine worker threads executing micro-batch chunks.
+    pub threads: usize,
+    /// Port on loopback; 0 (the default) binds an ephemeral port, and
+    /// the server prints the actually-bound one on startup.
+    pub port: u16,
+    /// When set, the actually-bound port is also written to this file
+    /// (so scripts can find an ephemeral port without parsing stdout).
+    pub port_file: Option<PathBuf>,
+    /// Micro-batch size cap.
+    pub batch_size: usize,
+    /// Micro-batch max coalescing delay, milliseconds.
+    pub max_delay_ms: u64,
+    /// Admission-queue capacity (full queue answers `BUSY`).
+    pub queue_capacity: usize,
+    /// Per-request deadline, milliseconds (exceeded ⇒ `TIMEOUT`).
+    pub deadline_ms: u64,
+}
+
+/// Arguments of the `client` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Server host (default 127.0.0.1).
+    pub host: String,
+    /// Server port.
+    pub port: u16,
+    /// Frames to send, in order; each reply is printed on its own line.
+    pub send: Vec<String>,
+    /// Validate every `OK {…}` reply as JSON; exit non-zero otherwise.
+    pub check_stats_json: bool,
 }
 
 /// Arguments of the `join` subcommand.
@@ -73,6 +116,8 @@ pub enum EngineChoice {
     Qgram,
     /// Length-bucketed scan.
     Buckets,
+    /// LCP-resumable scan over the sorted arena (rung 7).
+    ScanSorted,
 }
 
 impl EngineChoice {
@@ -80,12 +125,13 @@ impl EngineChoice {
         match s {
             "scan" => Ok(Self::Scan),
             "scan-base" => Ok(Self::ScanBase),
+            "scan-sorted" => Ok(Self::ScanSorted),
             "trie" => Ok(Self::Trie),
             "radix" => Ok(Self::Radix),
             "qgram" => Ok(Self::Qgram),
             "buckets" => Ok(Self::Buckets),
             other => Err(format!(
-                "unknown engine '{other}' (expected scan, scan-base, trie, radix, qgram, buckets)"
+                "unknown engine '{other}' (expected scan, scan-base, scan-sorted, trie, radix, qgram, buckets)"
             )),
         }
     }
@@ -114,7 +160,7 @@ simsearch — string similarity search (EDBT 2013 reproduction)
 
 USAGE:
   simsearch search --data FILE --queries FILE [--output FILE]
-                   [--engine scan|scan-base|trie|radix|qgram|buckets]
+                   [--engine scan|scan-base|scan-sorted|trie|radix|qgram|buckets]
                    [--threads N]
   simsearch generate --kind city|dna --count N [--seed S] --out FILE
                      [--queries FILE] [--query-count N]
@@ -122,7 +168,17 @@ USAGE:
   simsearch join --data FILE --k N [--output FILE]
                  [--algo sorted|index|nested] [--threads N]
   simsearch verify --results FILE --expected FILE
+  simsearch serve --data FILE [--engine NAME] [--threads N] [--port P]
+                  [--port-file FILE] [--batch-size N] [--max-delay-ms N]
+                  [--queue-capacity N] [--deadline-ms N]
+  simsearch client --port P [--host H] --send FRAME [--send FRAME ...]
+                   [--check-stats-json]
   simsearch help
+
+The serve daemon speaks a line protocol on loopback TCP:
+  QUERY <k> <text> | TOPK <n> <text> | STATS | HEALTH | SHUTDOWN
+With --port 0 (the default) it binds an ephemeral port and prints the
+actually-bound address on stdout before accepting connections.
 ";
 
 /// Parses an argument vector (without the program name).
@@ -133,6 +189,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "search" => parse_search(rest).map(Command::Search),
+        "serve" => parse_serve(rest).map(Command::Serve),
+        "client" => parse_client(rest).map(Command::Client),
         "generate" => parse_generate(rest).map(Command::Generate),
         "join" => parse_join(rest).map(Command::Join),
         "verify" => {
@@ -250,6 +308,105 @@ fn parse_join(rest: &[String]) -> Result<JoinArgs, String> {
         output,
         algo,
         threads,
+    })
+}
+
+fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
+    let mut data = None;
+    let mut engine = EngineChoice::ScanSorted;
+    let mut threads = 4usize;
+    let mut port = 0u16;
+    let mut port_file = None;
+    let mut batch_size = 64usize;
+    let mut max_delay_ms = 1u64;
+    let mut queue_capacity = 1024usize;
+    let mut deadline_ms = 10_000u64;
+    let int = |v: &str, flag: &str| -> Result<u64, String> {
+        v.parse().map_err(|_| format!("{flag} needs an integer"))
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--data" | "--dataset" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
+            "--engine" => engine = EngineChoice::parse(value(&mut it, "--engine")?)?,
+            "--threads" => {
+                threads = int(value(&mut it, "--threads")?, "--threads")? as usize;
+                if threads == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+            }
+            "--port" => {
+                port = value(&mut it, "--port")?
+                    .parse()
+                    .map_err(|_| "--port needs an integer in 0..=65535".to_string())?
+            }
+            "--port-file" => {
+                port_file = Some(PathBuf::from(value(&mut it, "--port-file")?))
+            }
+            "--batch-size" => {
+                batch_size = int(value(&mut it, "--batch-size")?, "--batch-size")? as usize;
+                if batch_size == 0 {
+                    return Err("--batch-size needs a positive integer".into());
+                }
+            }
+            "--max-delay-ms" => {
+                max_delay_ms = int(value(&mut it, "--max-delay-ms")?, "--max-delay-ms")?
+            }
+            "--queue-capacity" => {
+                queue_capacity =
+                    int(value(&mut it, "--queue-capacity")?, "--queue-capacity")? as usize;
+                if queue_capacity == 0 {
+                    return Err("--queue-capacity needs a positive integer".into());
+                }
+            }
+            "--deadline-ms" => {
+                deadline_ms = int(value(&mut it, "--deadline-ms")?, "--deadline-ms")?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(ServeArgs {
+        data: data.ok_or("serve requires --data")?,
+        engine,
+        threads,
+        port,
+        port_file,
+        batch_size,
+        max_delay_ms,
+        queue_capacity,
+        deadline_ms,
+    })
+}
+
+fn parse_client(rest: &[String]) -> Result<ClientArgs, String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port = None;
+    let mut send = Vec::new();
+    let mut check_stats_json = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--host" => host = value(&mut it, "--host")?.clone(),
+            "--port" => {
+                port = Some(
+                    value(&mut it, "--port")?
+                        .parse()
+                        .map_err(|_| "--port needs an integer in 0..=65535".to_string())?,
+                )
+            }
+            "--send" => send.push(value(&mut it, "--send")?.clone()),
+            "--check-stats-json" => check_stats_json = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if send.is_empty() {
+        return Err("client requires at least one --send FRAME".into());
+    }
+    Ok(ClientArgs {
+        host,
+        port: port.ok_or("client requires --port")?,
+        send,
+        check_stats_json,
     })
 }
 
@@ -371,6 +528,87 @@ mod tests {
         assert!(matches!(cmd, Command::Verify { .. }));
         assert!(parse(&v(&["join", "--data", "d", "--k", "1", "--algo", "quantum"])).is_err());
         assert!(parse(&v(&["verify", "--results", "a"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let cmd = parse(&v(&["serve", "--data", "d.txt"])).unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.engine, EngineChoice::ScanSorted);
+                assert_eq!(s.port, 0, "ephemeral port is the default");
+                assert_eq!(s.threads, 4);
+                assert_eq!(s.batch_size, 64);
+                assert!(s.port_file.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_with_every_flag() {
+        let cmd = parse(&v(&[
+            "serve", "--dataset", "d.txt", "--engine", "radix", "--threads", "2",
+            "--port", "9999", "--port-file", "p.txt", "--batch-size", "8",
+            "--max-delay-ms", "5", "--queue-capacity", "32", "--deadline-ms", "250",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.data, PathBuf::from("d.txt"), "--dataset aliases --data");
+                assert_eq!(s.engine, EngineChoice::Radix);
+                assert_eq!(s.threads, 2);
+                assert_eq!(s.port, 9999);
+                assert_eq!(s.port_file, Some(PathBuf::from("p.txt")));
+                assert_eq!(s.batch_size, 8);
+                assert_eq!(s.max_delay_ms, 5);
+                assert_eq!(s.queue_capacity, 32);
+                assert_eq!(s.deadline_ms, 250);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_client() {
+        let cmd = parse(&v(&[
+            "client", "--port", "4100", "--send", "HEALTH", "--send", "QUERY 2 Berlin",
+            "--check-stats-json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client(c) => {
+                assert_eq!(c.host, "127.0.0.1");
+                assert_eq!(c.port, 4100);
+                assert_eq!(c.send, vec!["HEALTH".to_string(), "QUERY 2 Berlin".to_string()]);
+                assert!(c.check_stats_json);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_and_client_reject_bad_input() {
+        assert!(parse(&v(&["serve"])).is_err()); // missing --data
+        assert!(parse(&v(&["serve", "--data", "d", "--threads", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--data", "d", "--batch-size", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--data", "d", "--port", "70000"])).is_err());
+        assert!(parse(&v(&["serve", "--data", "d", "--engine", "warp"])).is_err());
+        assert!(parse(&v(&["client", "--port", "1"])).is_err()); // no --send
+        assert!(parse(&v(&["client", "--send", "HEALTH"])).is_err()); // no --port
+        assert!(parse(&v(&["client", "--port", "x", "--send", "HEALTH"])).is_err());
+    }
+
+    #[test]
+    fn search_accepts_the_sorted_scan_engine() {
+        let cmd = parse(&v(&[
+            "search", "--data", "d", "--queries", "q", "--engine", "scan-sorted",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Search(a) => assert_eq!(a.engine, EngineChoice::ScanSorted),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]

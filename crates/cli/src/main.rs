@@ -6,7 +6,7 @@
 
 mod args;
 
-use args::{Command, EngineChoice, GenerateArgs, JoinArgs, SearchArgs, USAGE};
+use args::{ClientArgs, Command, EngineChoice, GenerateArgs, JoinArgs, SearchArgs, ServeArgs, USAGE};
 use simsearch_core::{
     experiment::time, EngineKind, IdxVariant, SearchEngine, SeqVariant, Strategy,
 };
@@ -34,6 +34,8 @@ fn main() -> ExitCode {
         Command::Stats { data } => run_stats(&data),
         Command::Join(j) => run_join(j),
         Command::Verify { results, expected } => run_verify(&results, &expected),
+        Command::Serve(s) => run_serve(s),
+        Command::Client(c) => run_client(c),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -60,6 +62,7 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
             SeqVariant::V4Flat
         }),
         EngineChoice::ScanBase => EngineKind::Scan(SeqVariant::V1Base),
+        EngineChoice::ScanSorted => EngineKind::Scan(SeqVariant::V7SortedPrefix),
         EngineChoice::Trie => EngineKind::Index(IdxVariant::I1BaseTrie),
         EngineChoice::Radix => EngineKind::Index(if a.threads > 1 {
             IdxVariant::I3Pool { threads: a.threads }
@@ -93,6 +96,87 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
                     .map_err(|e| format!("writing stdout: {e}"))?;
             }
         }
+    }
+    Ok(())
+}
+
+/// Engine selection for the daemon: concurrency comes from the batch
+/// workers, so every choice maps to a single-threaded kernel.
+fn serve_engine_kind(choice: EngineChoice) -> EngineKind {
+    match choice {
+        EngineChoice::Scan => EngineKind::Scan(SeqVariant::V4Flat),
+        EngineChoice::ScanBase => EngineKind::Scan(SeqVariant::V1Base),
+        EngineChoice::ScanSorted => EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        EngineChoice::Trie => EngineKind::Index(IdxVariant::I1BaseTrie),
+        EngineChoice::Radix => EngineKind::Index(IdxVariant::I2Compressed),
+        EngineChoice::Qgram => EngineKind::Qgram {
+            q: 2,
+            strategy: Strategy::Sequential,
+        },
+        EngineChoice::Buckets => EngineKind::Buckets {
+            strategy: Strategy::Sequential,
+        },
+    }
+}
+
+fn run_serve(a: ServeArgs) -> Result<(), String> {
+    use std::time::Duration;
+    let dataset = io::read_dataset(&a.data).map_err(|e| format!("reading {:?}: {e}", a.data))?;
+    let label = a
+        .data
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".into());
+    let config = simsearch_serve::ServerConfig {
+        port: a.port,
+        dataset_label: label,
+        batch: simsearch_serve::BatchConfig {
+            threads: a.threads,
+            batch_size: a.batch_size,
+            max_delay: Duration::from_millis(a.max_delay_ms),
+            queue_capacity: a.queue_capacity,
+            deadline: Duration::from_millis(a.deadline_ms),
+            ..simsearch_serve::BatchConfig::default()
+        },
+        ..simsearch_serve::ServerConfig::default()
+    };
+    let records = dataset.len();
+    let handle = simsearch_serve::spawn(dataset, serve_engine_kind(a.engine), config)
+        .map_err(|e| format!("binding 127.0.0.1:{}: {e}", a.port))?;
+    // The actually-bound address, on stdout, before any connection is
+    // served — scripts pointing at `--port 0` parse this line. Rust's
+    // stdout is line-buffered, so the line is visible immediately.
+    println!("simsearchd listening on {}", handle.addr());
+    eprintln!(
+        "serving {records} records from {:?}; send SHUTDOWN to stop",
+        a.data
+    );
+    if let Some(path) = &a.port_file {
+        std::fs::write(path, format!("{}\n", handle.port()))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+    }
+    handle.join(); // returns once a SHUTDOWN frame has drained the server
+    eprintln!("simsearchd drained and exited");
+    Ok(())
+}
+
+fn run_client(a: ClientArgs) -> Result<(), String> {
+    let mut client = simsearch_serve::Client::connect((a.host.as_str(), a.port))
+        .map_err(|e| format!("connecting to {}:{}: {e}", a.host, a.port))?;
+    for frame in &a.send {
+        let reply = client
+            .send_raw(frame.as_bytes())
+            .map_err(|e| format!("sending {frame:?}: {e}"))?;
+        let line = String::from_utf8_lossy(&reply).into_owned();
+        if a.check_stats_json {
+            if let Some(json) = line.strip_prefix("OK ") {
+                if json.starts_with('{') {
+                    simsearch_serve::json::validate(json)
+                        .map_err(|e| format!("reply to {frame:?} is not valid JSON: {e}"))?;
+                }
+            }
+        }
+        println!("{line}");
     }
     Ok(())
 }

@@ -216,6 +216,24 @@ impl<'a> SearchEngine<'a> {
         }
     }
 
+    /// Wraps a pre-built [`SequentialScan`] as a scan engine without
+    /// rebuilding its auxiliary structures — the serving layer's entry
+    /// point: the daemon calls [`SequentialScan::prepare`] once at
+    /// startup and every subsequent request reuses the prepared state
+    /// (owned copies, sorted view) across its whole lifetime.
+    ///
+    /// `prepare(variant)` is still invoked here (it is idempotent), so a
+    /// caller that forgot to prepare pays the cost now rather than in
+    /// the first query.
+    pub fn from_scan(scan: SequentialScan<'a>, variant: SeqVariant) -> Self {
+        scan.prepare(variant);
+        Self {
+            dataset: scan.dataset(),
+            kind: EngineKind::Scan(variant),
+            backend: Backend::Scan(scan, variant),
+        }
+    }
+
     /// The engine's kind.
     pub fn kind(&self) -> EngineKind {
         self.kind
@@ -299,6 +317,24 @@ impl<'a> SearchEngine<'a> {
             Backend::Bk(tree, strategy) => run_queries(*strategy, workload.len(), |i| {
                 let q = &workload.queries[i];
                 tree.search(self.dataset, &q.text, q.threshold)
+            }),
+        }
+    }
+
+    /// Executes a workload under an explicit executor, overriding
+    /// whatever scheduling the engine kind implies. The serving layer's
+    /// micro-batches go through here: the batch scheduler picks the
+    /// strategy per batch (sequential for tiny batches, pooled for
+    /// large ones) regardless of which rung answers the queries.
+    ///
+    /// Scan backends route single queries through the rung's kernel, so
+    /// results are identical to [`SearchEngine::run`] for every kind.
+    pub fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
+        match &self.backend {
+            Backend::ScanCustom(scan, kernel, _) => scan.run_with(*kernel, strategy, workload),
+            _ => run_queries(strategy, workload.len(), |i| {
+                let q = &workload.queries[i];
+                self.search(&q.text, q.threshold)
             }),
         }
     }
@@ -403,6 +439,62 @@ mod tests {
         let expected = engines[0].run(&workload);
         for e in &engines[1..] {
             assert_eq!(e.run(&workload), expected, "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn from_scan_reuses_prepared_state_and_agrees() {
+        let ds = dataset();
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 0),
+            ],
+        };
+        let reference = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let expected = reference.run(&workload);
+        for v in [
+            SeqVariant::V4Flat,
+            SeqVariant::V7SortedPrefix,
+            SeqVariant::V1Base,
+        ] {
+            let scan = simsearch_scan::SequentialScan::new(&ds);
+            scan.prepare(v);
+            let engine = SearchEngine::from_scan(scan, v);
+            assert_eq!(engine.kind(), EngineKind::Scan(v));
+            assert_eq!(engine.run(&workload), expected, "variant {v:?}");
+            assert_eq!(engine.dataset().len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn run_with_strategy_matches_run_for_every_engine() {
+        let ds = dataset();
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Bonn", 1),
+                QueryRecord::new("zzz", 3),
+                QueryRecord::new("", 1),
+            ],
+        };
+        for kind in all_kinds() {
+            let engine = SearchEngine::build(&ds, kind);
+            let expected = engine.run(&workload);
+            for strategy in [
+                Strategy::Sequential,
+                Strategy::FixedPool { threads: 2 },
+                Strategy::WorkQueue { threads: 3 },
+            ] {
+                assert_eq!(
+                    engine.run_with_strategy(&workload, strategy),
+                    expected,
+                    "engine {} strategy {}",
+                    engine.name(),
+                    strategy.name()
+                );
+            }
         }
     }
 

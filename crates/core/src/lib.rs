@@ -31,7 +31,7 @@ pub mod verify;
 
 pub use engine::{EngineKind, IdxVariant, SearchEngine};
 pub use join::{CrossPair, JoinPair};
-pub use topk::search_top_k;
+pub use topk::{search_top_k, search_top_k_with};
 pub use experiment::{
     measure_extrapolated, measure_per_threshold, measure_prefixes, Measurement, QUERY_COUNTS,
 };

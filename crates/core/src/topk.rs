@@ -36,12 +36,24 @@ pub fn search_top_k(
     count: usize,
     max_radius: u32,
 ) -> Vec<Match> {
+    search_top_k_with(|radius| engine.search(query, radius), count, max_radius)
+}
+
+/// The iterative-deepening loop behind [`search_top_k`], generic over
+/// the threshold-search probe. Callers that are not a [`SearchEngine`]
+/// (the serving layer answers through a prepared scan that also counts
+/// DP cells) reuse the deepening logic through this entry point.
+pub fn search_top_k_with(
+    mut probe: impl FnMut(u32) -> simsearch_data::MatchSet,
+    count: usize,
+    max_radius: u32,
+) -> Vec<Match> {
     if count == 0 {
         return Vec::new();
     }
     let mut radius = 0u32;
     loop {
-        let found = engine.search(query, radius);
+        let found = probe(radius);
         if found.len() >= count || radius >= max_radius {
             // All records with distance ≤ radius are present, so the
             // `count` smallest of them are the global top-k (any record

@@ -43,8 +43,9 @@ impl<'a> SequentialScan<'a> {
         }
     }
 
-    /// The underlying dataset.
-    pub fn dataset(&self) -> &Dataset {
+    /// The underlying dataset (with the dataset's own lifetime, so
+    /// callers can keep the reference after the scan moves).
+    pub fn dataset(&self) -> &'a Dataset {
         self.dataset
     }
 

@@ -1,0 +1,141 @@
+//! The daemon-side engine wrapper: one prepared engine, shared by every
+//! request for the server's whole lifetime.
+//!
+//! Two concerns separate this from using [`SearchEngine`] directly:
+//! auxiliary state must be built once at startup (the whole point of a
+//! long-lived server — `prepare()`d owned copies / sorted views are
+//! reused across requests, where the batch CLI rebuilds them per
+//! process), and the V7 row-stack kernel reports the DP cells it
+//! computes, which feeds the metrics registry's `dp_cells` counter.
+
+use simsearch_core::{search_top_k, search_top_k_with, EngineKind, SearchEngine};
+use simsearch_data::{Dataset, Match, MatchSet};
+use simsearch_scan::{SeqVariant, SequentialScan};
+
+enum Inner<'a> {
+    /// The V7 sorted-prefix scan, kept unwrapped so every answer also
+    /// yields its DP-cell count (the PR 2 diagnostics).
+    V7(SequentialScan<'a>),
+    /// Any other engine, behind the uniform [`SearchEngine`] interface.
+    /// Scan rungs arrive here through [`SearchEngine::from_scan`], so
+    /// their prepared state is likewise built exactly once.
+    Engine(SearchEngine<'a>),
+}
+
+/// The engine a running `simsearchd` answers with.
+pub(crate) struct ServedEngine<'a> {
+    inner: Inner<'a>,
+    name: String,
+    records: usize,
+}
+
+impl<'a> ServedEngine<'a> {
+    /// Builds (and prepares) the engine once, at server startup.
+    pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
+        let name = kind.name();
+        let records = dataset.len();
+        let inner = match kind {
+            EngineKind::Scan(SeqVariant::V7SortedPrefix) => {
+                let scan = SequentialScan::new(dataset);
+                scan.prepare(SeqVariant::V7SortedPrefix);
+                Inner::V7(scan)
+            }
+            EngineKind::Scan(variant) => {
+                let scan = SequentialScan::new(dataset);
+                scan.prepare(variant);
+                Inner::Engine(SearchEngine::from_scan(scan, variant))
+            }
+            other => Inner::Engine(SearchEngine::build(dataset, other)),
+        };
+        Self {
+            inner,
+            name,
+            records,
+        }
+    }
+
+    /// Engine label for `STATS`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dataset size for `STATS`.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Threshold search: all records within `k`, plus the DP cells the
+    /// kernel reports (0 for kernels without cell counting).
+    pub fn search(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        match &self.inner {
+            Inner::V7(scan) => scan.v7_search(query, k),
+            Inner::Engine(engine) => (engine.search(query, k), 0),
+        }
+    }
+
+    /// Top-k search by iterative deepening, accumulating DP cells over
+    /// the deepening probes.
+    pub fn topk(&self, query: &[u8], count: usize, max_radius: u32) -> (Vec<Match>, u64) {
+        match &self.inner {
+            Inner::V7(scan) => {
+                let mut cells = 0u64;
+                let matches = search_top_k_with(
+                    |radius| {
+                        let (m, c) = scan.v7_search(query, radius);
+                        cells += c;
+                        m
+                    },
+                    count,
+                    max_radius,
+                );
+                (matches, cells)
+            }
+            Inner::Engine(engine) => (search_top_k(engine, query, count, max_radius), 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_core::IdxVariant;
+
+    fn dataset() -> Dataset {
+        Dataset::from_records(["Berlin", "Bern", "Bonn", "Ulm", "Berlingen", ""])
+    }
+
+    #[test]
+    fn served_engines_agree_with_the_reference() {
+        let ds = dataset();
+        let reference = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let kinds = [
+            EngineKind::Scan(SeqVariant::V4Flat),
+            EngineKind::Scan(SeqVariant::V7SortedPrefix),
+            EngineKind::Index(IdxVariant::I2Compressed),
+        ];
+        for kind in kinds {
+            let engine = ServedEngine::build(&ds, kind);
+            for q in ["Berlin", "Urm", ""] {
+                for k in 0..3 {
+                    let (want, _) = reference.search(q.as_bytes(), k);
+                    let (got, _) = engine.search(q.as_bytes(), k);
+                    assert_eq!(got, want, "{} q={q} k={k}", engine.name());
+                }
+                let (want_top, _) = reference.topk(q.as_bytes(), 3, 16);
+                let (got_top, _) = engine.topk(q.as_bytes(), 3, 16);
+                assert_eq!(got_top, want_top, "{} topk q={q}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn v7_reports_dp_cells() {
+        let ds = dataset();
+        let engine = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V7SortedPrefix));
+        let (_, cells) = engine.search(b"Berlin", 2);
+        assert!(cells > 0, "the V7 kernel counts its DP cells");
+        let (_, flat_cells) =
+            ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat)).search(b"Berlin", 2);
+        assert_eq!(flat_cells, 0, "uncounted kernels report zero");
+    }
+}

@@ -1,0 +1,217 @@
+//! A minimal JSON validator (RFC 8259 grammar, no value tree).
+//!
+//! The CI gate asserts "`STATS` parses as JSON" on machines with no
+//! Python or `jq`, and the client's `--check-stats-json` flag needs the
+//! same check — so the workspace carries its own ~100-line validator
+//! rather than an external parser, matching the zero-dependency policy.
+
+/// Checks that `input` is exactly one valid JSON value (with optional
+/// surrounding whitespace). Returns the byte offset and a message on
+/// the first violation.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn err(pos: usize, what: &str) -> String {
+    format!("invalid JSON at byte {pos}: {what}")
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        Some(&c) => Err(err(*pos, &format!("unexpected byte 0x{c:02x}"))),
+        None => Err(err(*pos, "unexpected end of input")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, "bad literal"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(err(*pos, "bad \\u escape"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+            }
+            0x00..=0x1f => return Err(err(*pos, "raw control byte in string")),
+            _ => *pos += 1,
+        }
+    }
+    Err(err(*pos, "unterminated string"))
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(err(*pos, "expected digit")),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(err(*pos, "expected fraction digit"));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(err(*pos, "expected exponent digit"));
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            "\"a \\\"quoted\\\" string\\n\"",
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": true}",
+            "  { \"x\" : 0 }  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "{]",
+            "{\"a\":}",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"raw\ncontrol\"",
+            "{} extra",
+            "nul",
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+}

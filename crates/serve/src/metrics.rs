@@ -1,0 +1,369 @@
+//! The `simsearchd` metrics registry: atomic counters, gauges, and
+//! log-linear histograms, snapshotted into the testkit's bench JSON
+//! schema by `STATS`.
+//!
+//! Everything on the hot path is a relaxed atomic operation — one
+//! `fetch_add` per counter bump, three per histogram observation — so
+//! recording a metric never takes a lock and never blocks a worker.
+//! Snapshots are taken while traffic continues; they are internally
+//! *approximately* consistent (counters may be a few events apart),
+//! which is the standard contract for serving metrics.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (queue depth, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicUsize);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: usize) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power of two is split into 16 linear
+/// sub-buckets, bounding the relative quantile error at 1/16 ≈ 6.25%.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16
+/// Values below `SUB` get exact single-value buckets; above, one bucket
+/// per (exponent, sub-bucket) pair up to `u64::MAX`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A fixed-size log-linear histogram over `u64` values (latencies in
+/// nanoseconds, batch sizes, queue depths — any non-negative quantity).
+///
+/// `observe` is three relaxed atomic RMWs; `quantile` walks at most
+/// [`BUCKETS`] counters. Quantiles are upper bounds of the hit bucket,
+/// so `quantile(q)` ≥ the true q-quantile and overshoots by at most one
+/// sub-bucket width (6.25% relative, exact below 16).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) - SUB as u64) as usize;
+    SUB + ((exp - SUB_BITS) as usize) * SUB + sub
+}
+
+/// Largest value that maps to `index` (the reported representative).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB {
+        return index as u64;
+    }
+    let exp = SUB_BITS + ((index - SUB) / SUB) as u32;
+    let sub = ((index - SUB) % SUB) as u64;
+    let lower = (SUB as u64 + sub) << (exp - SUB_BITS);
+    // Width-minus-one first: the top bucket's upper bound is u64::MAX
+    // exactly, so `lower + width` would overflow.
+    lower + ((1u64 << (exp - SUB_BITS)) - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array from a vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec built with BUCKETS elements"));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Largest recorded value (exact; 0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The q-quantile by nearest rank over bucket upper bounds
+    /// (0 when empty). `quantile(0.0)` is the smallest occupied bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        // Counter updates racing the walk can leave `seen < rank`; the
+        // max is the correct upper bound then.
+        self.max()
+    }
+}
+
+/// The registry: every metric `simsearchd` exposes through `STATS`.
+///
+/// Field groups mirror the request lifecycle: admission (accepted /
+/// rejected / queue depth), scheduling (batches, batch size), execution
+/// (latency, DP cells), and replies by outcome.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests admitted to the queue (QUERY/TOPK only).
+    pub requests_admitted: Counter,
+    /// Requests rejected with `BUSY` (queue full).
+    pub rejected_busy: Counter,
+    /// Requests dropped with `TIMEOUT` (deadline exceeded in queue).
+    pub dropped_timeout: Counter,
+    /// Malformed or unservable frames answered with `ERR`.
+    pub replied_error: Counter,
+    /// Successful `OK` match replies.
+    pub replied_ok: Counter,
+    /// Micro-batches executed.
+    pub batches: Counter,
+    /// Queries per micro-batch.
+    pub batch_size: Histogram,
+    /// Admission-queue depth sampled at each scheduler pass.
+    pub queue_depth: Gauge,
+    /// End-to-end request latency (admission to reply), nanoseconds.
+    pub latency_ns: Histogram,
+    /// DP cells computed by the engine's kernel, when the kernel counts
+    /// them (the V7 row-stack diagnostics; 0 for kernels that don't).
+    pub dp_cells: Counter,
+    /// Client connections accepted.
+    pub connections: Counter,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the `STATS` snapshot: single-line JSON in the testkit
+    /// bench trajectory shape (`schema` = `simsearch-bench-v2`, a
+    /// `workload` object, and histogram summaries under `results`),
+    /// extended with a `counters` object for the non-histogram metrics.
+    /// Readers of the bench schema can consume the subset unchanged.
+    pub fn stats_json(&self, engine: &str, dataset: &str, records: usize, started: Instant) -> String {
+        let hist = |name: &str, h: &Histogram| {
+            format!(
+                "{{\"name\": \"{name}\", \"iters\": 1, \"samples\": {}, \
+                 \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}, \
+                 \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                h.count(),
+                h.quantile(0.0),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max(),
+            )
+        };
+        format!(
+            "{{\"schema\": \"{}\", \"group\": \"simsearchd\", \
+             \"workload\": {{\"dataset\": \"{}\", \"records\": {records}, \
+             \"queries\": {}, \"thresholds\": \"engine={}\"}}, \
+             \"results\": [{}, {}], \
+             \"counters\": {{\"requests_admitted\": {}, \"rejected_busy\": {}, \
+             \"dropped_timeout\": {}, \"replied_error\": {}, \"replied_ok\": {}, \
+             \"batches\": {}, \"queue_depth\": {}, \"dp_cells\": {}, \
+             \"connections\": {}, \"uptime_ms\": {}}}}}",
+            crate::STATS_SCHEMA,
+            json_escape(dataset),
+            self.requests_admitted.get(),
+            json_escape(engine),
+            hist("request_latency", &self.latency_ns),
+            hist("batch_size", &self.batch_size),
+            self.requests_admitted.get(),
+            self.rejected_busy.get(),
+            self.dropped_timeout.get(),
+            self.replied_error.get(),
+            self.replied_ok.get(),
+            self.batches.get(),
+            self.queue_depth.get(),
+            self.dp_cells.get(),
+            self.connections.get(),
+            started.elapsed().as_millis(),
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_data::rng::Xoshiro256;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_total() {
+        let mut last = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= last, "bucket index must be monotone in v");
+            assert!(bucket_upper(idx) >= v, "upper bound covers v={v}");
+            last = idx;
+        }
+        // Exact small-value buckets.
+        for v in 0..16u64 {
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_vector_reference_within_bucket_error() {
+        // Deterministic seed, as the satellite task prescribes.
+        let mut rng = Xoshiro256::seed_from_u64(0x5EED_F00D);
+        let hist = Histogram::new();
+        let mut reference: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            // Log-uniform-ish spread: latencies from ns to seconds.
+            let shift = rng.next_u64() % 30;
+            let v = rng.next_u64() % (1u64 << (34 - shift));
+            hist.observe(v);
+            reference.push(v);
+        }
+        reference.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * reference.len() as f64).ceil() as usize)
+                .clamp(1, reference.len());
+            let truth = reference[rank - 1];
+            let got = hist.quantile(q);
+            // The histogram reports its bucket's upper bound: never
+            // below the truth, at most one sub-bucket (6.25%) above.
+            assert!(got >= truth, "q={q}: got {got} < truth {truth}");
+            let bound = truth + truth / 16 + 1;
+            assert!(got <= bound, "q={q}: got {got} > bound {bound}");
+        }
+        assert_eq!(hist.count(), 10_000);
+        assert_eq!(hist.max(), *reference.last().unwrap());
+        let mean_truth = reference.iter().sum::<u64>() / reference.len() as u64;
+        assert_eq!(hist.mean(), mean_truth);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = Metrics::new();
+        m.requests_admitted.inc();
+        m.requests_admitted.add(4);
+        m.queue_depth.set(17);
+        assert_eq!(m.requests_admitted.get(), 5);
+        assert_eq!(m.queue_depth.get(), 17);
+    }
+
+    #[test]
+    fn stats_json_is_valid_and_carries_histograms() {
+        let m = Metrics::new();
+        m.latency_ns.observe(1_000);
+        m.latency_ns.observe(2_000);
+        m.batch_size.observe(2);
+        m.batches.inc();
+        m.replied_ok.add(2);
+        let json = m.stats_json("scan[x) Sorted-prefix scan]", "city", 1234, Instant::now());
+        crate::json::validate(&json).unwrap();
+        for needle in [
+            "\"schema\": \"simsearch-bench-v2\"",
+            "\"group\": \"simsearchd\"",
+            "\"records\": 1234",
+            "\"request_latency\"",
+            "\"batch_size\"",
+            "\"replied_ok\": 2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(!json.contains('\n'), "STATS must stay one frame");
+    }
+}

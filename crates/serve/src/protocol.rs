@@ -1,0 +1,392 @@
+//! The `simsearchd` wire protocol: newline-delimited frames over a
+//! byte stream.
+//!
+//! Grammar (one frame per line, LF-terminated; bytes, not UTF-8):
+//!
+//! ```text
+//! request  = "QUERY" SP integer SP text      ; all records within k
+//!          / "TOPK"  SP integer SP text      ; the count nearest records
+//!          / "STATS"                         ; metrics snapshot (JSON)
+//!          / "HEALTH"                        ; liveness probe
+//!          / "SHUTDOWN"                      ; drain and exit
+//! text     = *OCTET                          ; no LF, no CR
+//!
+//! response = "OK" SP payload
+//!          / "BUSY"                          ; admission queue full
+//!          / "TIMEOUT"                       ; per-request deadline hit
+//!          / "ERR" SP message
+//! payload  = "healthy" / "bye" / matches / json
+//! matches  = integer [SP match *("," match)] ; count, then id:distance
+//! match    = integer ":" integer
+//! json     = "{" …single-line JSON… "}"
+//! ```
+//!
+//! Every parser here is total: malformed input yields a
+//! [`ProtocolError`], never a panic (property-tested against arbitrary
+//! byte soup), and `parse(encode(x)) == x` for every value (round-trip
+//! property). Frames longer than [`MAX_LINE_BYTES`] are rejected before
+//! any allocation proportional to their length.
+
+use simsearch_data::{Match, MatchSet};
+
+/// Upper bound on one frame, terminator excluded. Connections reject
+/// longer lines (and close, since framing is lost beyond this point).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY <k> <text>`: all records within edit distance `k`.
+    Query {
+        /// Distance threshold.
+        k: u32,
+        /// Query string (byte semantics, like the records).
+        text: Vec<u8>,
+    },
+    /// `TOPK <count> <text>`: the `count` nearest records.
+    TopK {
+        /// How many nearest records to return.
+        count: u32,
+        /// Query string.
+        text: Vec<u8>,
+    },
+    /// `STATS`: one-line JSON metrics snapshot.
+    Stats,
+    /// `HEALTH`: liveness probe.
+    Health,
+    /// `SHUTDOWN`: stop accepting, drain queued requests, exit.
+    Shutdown,
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <n> id:d,id:d,…`: the matches of a `QUERY`/`TOPK`.
+    Matches(Vec<Match>),
+    /// `BUSY`: the bounded admission queue is full — retry later.
+    Busy,
+    /// `TIMEOUT`: the request waited past its deadline and was dropped.
+    Timeout,
+    /// `OK healthy`: reply to `HEALTH`.
+    Healthy,
+    /// `OK {…}`: reply to `STATS` (single-line JSON).
+    Stats(String),
+    /// `OK bye`: reply to `SHUTDOWN`; the server drains and exits.
+    Bye,
+    /// `ERR <message>`: the request was malformed or unservable.
+    Error(String),
+}
+
+/// Why a frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame is empty.
+    Empty,
+    /// The frame exceeds [`MAX_LINE_BYTES`].
+    TooLong,
+    /// The first word is not a known verb.
+    UnknownVerb(String),
+    /// A numeric field did not parse as the expected integer type.
+    BadInteger(String),
+    /// The verb requires `<int> <text>` fields that are missing.
+    MissingFields(&'static str),
+    /// The frame contains a CR or LF where none is allowed.
+    BadByte,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty frame"),
+            ProtocolError::TooLong => {
+                write!(f, "frame exceeds {MAX_LINE_BYTES} bytes")
+            }
+            ProtocolError::UnknownVerb(v) => write!(
+                f,
+                "unknown verb '{v}' (expected QUERY, TOPK, STATS, HEALTH, SHUTDOWN)"
+            ),
+            ProtocolError::BadInteger(s) => write!(f, "bad integer '{s}'"),
+            ProtocolError::MissingFields(verb) => {
+                write!(f, "{verb} requires '<integer> <text>'")
+            }
+            ProtocolError::BadByte => write!(f, "frame contains CR/LF"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn check_frame(line: &[u8]) -> Result<(), ProtocolError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError::TooLong);
+    }
+    if line.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    if line.iter().any(|&b| b == b'\n' || b == b'\r') {
+        return Err(ProtocolError::BadByte);
+    }
+    Ok(())
+}
+
+/// Splits `VERB <int> <text>` after the verb: the integer word and the
+/// raw remainder (which may be empty and may contain spaces).
+fn int_and_text<'a>(
+    rest: &'a [u8],
+    verb: &'static str,
+) -> Result<(u32, &'a [u8]), ProtocolError> {
+    let sep = rest
+        .iter()
+        .position(|&b| b == b' ')
+        .ok_or(ProtocolError::MissingFields(verb))?;
+    let (num, text) = rest.split_at(sep);
+    let num = std::str::from_utf8(num)
+        .map_err(|_| ProtocolError::BadInteger(String::from_utf8_lossy(num).into_owned()))?;
+    let value: u32 = num
+        .parse()
+        .map_err(|_| ProtocolError::BadInteger(num.to_string()))?;
+    Ok((value, &text[1..]))
+}
+
+/// Parses one request frame (line terminator already stripped).
+pub fn parse_request(line: &[u8]) -> Result<Request, ProtocolError> {
+    check_frame(line)?;
+    match line {
+        b"STATS" => return Ok(Request::Stats),
+        b"HEALTH" => return Ok(Request::Health),
+        b"SHUTDOWN" => return Ok(Request::Shutdown),
+        _ => {}
+    }
+    if let Some(rest) = line.strip_prefix(b"QUERY ") {
+        let (k, text) = int_and_text(rest, "QUERY")?;
+        return Ok(Request::Query {
+            k,
+            text: text.to_vec(),
+        });
+    }
+    if let Some(rest) = line.strip_prefix(b"TOPK ") {
+        let (count, text) = int_and_text(rest, "TOPK")?;
+        return Ok(Request::TopK {
+            count,
+            text: text.to_vec(),
+        });
+    }
+    let verb = line.split(|&b| b == b' ').next().unwrap_or(line);
+    Err(ProtocolError::UnknownVerb(
+        String::from_utf8_lossy(verb).into_owned(),
+    ))
+}
+
+/// Encodes a request as one frame, terminator excluded.
+///
+/// # Panics
+/// Panics if the query text contains CR or LF — such a request is not
+/// representable on the wire; validate user input before building one.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let frame = |verb: &str, n: u32, text: &[u8]| {
+        assert!(
+            !text.iter().any(|&b| b == b'\n' || b == b'\r'),
+            "query text contains CR/LF"
+        );
+        let mut out = format!("{verb} {n} ").into_bytes();
+        out.extend_from_slice(text);
+        out
+    };
+    match request {
+        Request::Query { k, text } => frame("QUERY", *k, text),
+        Request::TopK { count, text } => frame("TOPK", *count, text),
+        Request::Stats => b"STATS".to_vec(),
+        Request::Health => b"HEALTH".to_vec(),
+        Request::Shutdown => b"SHUTDOWN".to_vec(),
+    }
+}
+
+/// Encodes a response as one frame, terminator excluded.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    match response {
+        Response::Matches(matches) => {
+            let mut out = format!("OK {}", matches.len());
+            for (i, m) in matches.iter().enumerate() {
+                out.push(if i == 0 { ' ' } else { ',' });
+                out.push_str(&format!("{}:{}", m.id, m.distance));
+            }
+            out.into_bytes()
+        }
+        Response::Busy => b"BUSY".to_vec(),
+        Response::Timeout => b"TIMEOUT".to_vec(),
+        Response::Healthy => b"OK healthy".to_vec(),
+        Response::Stats(json) => format!("OK {json}").into_bytes(),
+        Response::Bye => b"OK bye".to_vec(),
+        Response::Error(msg) => {
+            // The message must stay one frame: strip the only bytes that
+            // would break framing.
+            let clean: String = msg.chars().filter(|c| *c != '\n' && *c != '\r').collect();
+            format!("ERR {clean}").into_bytes()
+        }
+    }
+}
+
+/// Parses one response frame (line terminator already stripped).
+pub fn parse_response(line: &[u8]) -> Result<Response, ProtocolError> {
+    check_frame(line)?;
+    match line {
+        b"BUSY" => return Ok(Response::Busy),
+        b"TIMEOUT" => return Ok(Response::Timeout),
+        b"OK healthy" => return Ok(Response::Healthy),
+        b"OK bye" => return Ok(Response::Bye),
+        _ => {}
+    }
+    if let Some(msg) = line.strip_prefix(b"ERR ") {
+        return Ok(Response::Error(String::from_utf8_lossy(msg).into_owned()));
+    }
+    if let Some(payload) = line.strip_prefix(b"OK ") {
+        if payload.first() == Some(&b'{') {
+            let json = std::str::from_utf8(payload)
+                .map_err(|_| ProtocolError::BadInteger("non-UTF-8 JSON".into()))?;
+            return Ok(Response::Stats(json.to_string()));
+        }
+        return parse_matches(payload);
+    }
+    let verb = line.split(|&b| b == b' ').next().unwrap_or(line);
+    Err(ProtocolError::UnknownVerb(
+        String::from_utf8_lossy(verb).into_owned(),
+    ))
+}
+
+fn parse_matches(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ProtocolError::BadInteger("non-UTF-8 match list".into()))?;
+    let (count_str, list) = match text.split_once(' ') {
+        Some((c, l)) => (c, Some(l)),
+        None => (text, None),
+    };
+    let count: usize = count_str
+        .parse()
+        .map_err(|_| ProtocolError::BadInteger(count_str.to_string()))?;
+    let mut matches = Vec::new();
+    if let Some(list) = list {
+        for item in list.split(',') {
+            let (id, d) = item
+                .split_once(':')
+                .ok_or_else(|| ProtocolError::BadInteger(item.to_string()))?;
+            let id: u32 = id
+                .parse()
+                .map_err(|_| ProtocolError::BadInteger(id.to_string()))?;
+            let d: u32 = d
+                .parse()
+                .map_err(|_| ProtocolError::BadInteger(d.to_string()))?;
+            matches.push(Match::new(id, d));
+        }
+    }
+    if matches.len() != count {
+        return Err(ProtocolError::BadInteger(format!(
+            "count {count} != {} matches",
+            matches.len()
+        )));
+    }
+    Ok(Response::Matches(matches))
+}
+
+/// Encodes a [`MatchSet`] as the canonical `OK …` reply.
+pub fn matches_response(matches: &MatchSet) -> Response {
+    Response::Matches(matches.iter().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let cases = [
+            Request::Query {
+                k: 2,
+                text: b"Berlin".to_vec(),
+            },
+            Request::Query {
+                k: 0,
+                text: Vec::new(),
+            },
+            Request::Query {
+                k: 4_000_000,
+                text: b"New York City".to_vec(), // spaces survive
+            },
+            Request::TopK {
+                count: 10,
+                text: b"ACGT".to_vec(),
+            },
+            Request::Stats,
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for r in cases {
+            let encoded = encode_request(&r);
+            assert_eq!(parse_request(&encoded), Ok(r.clone()), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = [
+            Response::Matches(vec![]),
+            Response::Matches(vec![Match::new(3, 1), Match::new(17, 0)]),
+            Response::Busy,
+            Response::Timeout,
+            Response::Healthy,
+            Response::Bye,
+            Response::Stats("{\"schema\": \"simsearch-bench-v2\"}".into()),
+            Response::Error("bad integer 'x'".into()),
+        ];
+        for r in cases {
+            let encoded = encode_response(&r);
+            assert_eq!(parse_response(&encoded), Ok(r.clone()), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        let bad: &[&[u8]] = &[
+            b"",
+            b"QUERY",
+            b"QUERY 2",        // no space after k: not self-delimiting
+            b"QUERY x Berlin", // non-numeric k
+            b"QUERY -1 a",
+            b"QUERY 99999999999999999999 a", // u32 overflow
+            b"query 2 a",                    // verbs are case-sensitive
+            b"FROBNICATE",
+            b"STATS now",
+            b"\xff\xfe\x00",
+            b"QUERY 2 a\rb",
+        ];
+        for frame in bad {
+            assert!(
+                parse_request(frame).is_err(),
+                "{:?} should be rejected",
+                String::from_utf8_lossy(frame)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let long = vec![b'A'; MAX_LINE_BYTES + 1];
+        assert_eq!(parse_request(&long), Err(ProtocolError::TooLong));
+        let mut just_fits = b"QUERY 1 ".to_vec();
+        just_fits.resize(MAX_LINE_BYTES, b'a');
+        assert!(parse_request(&just_fits).is_ok());
+    }
+
+    #[test]
+    fn match_list_count_must_agree() {
+        assert!(parse_response(b"OK 2 1:0").is_err());
+        assert!(parse_response(b"OK 0").is_ok());
+        assert!(parse_response(b"OK 1 5:2").is_ok());
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let err = parse_request(b"NOPE").unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+        assert!(err.to_string().contains("QUERY"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Admission-control behaviour under deliberate saturation: a full
+//! queue answers `BUSY` immediately (never a hang), expired requests
+//! answer `TIMEOUT`, and the metrics record both. Saturation is made
+//! deterministic with the `exec_delay` fault-injection knob — the
+//! single worker is provably busy while the other requests arrive.
+
+use std::time::Duration;
+
+use simsearch_core::EngineKind;
+use simsearch_data::Dataset;
+use simsearch_scan::SeqVariant;
+use simsearch_serve::protocol::Response;
+use simsearch_serve::{BatchConfig, ServerConfig};
+use simsearch_testkit::loopback::Loopback;
+
+fn tiny_dataset() -> Dataset {
+    Dataset::from_records(["Berlin", "Bern", "Bonn", "Ulm", "Hamburg"])
+}
+
+fn saturated_config(exec_delay_ms: u64, deadline_ms: u64, queue_capacity: usize) -> ServerConfig {
+    ServerConfig {
+        batch: BatchConfig {
+            threads: 1,
+            batch_size: 1,
+            queue_capacity,
+            deadline: Duration::from_millis(deadline_ms),
+            exec_delay: Duration::from_millis(exec_delay_ms),
+            ..BatchConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// Queue capacity 1, one worker pinned for 100 ms per request, sixteen
+/// concurrent requests: some must be refused with `BUSY`, none may
+/// hang, and the server must stay fully functional afterwards.
+#[test]
+fn full_queue_answers_busy_and_never_deadlocks() {
+    let server = Loopback::spawn(
+        tiny_dataset(),
+        EngineKind::Scan(SeqVariant::V4Flat),
+        saturated_config(100, 10_000, 1),
+    );
+    let addr = server.addr();
+    let replies: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client =
+                        simsearch_serve::Client::connect_retry(addr, Duration::from_secs(5))
+                            .expect("connect");
+                    let mut out = Vec::new();
+                    for _ in 0..2 {
+                        out.push(client.query(b"Berlin", 1).expect("a reply, not a hang"));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(replies.len(), 16, "every request got exactly one reply");
+    let busy = replies.iter().filter(|r| **r == Response::Busy).count();
+    let ok = replies
+        .iter()
+        .filter(|r| matches!(r, Response::Matches(_)))
+        .count();
+    for r in &replies {
+        assert!(
+            matches!(r, Response::Busy | Response::Matches(_)),
+            "unexpected reply {r:?}"
+        );
+    }
+    // 8 concurrent clients against queue capacity 1 + a 100 ms worker:
+    // refusals are guaranteed, and so is at least one success.
+    assert!(busy > 0, "saturation must surface as BUSY");
+    assert!(ok > 0, "admitted requests still succeed");
+    assert_eq!(server.metrics().rejected_busy.get() as usize, busy);
+    // The server is not wedged: a fresh request round-trips.
+    let mut client = server.client();
+    assert!(client.health().expect("health after saturation"));
+    assert!(matches!(
+        client.query(b"Bonn", 1).expect("query after saturation"),
+        Response::Matches(_) | Response::Busy
+    ));
+    server.shutdown();
+}
+
+/// A request that waits in the queue past its deadline is answered
+/// `TIMEOUT` without occupying the engine.
+#[test]
+fn expired_requests_answer_timeout() {
+    let server = Loopback::spawn(
+        tiny_dataset(),
+        EngineKind::Scan(SeqVariant::V4Flat),
+        // 150 ms per execution, 20 ms deadline, room to queue: whoever
+        // queues behind the first request must expire.
+        saturated_config(150, 20, 8),
+    );
+    let addr = server.addr();
+    let replies: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client =
+                        simsearch_serve::Client::connect_retry(addr, Duration::from_secs(5))
+                            .expect("connect");
+                    client.query(b"Berlin", 1).expect("a reply, not a hang")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let timeouts = replies
+        .iter()
+        .filter(|r| **r == Response::Timeout)
+        .count();
+    for r in &replies {
+        assert!(
+            matches!(r, Response::Timeout | Response::Matches(_)),
+            "unexpected reply {r:?}"
+        );
+    }
+    assert!(timeouts > 0, "queued-past-deadline requests must TIMEOUT");
+    assert!(server.metrics().dropped_timeout.get() as usize >= timeouts);
+    server.shutdown();
+}

@@ -1,0 +1,172 @@
+//! Protocol robustness properties, offline and over a live socket:
+//! the parsers are total (arbitrary byte soup never panics), encoding
+//! round-trips, and a live server answers every malformed frame with
+//! `ERR` while staying healthy.
+
+use simsearch_core::EngineKind;
+use simsearch_data::Dataset;
+use simsearch_scan::SeqVariant;
+use simsearch_serve::protocol::{
+    encode_request, parse_request, parse_response, Request,
+};
+use simsearch_serve::ServerConfig;
+use simsearch_testkit::loopback::Loopback;
+use simsearch_testkit::{check, gen, prop_assert_eq, Config, TestResult};
+
+/// Arbitrary frames: any bytes except the line terminators the reader
+/// strips before parsing.
+fn frame_gen(max_len: usize) -> gen::Gen<Vec<u8>> {
+    gen::vec_of(
+        gen::byte_where(|b| b != b'\n' && b != b'\r'),
+        0..max_len,
+    )
+}
+
+#[test]
+fn parse_request_is_total() {
+    check(
+        "parse_request_is_total",
+        Config::default(),
+        &frame_gen(200),
+        |frame: &Vec<u8>| -> TestResult {
+            // Any outcome but a panic is acceptable.
+            let _ = parse_request(frame);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parse_response_is_total() {
+    check(
+        "parse_response_is_total",
+        Config::default(),
+        &frame_gen(200),
+        |frame: &Vec<u8>| -> TestResult {
+            let _ = parse_response(frame);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn query_requests_round_trip() {
+    let cases = gen::zip3(
+        gen::u32_in(0..1_000_000),
+        frame_gen(80),
+        gen::u32_in(0..2),
+    );
+    check(
+        "query_requests_round_trip",
+        Config::default(),
+        &cases,
+        |(k, text, which): &(u32, Vec<u8>, u32)| -> TestResult {
+            let request = if *which == 0 {
+                Request::Query {
+                    k: *k,
+                    text: text.clone(),
+                }
+            } else {
+                Request::TopK {
+                    count: *k,
+                    text: text.clone(),
+                }
+            };
+            let decoded = parse_request(&encode_request(&request));
+            prop_assert_eq!(decoded, Ok(request));
+            Ok(())
+        },
+    );
+}
+
+/// Live-wire fuzz: a real server answers every malformed frame with an
+/// `ERR` line (never silence, never a crash), interleaved health checks
+/// keep passing, and the error counter adds up.
+#[test]
+fn live_server_survives_malformed_frames() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern", "Bonn"]),
+        EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        ServerConfig::default(),
+    );
+    let mut client = server.client();
+    let mut rng = simsearch_testkit::Xoshiro256::seed_from_u64(0xBADF_0005);
+    let frames = frame_gen(120);
+    let mut sent = 0u64;
+    for round in 0..200 {
+        let mut frame = frames.sample(&mut rng);
+        // Make every frame non-empty so the mutation below has a byte
+        // to work on (the empty frame is covered by its own test).
+        if frame.is_empty() {
+            frame.push(b'?');
+        }
+        // Keep definitely-malformed: break any accidental valid verb.
+        frame[0] = frame[0].wrapping_add(1) | 0x80;
+        let reply = client.send_raw(&frame).expect("a reply, not a hang");
+        assert!(
+            reply.starts_with(b"ERR "),
+            "round {round}: malformed frame {:?} got {:?}",
+            String::from_utf8_lossy(&frame),
+            String::from_utf8_lossy(&reply)
+        );
+        sent += 1;
+        if round % 50 == 0 {
+            assert!(client.health().expect("health"), "server died mid-fuzz");
+        }
+    }
+    assert!(client.health().expect("health after fuzz"));
+    assert_eq!(server.metrics().replied_error.get(), sent);
+    // Well-formed traffic still works on the same connection.
+    let reply = client.query(b"Berlin", 1).expect("query after fuzz");
+    assert!(matches!(
+        reply,
+        simsearch_serve::protocol::Response::Matches(_)
+    ));
+    server.shutdown();
+}
+
+/// An oversized line is refused with `ERR … bytes` and the connection
+/// closes (framing is unrecoverable), but the server itself lives on.
+#[test]
+fn oversized_line_closes_only_that_connection() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern"]),
+        EngineKind::Scan(SeqVariant::V4Flat),
+        ServerConfig::default(),
+    );
+    let mut victim = server.client();
+    let huge = vec![b'A'; simsearch_serve::protocol::MAX_LINE_BYTES + 64];
+    let reply = victim.send_raw(&huge).expect("TooLong still gets a reply");
+    assert!(
+        reply.starts_with(b"ERR "),
+        "got {:?}",
+        String::from_utf8_lossy(&reply)
+    );
+    // The violating connection is closed afterwards…
+    assert!(victim.send_raw(b"HEALTH").is_err(), "connection must close");
+    // …but a fresh one is served normally.
+    let mut fresh = server.client();
+    assert!(fresh.health().expect("health"));
+    server.shutdown();
+}
+
+#[test]
+fn empty_and_whitespace_frames_get_err_replies() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin"]),
+        EngineKind::Scan(SeqVariant::V4Flat),
+        ServerConfig::default(),
+    );
+    let mut client = server.client();
+    for frame in [&b""[..], b" ", b"  QUERY 1 x", b"QUERY", b"QUERY 1"] {
+        let reply = client.send_raw(frame).expect("a reply");
+        assert!(
+            reply.starts_with(b"ERR "),
+            "{:?} got {:?}",
+            String::from_utf8_lossy(frame),
+            String::from_utf8_lossy(&reply)
+        );
+    }
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}

@@ -17,6 +17,8 @@
 //! * [`bench`] — a lightweight benchmark harness (warmup + N timed
 //!   samples, median/p95, `BENCH_<group>.json` trajectory output)
 //!   that replaces criterion for the `crates/bench` targets;
+//! * [`loopback`] — a serving harness that boots `simsearchd` on an
+//!   ephemeral loopback port for end-to-end protocol tests;
 //! * [`oracle`] — cross-variant equivalence oracles: every distance
 //!   kernel against the full-matrix reference
 //!   ([`assert_all_kernels_agree`]), and the sequential scan against
@@ -31,6 +33,7 @@
 
 pub mod bench;
 pub mod gen;
+pub mod loopback;
 pub mod oracle;
 pub mod prop;
 pub mod shrink;

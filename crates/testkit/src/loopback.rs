@@ -1,0 +1,77 @@
+//! Loopback serving harness: boots a real `simsearchd` on an ephemeral
+//! port and hands out connected clients, so integration tests exercise
+//! the full TCP path (framing, scheduling, admission control) without
+//! touching any non-loopback network.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use simsearch_core::EngineKind;
+use simsearch_data::Dataset;
+use simsearch_serve::{spawn, Client, Metrics, ServerConfig, ServerHandle};
+
+/// A running loopback server under test.
+pub struct Loopback {
+    handle: Option<ServerHandle>,
+}
+
+impl Loopback {
+    /// Boots a server on an ephemeral loopback port with the given
+    /// configuration (`config.port` is forced to 0 — a test must never
+    /// contend for a fixed port).
+    pub fn spawn(dataset: Dataset, kind: EngineKind, mut config: ServerConfig) -> Self {
+        config.port = 0;
+        let handle = spawn(dataset, kind, config).expect("loopback bind failed");
+        Self {
+            handle: Some(handle),
+        }
+    }
+
+    /// Boots with the default configuration.
+    pub fn spawn_default(dataset: Dataset, kind: EngineKind) -> Self {
+        Self::spawn(dataset, kind, ServerConfig::default())
+    }
+
+    fn handle(&self) -> &ServerHandle {
+        self.handle.as_ref().expect("server already shut down")
+    }
+
+    /// The actually-bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle().addr()
+    }
+
+    /// The live server metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.handle().metrics()
+    }
+
+    /// A new connected client (retries briefly to cover accept-loop
+    /// startup).
+    pub fn client(&self) -> Client {
+        Client::connect_retry(self.addr(), Duration::from_secs(5)).expect("loopback connect failed")
+    }
+
+    /// Sends `SHUTDOWN` and joins every server thread. Consumes the
+    /// harness; also triggered by `Drop` for panicking tests.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            if let Ok(mut client) = Client::connect_retry(handle.addr(), Duration::from_secs(1)) {
+                let _ = client.shutdown();
+            } else {
+                handle.request_shutdown();
+            }
+            handle.join();
+        }
+    }
+}
+
+impl Drop for Loopback {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -16,3 +16,4 @@ pub use simsearch_filters as filters;
 pub use simsearch_index as index;
 pub use simsearch_parallel as parallel;
 pub use simsearch_scan as scan;
+pub use simsearch_serve as serve;
