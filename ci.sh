@@ -15,6 +15,11 @@ cargo test -q --offline --benches -p simsearch-bench
 cargo test -q --offline --bench ablation_lcp_reuse -p simsearch-bench
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Planner-parity gate: `--backend auto` (static and calibrated) must be
+# byte-identical to the V1 oracle scan under every executor × thread
+# count, and the plan-decision counters must account for every query.
+cargo test -q --offline --test planner_parity
+
 # Canonical benchmark snapshots (published by `cargo bench` via
 # testkit's publish_snapshot) must stay committed at the repo root.
 for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
@@ -52,6 +57,37 @@ done
 if kill -0 "$serve_pid" 2>/dev/null; then
     kill "$serve_pid"
     echo "simsearchd failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"
+
+# Auto-backend serve smoke: a planner-driven daemon must route queries
+# and report per-backend plan_decisions counters through STATS (still
+# valid JSON per the in-house validator).
+rm -f "$smoke_dir/port"
+"$SIMSEARCH" serve --data "$smoke_dir/city.data" --backend auto --port 0 \
+    --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+"$SIMSEARCH" client --port "$port" --send 'QUERY 2 Berlin' | grep -q '^OK '
+# Second query: the counters are published after each executed chunk,
+# so by the time this reply arrives the first chunk's counts are live.
+"$SIMSEARCH" client --port "$port" --send 'QUERY 1 Ulm' | grep -q '^OK '
+"$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS' \
+    | grep -q '"plan_decisions": {.*": [1-9]'
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd (auto) failed to drain within 10s" >&2
     exit 1
 fi
 wait "$serve_pid"

@@ -28,11 +28,19 @@ fn main() {
             threads: CITY_IDX_BEST_THREADS,
         }),
     );
+    // The adaptive planner, calibrated on this very workload (probe cost
+    // is build cost, mirroring index construction) and given the same
+    // thread budget as the best fixed competitor.
+    let auto = SearchEngine::build_auto(&preset.dataset, CITY_IDX_BEST_THREADS, Some(&workload));
     let mut group = h.group("fig6_city_best");
     group.set_workload("city", preset.dataset.len(), workload.len(), "0, 1, 2, 3");
     group.bench("best_scan", || best_scan.run(&workload));
     group.bench("best_index_paper", || best_index.run(&workload));
     group.bench("best_index_modern", || best_index_modern.run(&workload));
+    group.bench("auto", || auto.run(&workload));
+    if let Some(counts) = auto.plan_counts() {
+        group.set_plan_decisions(&counts);
+    }
     group.finish();
     // The canonical snapshot lives at the repo root (ci.sh checks it in).
     h.publish_snapshot("fig6_city_best");

@@ -28,8 +28,23 @@ pub enum Command {
     Serve(ServeArgs),
     /// `simsearch client`: send protocol frames to a running daemon.
     Client(ClientArgs),
+    /// `simsearch explain`: print the planner's statistics snapshot and
+    /// per-query-class backend decisions for a data file.
+    Explain(ExplainArgs),
     /// `simsearch help`.
     Help,
+}
+
+/// Arguments of the `explain` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainArgs {
+    /// Data file (one record per line).
+    pub data: PathBuf,
+    /// Optional query file: when present, the planner also routes the
+    /// workload and reports per-backend decision counts.
+    pub queries: Option<PathBuf>,
+    /// Worker threads the planned engine would use.
+    pub threads: usize,
 }
 
 /// Arguments of the `serve` subcommand.
@@ -118,6 +133,10 @@ pub enum EngineChoice {
     Buckets,
     /// LCP-resumable scan over the sorted arena (rung 7).
     ScanSorted,
+    /// BK-tree metric index baseline.
+    BkTree,
+    /// Adaptive planner: route each query to the cheapest backend.
+    Auto,
 }
 
 impl EngineChoice {
@@ -130,8 +149,10 @@ impl EngineChoice {
             "radix" => Ok(Self::Radix),
             "qgram" => Ok(Self::Qgram),
             "buckets" => Ok(Self::Buckets),
+            "bktree" | "bk-tree" => Ok(Self::BkTree),
+            "auto" => Ok(Self::Auto),
             other => Err(format!(
-                "unknown engine '{other}' (expected scan, scan-base, scan-sorted, trie, radix, qgram, buckets)"
+                "unknown engine '{other}' (expected auto, scan, scan-base, scan-sorted, trie, radix, qgram, buckets, bktree)"
             )),
         }
     }
@@ -160,20 +181,26 @@ simsearch — string similarity search (EDBT 2013 reproduction)
 
 USAGE:
   simsearch search --data FILE --queries FILE [--output FILE]
-                   [--engine scan|scan-base|scan-sorted|trie|radix|qgram|buckets]
+                   [--backend auto|scan|scan-base|scan-sorted|trie|radix|qgram|buckets|bktree]
                    [--threads N]
+  simsearch explain --data FILE [--queries FILE] [--threads N]
   simsearch generate --kind city|dna --count N [--seed S] --out FILE
                      [--queries FILE] [--query-count N]
   simsearch stats --data FILE
   simsearch join --data FILE --k N [--output FILE]
                  [--algo sorted|index|nested] [--threads N]
   simsearch verify --results FILE --expected FILE
-  simsearch serve --data FILE [--engine NAME] [--threads N] [--port P]
+  simsearch serve --data FILE [--backend NAME] [--threads N] [--port P]
                   [--port-file FILE] [--batch-size N] [--max-delay-ms N]
                   [--queue-capacity N] [--deadline-ms N]
   simsearch client --port P [--host H] --send FRAME [--send FRAME ...]
                    [--check-stats-json]
   simsearch help
+
+`--engine` is accepted everywhere `--backend` is (older scripts).
+With `--backend auto` a planner builds a cost model from the dataset's
+statistics and routes each query to the cheapest backend; `explain`
+prints that plan without running anything.
 
 The serve daemon speaks a line protocol on loopback TCP:
   QUERY <k> <text> | TOPK <n> <text> | STATS | HEALTH | SHUTDOWN
@@ -189,6 +216,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "search" => parse_search(rest).map(Command::Search),
+        "explain" => parse_explain(rest).map(Command::Explain),
         "serve" => parse_serve(rest).map(Command::Serve),
         "client" => parse_client(rest).map(Command::Client),
         "generate" => parse_generate(rest).map(Command::Generate),
@@ -245,7 +273,7 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
             "--data" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
             "--queries" => queries = Some(PathBuf::from(value(&mut it, "--queries")?)),
             "--output" => output = Some(PathBuf::from(value(&mut it, "--output")?)),
-            "--engine" => engine = EngineChoice::parse(value(&mut it, "--engine")?)?,
+            "--engine" | "--backend" => engine = EngineChoice::parse(value(&mut it, flag)?)?,
             "--threads" => {
                 threads = value(&mut it, "--threads")?
                     .parse()
@@ -262,6 +290,33 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
         queries: queries.ok_or("search requires --queries")?,
         output,
         engine,
+        threads,
+    })
+}
+
+fn parse_explain(rest: &[String]) -> Result<ExplainArgs, String> {
+    let mut data = None;
+    let mut queries = None;
+    let mut threads = 1usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
+            "--queries" => queries = Some(PathBuf::from(value(&mut it, "--queries")?)),
+            "--threads" => {
+                threads = value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_string())?;
+                if threads == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(ExplainArgs {
+        data: data.ok_or("explain requires --data")?,
+        queries,
         threads,
     })
 }
@@ -328,7 +383,7 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--data" | "--dataset" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
-            "--engine" => engine = EngineChoice::parse(value(&mut it, "--engine")?)?,
+            "--engine" | "--backend" => engine = EngineChoice::parse(value(&mut it, flag)?)?,
             "--threads" => {
                 threads = int(value(&mut it, "--threads")?, "--threads")? as usize;
                 if threads == 0 {
@@ -609,6 +664,56 @@ mod tests {
             Command::Search(a) => assert_eq!(a.engine, EngineChoice::ScanSorted),
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn backend_aliases_engine_and_accepts_the_planner() {
+        let cmd = parse(&v(&[
+            "search", "--data", "d", "--queries", "q", "--backend", "auto",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Search(a) => assert_eq!(a.engine, EngineChoice::Auto),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&v(&["serve", "--data", "d", "--backend", "bktree"])).unwrap();
+        match cmd {
+            Command::Serve(s) => assert_eq!(s.engine, EngineChoice::BkTree),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // "bk-tree" spelling is accepted too.
+        let cmd = parse(&v(&[
+            "search", "--data", "d", "--queries", "q", "--engine", "bk-tree",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Search(a) if a.engine == EngineChoice::BkTree));
+    }
+
+    #[test]
+    fn parses_explain() {
+        let cmd = parse(&v(&["explain", "--data", "d.txt"])).unwrap();
+        match cmd {
+            Command::Explain(e) => {
+                assert_eq!(e.data, PathBuf::from("d.txt"));
+                assert!(e.queries.is_none());
+                assert_eq!(e.threads, 1);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&v(&[
+            "explain", "--data", "d.txt", "--queries", "q.txt", "--threads", "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Explain(e) => {
+                assert_eq!(e.queries, Some(PathBuf::from("q.txt")));
+                assert_eq!(e.threads, 4);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&v(&["explain"])).is_err()); // missing --data
+        assert!(parse(&v(&["explain", "--data", "d", "--threads", "0"])).is_err());
+        assert!(parse(&v(&["explain", "--data", "d", "--engine", "auto"])).is_err());
     }
 
     #[test]

@@ -6,12 +6,16 @@
 
 mod args;
 
-use args::{ClientArgs, Command, EngineChoice, GenerateArgs, JoinArgs, SearchArgs, ServeArgs, USAGE};
+use args::{
+    ClientArgs, Command, EngineChoice, ExplainArgs, GenerateArgs, JoinArgs, SearchArgs, ServeArgs,
+    USAGE,
+};
 use simsearch_core::{
-    experiment::time, EngineKind, IdxVariant, SearchEngine, SeqVariant, Strategy,
+    experiment::time, AutoBackend, EngineKind, IdxVariant, Planner, SearchEngine, SeqVariant,
+    Strategy,
 };
 use simsearch_data::{io, Alphabet, CityGenerator, DnaGenerator, MatchSet, WorkloadSpec};
-use simsearch_data::{DatasetStats, CITY_THRESHOLDS, DNA_THRESHOLDS};
+use simsearch_data::{DatasetStats, StatsSnapshot, CITY_THRESHOLDS, DNA_THRESHOLDS};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         Command::Verify { results, expected } => run_verify(&results, &expected),
         Command::Serve(s) => run_serve(s),
         Command::Client(c) => run_client(c),
+        Command::Explain(e) => run_explain(e),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -71,8 +76,18 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
         }),
         EngineChoice::Qgram => EngineKind::Qgram { q: 2, strategy },
         EngineChoice::Buckets => EngineKind::Buckets { strategy },
+        EngineChoice::BkTree => EngineKind::Bk { strategy },
+        EngineChoice::Auto => EngineKind::Auto { threads: a.threads },
     };
-    let (engine, build_time) = time(|| SearchEngine::build(&dataset, kind));
+    let (engine, build_time) = time(|| match a.engine {
+        // Auto: calibrate the planner with a probe drawn from the
+        // workload prefix (build-time cost, like index construction).
+        EngineChoice::Auto => {
+            let probe = workload.prefix(workload.len().min(16));
+            SearchEngine::build_auto(&dataset, a.threads, Some(&probe))
+        }
+        _ => SearchEngine::build(&dataset, kind),
+    });
     let (results, query_time) = time(|| engine.run(&workload));
     eprintln!(
         "{}: {} records, {} queries; build {:.3}s, query {:.3}s",
@@ -82,6 +97,14 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
         build_time.as_secs_f64(),
         query_time.as_secs_f64()
     );
+    if let Some(counts) = engine.plan_counts() {
+        let routed: Vec<String> = counts
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(name, c)| format!("{name}={c}"))
+            .collect();
+        eprintln!("plan decisions: {}", routed.join(" "));
+    }
     let id_lists: Vec<Vec<u32>> = results.iter().map(MatchSet::ids).collect();
     match a.output {
         Some(path) => {
@@ -116,6 +139,12 @@ fn serve_engine_kind(choice: EngineChoice) -> EngineKind {
         EngineChoice::Buckets => EngineKind::Buckets {
             strategy: Strategy::Sequential,
         },
+        EngineChoice::BkTree => EngineKind::Bk {
+            strategy: Strategy::Sequential,
+        },
+        // The serving layer calibrates the planner itself (see
+        // `ServedEngine::build`); per-query kernels stay sequential.
+        EngineChoice::Auto => EngineKind::Auto { threads: 1 },
     }
 }
 
@@ -274,6 +303,57 @@ fn run_verify(results: &std::path::Path, expected: &std::path::Path) -> Result<(
         }
     }
     println!("OK: {} result lines identical", got.len());
+    Ok(())
+}
+
+fn run_explain(a: ExplainArgs) -> Result<(), String> {
+    let dataset = io::read_dataset(&a.data).map_err(|e| format!("reading {:?}: {e}", a.data))?;
+    let snapshot = StatsSnapshot::compute(&dataset);
+    println!("{snapshot}");
+    // The static table is a pure function of the snapshot, so this
+    // output is reproducible run-to-run (the planner-determinism
+    // property the test suite checks).
+    let planner = Planner::new(snapshot.clone(), &AutoBackend::DEFAULT_CANDIDATES);
+    println!();
+    println!("static plan (length class × k → backend; costs in planner units):");
+    let len_label = |c: u8| match c {
+        0 => "short",
+        1 => "medium",
+        _ => "long",
+    };
+    for decision in planner.decisions() {
+        let repr = decision.class.representative_len(&snapshot);
+        let costs: Vec<String> = decision
+            .estimates
+            .iter()
+            .map(|e| format!("{}={:.0}", e.choice.name(), e.cost))
+            .collect();
+        println!(
+            "  {:<6} (|q|≈{repr:>4}) k={:<2} → {:<12} [{}]",
+            len_label(decision.class.len_class),
+            decision.class.k_class,
+            decision.chosen.name(),
+            costs.join(", ")
+        );
+    }
+    if let Some(qpath) = &a.queries {
+        let workload =
+            io::read_queries(qpath).map_err(|e| format!("reading {qpath:?}: {e}"))?;
+        let probe = workload.prefix(workload.len().min(16));
+        let (engine, build_time) =
+            time(|| SearchEngine::build_auto(&dataset, a.threads, Some(&probe)));
+        let (_, query_time) = time(|| engine.run(&workload));
+        println!();
+        println!(
+            "calibrated routing of {} queries (build {:.3}s, query {:.3}s):",
+            workload.len(),
+            build_time.as_secs_f64(),
+            query_time.as_secs_f64()
+        );
+        for (name, count) in engine.plan_counts().unwrap_or_default() {
+            println!("  {name:<12} {count}");
+        }
+    }
     Ok(())
 }
 

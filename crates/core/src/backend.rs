@@ -1,0 +1,1054 @@
+//! The unified `Backend` trait: one execution seam over every solution.
+//!
+//! Before this module, scan and index code paths were parallel
+//! universes — `SequentialScan` had one API, each index structure
+//! another, and every consumer (`SearchEngine`, the serving layer, the
+//! CLI, the benches) hard-wired its choice. [`Backend`] is the shared
+//! abstraction they all speak now: *prepare once, then answer
+//! threshold queries* — with provided methods for DP-cell counting,
+//! top-k deepening, workload execution under any executor, cost hints
+//! for the planner, and self-description for diagnostics.
+//!
+//! [`AutoBackend`] closes the loop: it consults a
+//! [`Planner`](crate::planner::Planner) per query and routes to the
+//! cheapest arm, counting every routing decision so serving metrics
+//! and bench JSON can report `plan_decisions`.
+
+use crate::planner::{static_cost, BackendChoice, Observation, PlanDecision, Planner};
+use crate::topk;
+use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
+use simsearch_data::{Alphabet, Dataset, Match, MatchSet, StatsSnapshot, Workload};
+use simsearch_distance::KernelKind;
+use simsearch_filters::{FilterChain, FrequencyFilter, LengthFilter};
+use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, SuffixIndex, Trie};
+use simsearch_parallel::{auto_strategy, run_queries, Strategy};
+use simsearch_scan::{SeqVariant, SequentialScan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// What a backend reports about itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendDiag {
+    /// Human-readable name.
+    pub name: String,
+    /// `(node or posting count, approximate bytes)` when the backend
+    /// owns an index structure.
+    pub structure: Option<(usize, usize)>,
+    /// Names of the candidate filters feeding its verification stage.
+    pub filters: Vec<&'static str>,
+    /// Planner state, present only for the auto backend.
+    pub plan: Option<PlanReport>,
+}
+
+/// The auto backend's recorded planner state: the decision table and
+/// how many queries each arm has answered so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// The snapshot the planner was built from.
+    pub snapshot: StatsSnapshot,
+    /// Every per-class decision, in table order.
+    pub decisions: Vec<PlanDecision>,
+    /// `(backend name, queries routed to it)` per candidate.
+    pub counts: Vec<(&'static str, u64)>,
+    /// Whether a micro-calibration probe scaled the hints.
+    pub calibrated: bool,
+}
+
+/// One execution backend: prepare once, then answer threshold queries.
+///
+/// Required methods are the per-query kernel ([`Backend::search`]), the
+/// planner hook ([`Backend::cost_hint`]) and self-description
+/// ([`Backend::diag`]). Everything else — cell counting, top-k
+/// deepening, workload execution — has defaults expressed in terms of
+/// those, which concrete backends override only when they can do
+/// better (the sorted scan counts DP cells; the scan rungs keep their
+/// paper-mandated scheduling).
+pub trait Backend: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// Eagerly builds auxiliary state so the cost lands at build time,
+    /// not inside the first timed query. Idempotent; default no-op.
+    fn prepare(&self) {}
+
+    /// Answers one threshold query.
+    fn search(&self, query: &[u8], k: u32) -> MatchSet;
+
+    /// Answers one query and reports DP cells computed, when the
+    /// backend counts them (0 otherwise).
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        (self.search(query, k), 0)
+    }
+
+    /// The `count` nearest records by iterative deepening (radius 0,
+    /// then doubling, capped at `max_radius`), plus DP cells computed
+    /// across all probes.
+    fn search_top_k_with(
+        &self,
+        query: &[u8],
+        count: usize,
+        max_radius: u32,
+    ) -> (Vec<Match>, u64) {
+        let mut cells = 0u64;
+        let matches = topk::search_top_k_with(
+            |radius| {
+                let (m, c) = self.search_counting(query, radius);
+                cells += c;
+                m
+            },
+            count,
+            max_radius,
+        );
+        (matches, cells)
+    }
+
+    /// Estimated cost of one query under this backend, in the
+    /// planner's rough DP-cell units (lower is better).
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64;
+
+    /// Self-description for diagnostics and metrics.
+    fn diag(&self) -> BackendDiag;
+
+    /// `(backend name, queries routed)` counters for planner-driven
+    /// backends; `None` for fixed backends. Cheap (no decision-table
+    /// clone), so per-batch metrics publishing can call it freely.
+    fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        None
+    }
+
+    /// The executor [`Backend::run_workload`] uses by default.
+    fn preferred_strategy(&self) -> Strategy {
+        Strategy::Sequential
+    }
+
+    /// Executes a whole workload (the quantity the paper times).
+    fn run_workload(&self, workload: &Workload) -> Vec<MatchSet> {
+        self.run_with_strategy(workload, self.preferred_strategy())
+    }
+
+    /// Executes a workload under an explicit executor, overriding the
+    /// backend's own scheduling. Results are identical to
+    /// [`Backend::run_workload`] for every strategy.
+    fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
+        run_queries(strategy, workload.len(), |i| {
+            let q = &workload.queries[i];
+            self.search(&q.text, q.threshold)
+        })
+    }
+}
+
+/// A rung of the paper's sequential-scan ladder behind the trait.
+pub struct ScanBackend<'a> {
+    scan: SequentialScan<'a>,
+    variant: SeqVariant,
+}
+
+impl<'a> ScanBackend<'a> {
+    /// Wraps a scan (possibly already prepared) at one rung.
+    pub fn new(scan: SequentialScan<'a>, variant: SeqVariant) -> Self {
+        Self { scan, variant }
+    }
+}
+
+impl Backend for ScanBackend<'_> {
+    fn name(&self) -> String {
+        format!("scan[{}]", self.variant.label())
+    }
+
+    fn prepare(&self) {
+        self.scan.prepare(self.variant);
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.scan.search_one(self.variant, query, k)
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        match self.variant {
+            SeqVariant::V7SortedPrefix => self.scan.v7_search(query, k),
+            _ => (self.search(query, k), 0),
+        }
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        let choice = match self.variant {
+            SeqVariant::V7SortedPrefix => BackendChoice::ScanSorted,
+            _ => BackendChoice::ScanFlat,
+        };
+        let base = static_cost(snapshot, choice, query_len, k);
+        match self.variant {
+            // The deliberately wasteful early rungs: no filters, naive
+            // full-matrix DP, per-comparison allocations.
+            SeqVariant::V1Base => base * 25.0,
+            SeqVariant::V2FastEd | SeqVariant::V3Borrowed => base * 4.0,
+            _ => base,
+        }
+    }
+
+    fn diag(&self) -> BackendDiag {
+        let filters = match self.variant {
+            SeqVariant::V1Base => vec![],
+            _ => vec!["length"],
+        };
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters,
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        match self.variant {
+            SeqVariant::V5ThreadPerQuery => Strategy::ThreadPerQuery,
+            SeqVariant::V6Pool { threads } => Strategy::FixedPool { threads },
+            _ => Strategy::Sequential,
+        }
+    }
+
+    fn run_workload(&self, workload: &Workload) -> Vec<MatchSet> {
+        // Delegate so each rung keeps exactly the scheduling the paper
+        // prescribes for it.
+        self.scan.run(self.variant, workload)
+    }
+}
+
+/// A flat scan with an explicit kernel/executor pair (ablations).
+pub struct KernelScanBackend<'a> {
+    scan: SequentialScan<'a>,
+    kernel: KernelKind,
+    strategy: Strategy,
+}
+
+impl<'a> KernelScanBackend<'a> {
+    /// Wraps a scan with the given kernel and executor.
+    pub fn new(scan: SequentialScan<'a>, kernel: KernelKind, strategy: Strategy) -> Self {
+        Self {
+            scan,
+            kernel,
+            strategy,
+        }
+    }
+}
+
+impl Backend for KernelScanBackend<'_> {
+    fn name(&self) -> String {
+        format!("scan[{}/{}]", self.kernel.name(), self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        let w = Workload {
+            queries: vec![simsearch_data::QueryRecord::new(query.to_vec(), k)],
+        };
+        self.scan
+            .run_with(self.kernel, Strategy::Sequential, &w)
+            .pop()
+            .expect("one query in, one result out")
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::ScanFlat, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters: vec!["length"],
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
+        self.scan.run_with(self.kernel, strategy, workload)
+    }
+}
+
+/// A flat scan whose candidates come from a [`FilterChain`] — the
+/// planner's scan arm, running the unified filter→verify pipeline
+/// (length filter always; frequency vectors when the corpus has a
+/// tracked alphabet).
+pub struct FilteredScanBackend<'a> {
+    scan: SequentialScan<'a>,
+    chain: FilterChain,
+    strategy: Strategy,
+}
+
+impl<'a> FilteredScanBackend<'a> {
+    /// Builds the standard chain for `dataset`: the length filter plus
+    /// frequency vectors over DNA symbols (DNA corpora) or vowels (the
+    /// paper's city-name choice).
+    pub fn new(dataset: &'a Dataset, strategy: Strategy) -> Self {
+        let dna = Alphabet::dna();
+        let tracked = if dataset.records().all(|r| dna.covers(r)) {
+            DNA_SYMBOLS
+        } else {
+            VOWEL_SYMBOLS
+        };
+        let chain = FilterChain::new()
+            .push(LengthFilter::build(dataset))
+            .push(FrequencyFilter::build(dataset, tracked));
+        Self {
+            scan: SequentialScan::new(dataset),
+            chain,
+            strategy,
+        }
+    }
+}
+
+impl Backend for FilteredScanBackend<'_> {
+    fn name(&self) -> String {
+        format!("scan[filtered/{}]", self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.scan.search_filtered(&self.chain, query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::ScanFlat, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters: self.chain.names(),
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
+        self.scan.run_filtered(&self.chain, strategy, workload)
+    }
+}
+
+/// The V7 sorted-prefix scan behind the trait, with DP-cell counting.
+pub struct SortedScanBackend<'a> {
+    scan: SequentialScan<'a>,
+}
+
+impl<'a> SortedScanBackend<'a> {
+    /// Wraps a scan; the sorted view is built by [`Backend::prepare`].
+    pub fn new(scan: SequentialScan<'a>) -> Self {
+        Self { scan }
+    }
+}
+
+impl Backend for SortedScanBackend<'_> {
+    fn name(&self) -> String {
+        "scan[sorted-prefix]".into()
+    }
+
+    fn prepare(&self) {
+        self.scan.prepare(SeqVariant::V7SortedPrefix);
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.scan.v7_search(query, k).0
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        self.scan.v7_search(query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::ScanSorted, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters: vec!["length"],
+            plan: None,
+        }
+    }
+}
+
+/// The uncompressed prefix tree behind the trait.
+pub struct TrieBackend {
+    trie: Trie,
+    paper: bool,
+}
+
+impl TrieBackend {
+    /// Builds the trie; `paper` selects the paper's §4.1 pruning over
+    /// the modern banded descent.
+    pub fn build(dataset: &Dataset, paper: bool) -> Self {
+        Self {
+            trie: simsearch_index::trie::build(dataset),
+            paper,
+        }
+    }
+}
+
+impl Backend for TrieBackend {
+    fn name(&self) -> String {
+        format!(
+            "trie[{}]",
+            if self.paper { "paper" } else { "modern" }
+        )
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        if self.paper {
+            self.trie.search_paper(query, k)
+        } else {
+            self.trie.search(query, k)
+        }
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        let base = static_cost(snapshot, BackendChoice::Trie, query_len, k);
+        if self.paper {
+            base * 3.0 // full-width rows, prefix-condition-only pruning
+        } else {
+            base
+        }
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.trie.node_count(), self.trie.memory_bytes())),
+            filters: vec!["length"],
+            plan: None,
+        }
+    }
+}
+
+/// The compressed (radix) tree behind the trait, optionally with
+/// frequency-vector annotations.
+pub struct RadixBackend {
+    radix: RadixTrie,
+    paper: bool,
+    strategy: Strategy,
+    freq: bool,
+}
+
+impl RadixBackend {
+    /// Builds the radix tree.
+    pub fn build(dataset: &Dataset, paper: bool, strategy: Strategy) -> Self {
+        Self {
+            radix: simsearch_index::radix::build(dataset),
+            paper,
+            strategy,
+            freq: false,
+        }
+    }
+
+    /// Builds the radix tree with frequency vectors over the alphabet
+    /// that fits the data (§6 future work).
+    pub fn build_with_freq(dataset: &Dataset, strategy: Strategy) -> Self {
+        let dna = Alphabet::dna();
+        let tracked = if dataset.records().all(|r| dna.covers(r)) {
+            DNA_SYMBOLS
+        } else {
+            VOWEL_SYMBOLS
+        };
+        Self {
+            radix: simsearch_index::radix::build_with_freq(dataset, tracked),
+            paper: false,
+            strategy,
+            freq: true,
+        }
+    }
+}
+
+impl Backend for RadixBackend {
+    fn name(&self) -> String {
+        let mode = if self.paper {
+            "paper"
+        } else if self.freq {
+            "freq"
+        } else {
+            "modern"
+        };
+        format!("radix[{mode}/{}]", self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        if self.paper {
+            self.radix.search_paper(query, k)
+        } else {
+            self.radix.search(query, k)
+        }
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        let base = static_cost(snapshot, BackendChoice::Radix, query_len, k);
+        if self.paper {
+            base * 3.0
+        } else {
+            base
+        }
+    }
+
+    fn diag(&self) -> BackendDiag {
+        let mut filters = vec!["length"];
+        if self.freq {
+            filters.push("frequency");
+        }
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.radix.node_count(), self.radix.memory_bytes())),
+            filters,
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+/// The inverted q-gram index behind the trait.
+pub struct QgramBackend<'a> {
+    dataset: &'a Dataset,
+    idx: QgramIndex,
+    q: usize,
+    strategy: Strategy,
+}
+
+impl<'a> QgramBackend<'a> {
+    /// Builds the index with gram size `q`.
+    pub fn build(dataset: &'a Dataset, q: usize, strategy: Strategy) -> Self {
+        Self {
+            dataset,
+            idx: QgramIndex::build(dataset, q),
+            q,
+            strategy,
+        }
+    }
+}
+
+impl Backend for QgramBackend<'_> {
+    fn name(&self) -> String {
+        format!("qgram[q={}/{}]", self.q, self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.idx.search(self.dataset, query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::Qgram, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.idx.distinct_grams(), self.idx.memory_bytes())),
+            filters: vec!["qgram-count", "length"],
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+/// The length-bucketed scan behind the trait.
+pub struct BucketsBackend<'a> {
+    dataset: &'a Dataset,
+    buckets: LengthBuckets,
+    strategy: Strategy,
+}
+
+impl<'a> BucketsBackend<'a> {
+    /// Builds the buckets.
+    pub fn build(dataset: &'a Dataset, strategy: Strategy) -> Self {
+        Self {
+            dataset,
+            buckets: LengthBuckets::build(dataset),
+            strategy,
+        }
+    }
+}
+
+impl Backend for BucketsBackend<'_> {
+    fn name(&self) -> String {
+        format!("buckets[{}]", self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.buckets.search(self.dataset, query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::Buckets, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.buckets.bucket_count(), 0)),
+            filters: vec!["length"],
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+/// The suffix-array baseline behind the trait.
+pub struct SuffixBackend<'a> {
+    dataset: &'a Dataset,
+    idx: SuffixIndex,
+    strategy: Strategy,
+}
+
+impl<'a> SuffixBackend<'a> {
+    /// Builds the suffix index.
+    pub fn build(dataset: &'a Dataset, strategy: Strategy) -> Self {
+        Self {
+            dataset,
+            idx: SuffixIndex::build(dataset),
+            strategy,
+        }
+    }
+}
+
+impl Backend for SuffixBackend<'_> {
+    fn name(&self) -> String {
+        format!("suffix-array[{}]", self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.idx.search(self.dataset, query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        // No dedicated model: approximate with the flat scan's shape.
+        static_cost(snapshot, BackendChoice::ScanFlat, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.idx.record_count(), self.idx.memory_bytes())),
+            filters: vec!["length"],
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+/// The Burkhard–Keller metric tree behind the trait.
+pub struct BkBackend<'a> {
+    dataset: &'a Dataset,
+    tree: BkTree,
+    strategy: Strategy,
+}
+
+impl<'a> BkBackend<'a> {
+    /// Builds the tree.
+    pub fn build(dataset: &'a Dataset, strategy: Strategy) -> Self {
+        Self {
+            dataset,
+            tree: BkTree::build(dataset),
+            strategy,
+        }
+    }
+}
+
+impl Backend for BkBackend<'_> {
+    fn name(&self) -> String {
+        format!("bk-tree[{}]", self.strategy.name())
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.tree.search(self.dataset, query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::BkTree, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.tree.node_count(), 0)),
+            filters: vec!["triangle-inequality"],
+            plan: None,
+        }
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+/// The planner-driven backend: consults a [`Planner`] per query and
+/// routes to the cheapest arm, counting every decision.
+///
+/// Arms are built lazily (a candidate the decision table never picks
+/// costs nothing); [`Backend::prepare`] forces every *chosen* arm so
+/// no build lands inside a timed query. All arms return byte-identical
+/// results (the workspace's cross-variant oracles), so routing is a
+/// pure performance decision — correctness does not depend on the
+/// planner.
+pub struct AutoBackend<'a> {
+    dataset: &'a Dataset,
+    threads: usize,
+    planner: Planner,
+    arms: [OnceLock<Box<dyn Backend + 'a>>; BackendChoice::COUNT],
+    counters: [AtomicU64; BackendChoice::COUNT],
+}
+
+impl<'a> AutoBackend<'a> {
+    /// The default candidate set: the backends with distinct asymptotic
+    /// profiles and sub-quadratic build cost (the BK-tree's build —
+    /// one full distance per insert — rules it out at scale, and the
+    /// bucketed scan duplicates the flat scan's profile).
+    pub const DEFAULT_CANDIDATES: [BackendChoice; 4] = [
+        BackendChoice::ScanFlat,
+        BackendChoice::ScanSorted,
+        BackendChoice::Radix,
+        BackendChoice::Qgram,
+    ];
+
+    /// Builds an auto backend with purely static (deterministic)
+    /// planning over the default candidates.
+    pub fn new(dataset: &'a Dataset, threads: usize) -> Self {
+        let snapshot = StatsSnapshot::compute(dataset);
+        let planner = Planner::new(snapshot, &Self::DEFAULT_CANDIDATES);
+        Self::with_planner(dataset, threads, planner)
+    }
+
+    /// Builds an auto backend and calibrates the planner with a
+    /// micro-probe: every candidate arm is built, the probe workload
+    /// runs through each, and measured time scales that arm's cost
+    /// hints. Like index construction, the probe is paid at build time
+    /// and excluded from query timing. An empty probe yields static
+    /// planning.
+    pub fn calibrated(dataset: &'a Dataset, threads: usize, probe: &Workload) -> Self {
+        let snapshot = StatsSnapshot::compute(dataset);
+        if probe.queries.is_empty() {
+            let planner = Planner::new(snapshot, &Self::DEFAULT_CANDIDATES);
+            return Self::with_planner(dataset, threads, planner);
+        }
+        let uncalibrated = Self::with_planner(
+            dataset,
+            threads,
+            Planner::new(snapshot.clone(), &Self::DEFAULT_CANDIDATES),
+        );
+        let mut observations = Vec::new();
+        for &choice in &Self::DEFAULT_CANDIDATES {
+            let arm = uncalibrated.arm(choice);
+            // One untimed pass warms lazy state (and caches), then two
+            // timed per-query passes measure steady-state cost; the
+            // planner groups the timings by query class, so the static
+            // model's shape error is corrected class by class instead
+            // of with one arm-wide ratio.
+            let _ = arm.run_with_strategy(probe, Strategy::Sequential);
+            for _ in 0..2 {
+                for q in &probe.queries {
+                    let started = std::time::Instant::now();
+                    let _ = arm.search(&q.text, q.threshold);
+                    observations.push(Observation {
+                        choice,
+                        query_len: q.text.len(),
+                        k: q.threshold,
+                        nanos: started.elapsed().as_nanos() as f64,
+                    });
+                }
+            }
+        }
+        let planner =
+            Planner::with_observations(snapshot, &Self::DEFAULT_CANDIDATES, &observations);
+        // Keep the arms the probe already built.
+        let mut auto = uncalibrated;
+        auto.planner = planner;
+        for counter in &auto.counters {
+            counter.store(0, Ordering::Relaxed);
+        }
+        auto
+    }
+
+    fn with_planner(dataset: &'a Dataset, threads: usize, planner: Planner) -> Self {
+        Self {
+            dataset,
+            threads,
+            planner,
+            arms: std::array::from_fn(|_| OnceLock::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The planner (for `explain` and tests).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// A small deterministic probe workload drawn from the dataset
+    /// itself: up to 16 evenly spaced records, each queried at a
+    /// threshold scaled to the mean length (≈10%, clamped to 1..=8) —
+    /// the shape of the paper's §5 protocol, which queries with
+    /// (mutated) records. Long-lived consumers with no workload in
+    /// hand (the serving daemon) calibrate with this.
+    pub fn default_probe(dataset: &Dataset) -> Workload {
+        let n = dataset.len();
+        let mut queries = Vec::new();
+        if n > 0 {
+            let count = n.min(16);
+            let mean = dataset.arena_len() / n;
+            let k = (mean / 10).clamp(1, 8) as u32;
+            for i in 0..count {
+                let id = (i * n / count) as u32;
+                queries.push(simsearch_data::QueryRecord::new(
+                    dataset.get(id).to_vec(),
+                    k,
+                ));
+            }
+        }
+        Workload { queries }
+    }
+
+    /// `(backend name, queries routed)` per candidate, in candidate
+    /// order. Counts accumulate over the backend's lifetime.
+    pub fn plan_counts(&self) -> Vec<(&'static str, u64)> {
+        self.planner
+            .candidates()
+            .iter()
+            .map(|&c| (c.name(), self.counters[c.index()].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    fn arm(&self, choice: BackendChoice) -> &dyn Backend {
+        self.arms[choice.index()]
+            .get_or_init(|| {
+                let arm: Box<dyn Backend + 'a> = match choice {
+                    BackendChoice::ScanFlat => Box::new(FilteredScanBackend::new(
+                        self.dataset,
+                        Strategy::Sequential,
+                    )),
+                    BackendChoice::ScanSorted => {
+                        Box::new(SortedScanBackend::new(SequentialScan::new(self.dataset)))
+                    }
+                    BackendChoice::Trie => Box::new(TrieBackend::build(self.dataset, false)),
+                    BackendChoice::Radix => {
+                        Box::new(RadixBackend::build(self.dataset, false, Strategy::Sequential))
+                    }
+                    BackendChoice::Qgram => {
+                        Box::new(QgramBackend::build(self.dataset, 2, Strategy::Sequential))
+                    }
+                    BackendChoice::Buckets => {
+                        Box::new(BucketsBackend::build(self.dataset, Strategy::Sequential))
+                    }
+                    BackendChoice::BkTree => {
+                        Box::new(BkBackend::build(self.dataset, Strategy::Sequential))
+                    }
+                };
+                arm.prepare();
+                arm
+            })
+            .as_ref()
+    }
+}
+
+impl Backend for AutoBackend<'_> {
+    fn name(&self) -> String {
+        format!(
+            "auto[{}]",
+            if self.planner.is_calibrated() {
+                "calibrated"
+            } else {
+                "static"
+            }
+        )
+    }
+
+    fn prepare(&self) {
+        // Force every arm the decision table can actually pick.
+        let mut chosen: Vec<BackendChoice> = self
+            .planner
+            .decisions()
+            .iter()
+            .map(|d| d.chosen)
+            .collect();
+        chosen.sort_by_key(|c| c.index());
+        chosen.dedup();
+        for choice in chosen {
+            self.arm(choice);
+        }
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.search_counting(query, k).0
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        let decision = self.planner.decide(query.len(), k);
+        self.counters[decision.chosen.index()].fetch_add(1, Ordering::Relaxed);
+        self.arm(decision.chosen).search_counting(query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        self.planner
+            .candidates()
+            .iter()
+            .map(|&c| static_cost(snapshot, c, query_len, k))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters: vec!["length", "frequency"],
+            plan: Some(PlanReport {
+                snapshot: self.planner.snapshot().clone(),
+                decisions: self.planner.decisions().to_vec(),
+                counts: self.plan_counts(),
+                calibrated: self.planner.is_calibrated(),
+            }),
+        }
+    }
+
+    fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        Some(AutoBackend::plan_counts(self))
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        if self.threads > 1 {
+            Strategy::FixedPool {
+                threads: self.threads,
+            }
+        } else {
+            Strategy::Sequential
+        }
+    }
+
+    fn run_workload(&self, workload: &Workload) -> Vec<MatchSet> {
+        self.run_with_strategy(workload, auto_strategy(workload.len(), self.threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_data::QueryRecord;
+
+    fn dataset() -> Dataset {
+        Dataset::from_records([
+            "Berlin", "Bern", "Bonn", "Ulm", "Bärlin", "Berlingen", "B", "", "Ber",
+        ])
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 0),
+                QueryRecord::new("Bxr", 3),
+            ],
+        }
+    }
+
+    fn oracle(ds: &Dataset, w: &Workload) -> Vec<MatchSet> {
+        let scan = SequentialScan::new(ds);
+        scan.run(SeqVariant::V1Base, w)
+    }
+
+    #[test]
+    fn every_trait_backend_agrees_with_the_oracle() {
+        let ds = dataset();
+        let w = workload();
+        let expected = oracle(&ds, &w);
+        let backends: Vec<Box<dyn Backend + '_>> = vec![
+            Box::new(ScanBackend::new(SequentialScan::new(&ds), SeqVariant::V4Flat)),
+            Box::new(FilteredScanBackend::new(&ds, Strategy::Sequential)),
+            Box::new(SortedScanBackend::new(SequentialScan::new(&ds))),
+            Box::new(TrieBackend::build(&ds, true)),
+            Box::new(TrieBackend::build(&ds, false)),
+            Box::new(RadixBackend::build(&ds, false, Strategy::Sequential)),
+            Box::new(RadixBackend::build_with_freq(&ds, Strategy::Sequential)),
+            Box::new(QgramBackend::build(&ds, 2, Strategy::Sequential)),
+            Box::new(BucketsBackend::build(&ds, Strategy::Sequential)),
+            Box::new(SuffixBackend::build(&ds, Strategy::Sequential)),
+            Box::new(BkBackend::build(&ds, Strategy::Sequential)),
+            Box::new(AutoBackend::new(&ds, 1)),
+            Box::new(AutoBackend::calibrated(&ds, 2, &w)),
+        ];
+        for b in &backends {
+            b.prepare();
+            assert_eq!(b.run_workload(&w), expected, "backend {}", b.name());
+            for strategy in [
+                Strategy::Sequential,
+                Strategy::FixedPool { threads: 2 },
+                Strategy::WorkQueue { threads: 3 },
+            ] {
+                assert_eq!(
+                    b.run_with_strategy(&w, strategy),
+                    expected,
+                    "backend {} strategy {}",
+                    b.name(),
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_counts_every_routed_query() {
+        let ds = dataset();
+        let w = workload();
+        let auto = AutoBackend::new(&ds, 1);
+        let _ = auto.run_workload(&w);
+        let total: u64 = auto.plan_counts().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, w.len() as u64);
+        let diag = auto.diag();
+        let plan = diag.plan.expect("auto reports its plan");
+        assert_eq!(plan.counts, auto.plan_counts());
+        assert!(!plan.decisions.is_empty());
+    }
+
+    #[test]
+    fn auto_topk_matches_a_fixed_backend() {
+        let ds = dataset();
+        let auto = AutoBackend::new(&ds, 1);
+        let scan = ScanBackend::new(SequentialScan::new(&ds), SeqVariant::V4Flat);
+        let (a, _) = auto.search_top_k_with(b"Berlim", 3, 8);
+        let (b, _) = scan.search_top_k_with(b"Berlim", 3, 8);
+        assert_eq!(a, b);
+        assert_eq!(a[0].id, 0);
+    }
+
+    #[test]
+    fn sorted_scan_counts_cells() {
+        let ds = dataset();
+        let sorted = SortedScanBackend::new(SequentialScan::new(&ds));
+        sorted.prepare();
+        let (_, cells) = sorted.search_counting(b"Berlin", 2);
+        assert!(cells > 0);
+    }
+
+    #[test]
+    fn diag_reports_structures_and_filters() {
+        let ds = dataset();
+        let radix = RadixBackend::build(&ds, false, Strategy::Sequential);
+        let d = radix.diag();
+        assert!(d.structure.unwrap().0 > 1);
+        assert_eq!(d.filters, vec!["length"]);
+        assert!(d.plan.is_none());
+        let filtered = FilteredScanBackend::new(&ds, Strategy::Sequential);
+        assert_eq!(filtered.diag().filters, vec!["length", "frequency"]);
+    }
+}

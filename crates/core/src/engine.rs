@@ -1,11 +1,20 @@
 //! The unified search engine: every solution of the paper (and every
 //! extension) behind one build/search interface.
+//!
+//! Since the planner refactor the engine is a thin veneer over the
+//! [`Backend`](crate::backend::Backend) trait: `build` maps an
+//! [`EngineKind`] to one trait object, and every engine method
+//! delegates. Scan and index code paths are no longer parallel
+//! universes — the serving layer, the CLI, and the benches all run the
+//! same `Backend` methods the engine does.
 
-use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
+use crate::backend::{
+    AutoBackend, Backend, BackendDiag, BkBackend, BucketsBackend, KernelScanBackend,
+    QgramBackend, RadixBackend, ScanBackend, SuffixBackend, TrieBackend,
+};
 use simsearch_data::{Dataset, MatchSet, Workload};
 use simsearch_distance::KernelKind;
-use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, SuffixIndex, Trie};
-use simsearch_parallel::{run_queries, Strategy};
+use simsearch_parallel::Strategy;
 use simsearch_scan::{SeqVariant, SequentialScan};
 
 /// The rungs of the paper's *index* ladder (§4, Tables V/IX).
@@ -95,6 +104,15 @@ pub enum EngineKind {
         /// Workload executor.
         strategy: Strategy,
     },
+    /// Planner-driven backend selection: a
+    /// [`Planner`](crate::planner::Planner) built from the dataset's
+    /// statistics routes each query to the cheapest candidate backend.
+    /// This variant plans statically (deterministically); use
+    /// [`SearchEngine::build_auto`] to add a calibration probe.
+    Auto {
+        /// Worker threads for workload execution (1 = sequential).
+        threads: usize,
+    },
 }
 
 impl EngineKind {
@@ -112,106 +130,86 @@ impl EngineKind {
             EngineKind::Buckets { strategy } => format!("buckets[{}]", strategy.name()),
             EngineKind::Suffix { strategy } => format!("suffix-array[{}]", strategy.name()),
             EngineKind::Bk { strategy } => format!("bk-tree[{}]", strategy.name()),
+            EngineKind::Auto { threads } => format!("auto[threads={threads}]"),
         }
     }
 }
 
-/// Which trie descent an index backend uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PruneMode {
-    /// The paper's §4.1 pruning.
-    Paper,
-    /// Banded rows + row-minimum lemma (extension).
-    Modern,
-}
-
-enum Backend<'a> {
-    Scan(SequentialScan<'a>, SeqVariant),
-    ScanCustom(SequentialScan<'a>, KernelKind, Strategy),
-    Trie(Trie, PruneMode),
-    Radix(RadixTrie, Strategy, PruneMode),
-    Qgram(QgramIndex, Strategy),
-    Buckets(LengthBuckets, Strategy),
-    Suffix(SuffixIndex, Strategy),
-    Bk(BkTree, Strategy),
+/// Maps an [`EngineKind`] to its trait-object backend (the single
+/// factory every consumer goes through).
+pub fn build_backend<'a>(dataset: &'a Dataset, kind: EngineKind) -> Box<dyn Backend + 'a> {
+    match kind {
+        EngineKind::Scan(v) => Box::new(ScanBackend::new(SequentialScan::new(dataset), v)),
+        EngineKind::ScanCustom { kernel, strategy } => Box::new(KernelScanBackend::new(
+            SequentialScan::new(dataset),
+            kernel,
+            strategy,
+        )),
+        EngineKind::Index(v) | EngineKind::IndexModern(v) => {
+            let paper = matches!(kind, EngineKind::Index(_));
+            match v {
+                IdxVariant::I1BaseTrie => Box::new(TrieBackend::build(dataset, paper)),
+                IdxVariant::I2Compressed => {
+                    Box::new(RadixBackend::build(dataset, paper, Strategy::Sequential))
+                }
+                IdxVariant::I3Pool { threads } => Box::new(RadixBackend::build(
+                    dataset,
+                    paper,
+                    Strategy::FixedPool { threads },
+                )),
+            }
+        }
+        EngineKind::RadixFreq { strategy } => {
+            Box::new(RadixBackend::build_with_freq(dataset, strategy))
+        }
+        EngineKind::Qgram { q, strategy } => Box::new(QgramBackend::build(dataset, q, strategy)),
+        EngineKind::Buckets { strategy } => Box::new(BucketsBackend::build(dataset, strategy)),
+        EngineKind::Suffix { strategy } => Box::new(SuffixBackend::build(dataset, strategy)),
+        EngineKind::Bk { strategy } => Box::new(BkBackend::build(dataset, strategy)),
+        EngineKind::Auto { threads } => Box::new(AutoBackend::new(dataset, threads)),
+    }
 }
 
 /// A built search engine over one dataset.
 pub struct SearchEngine<'a> {
     dataset: &'a Dataset,
     kind: EngineKind,
-    backend: Backend<'a>,
+    backend: Box<dyn Backend + 'a>,
 }
 
 impl<'a> SearchEngine<'a> {
     /// Builds the engine (index construction happens here; the paper
     /// excludes build time from its query-time measurements, and so do
-    /// the benchmarks).
+    /// the benchmarks — [`Backend::prepare`] runs now, so no auxiliary
+    /// structure is built inside the first timed query).
     pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
-        let backend = match kind {
-            EngineKind::Scan(v) => {
-                let scan = SequentialScan::new(dataset);
-                // Build-time preprocessing (owned copies for V1–V3, the
-                // sorted view for V7) happens here, not in the first
-                // timed query.
-                scan.prepare(v);
-                Backend::Scan(scan, v)
-            }
-            EngineKind::ScanCustom { kernel, strategy } => {
-                Backend::ScanCustom(SequentialScan::new(dataset), kernel, strategy)
-            }
-            EngineKind::Index(v) | EngineKind::IndexModern(v) => {
-                let mode = if matches!(kind, EngineKind::Index(_)) {
-                    PruneMode::Paper
-                } else {
-                    PruneMode::Modern
-                };
-                match v {
-                    IdxVariant::I1BaseTrie => {
-                        Backend::Trie(simsearch_index::trie::build(dataset), mode)
-                    }
-                    IdxVariant::I2Compressed => Backend::Radix(
-                        simsearch_index::radix::build(dataset),
-                        Strategy::Sequential,
-                        mode,
-                    ),
-                    IdxVariant::I3Pool { threads } => Backend::Radix(
-                        simsearch_index::radix::build(dataset),
-                        Strategy::FixedPool { threads },
-                        mode,
-                    ),
-                }
-            }
-            EngineKind::RadixFreq { strategy } => {
-                // Track the alphabet that fits the data: DNA symbols when
-                // the corpus is DNA, vowels (the paper's city-name choice)
-                // otherwise.
-                let dna = simsearch_data::Alphabet::dna();
-                let tracked = if dataset.records().all(|r| dna.covers(r)) {
-                    DNA_SYMBOLS
-                } else {
-                    VOWEL_SYMBOLS
-                };
-                Backend::Radix(
-                    simsearch_index::radix::build_with_freq(dataset, tracked),
-                    strategy,
-                    PruneMode::Modern,
-                )
-            }
-            EngineKind::Qgram { q, strategy } => {
-                Backend::Qgram(QgramIndex::build(dataset, q), strategy)
-            }
-            EngineKind::Buckets { strategy } => {
-                Backend::Buckets(LengthBuckets::build(dataset), strategy)
-            }
-            EngineKind::Suffix { strategy } => {
-                Backend::Suffix(SuffixIndex::build(dataset), strategy)
-            }
-            EngineKind::Bk { strategy } => Backend::Bk(BkTree::build(dataset), strategy),
-        };
+        let backend = build_backend(dataset, kind);
+        backend.prepare();
         Self {
             dataset,
             kind,
+            backend,
+        }
+    }
+
+    /// Builds a planner-driven engine, optionally calibrating the
+    /// planner with a micro-probe workload (run through every
+    /// candidate backend at build time — like index construction, the
+    /// cost is excluded from query timing). Without a probe this is
+    /// `build(dataset, EngineKind::Auto { threads })`.
+    pub fn build_auto(
+        dataset: &'a Dataset,
+        threads: usize,
+        probe: Option<&Workload>,
+    ) -> Self {
+        let backend: Box<dyn Backend + 'a> = match probe {
+            Some(p) => Box::new(AutoBackend::calibrated(dataset, threads, p)),
+            None => Box::new(AutoBackend::new(dataset, threads)),
+        };
+        backend.prepare();
+        Self {
+            dataset,
+            kind: EngineKind::Auto { threads },
             backend,
         }
     }
@@ -227,10 +225,11 @@ impl<'a> SearchEngine<'a> {
     /// the first query.
     pub fn from_scan(scan: SequentialScan<'a>, variant: SeqVariant) -> Self {
         scan.prepare(variant);
+        let dataset = scan.dataset();
         Self {
-            dataset: scan.dataset(),
+            dataset,
             kind: EngineKind::Scan(variant),
-            backend: Backend::Scan(scan, variant),
+            backend: Box::new(ScanBackend::new(scan, variant)),
         }
     }
 
@@ -249,76 +248,21 @@ impl<'a> SearchEngine<'a> {
         self.dataset
     }
 
+    /// The backend behind the engine (the serving layer and `explain`
+    /// reach trait-level methods — cell counting, top-k, diagnostics —
+    /// through this).
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+
     /// Answers one query.
     pub fn search(&self, query: &[u8], k: u32) -> MatchSet {
-        match &self.backend {
-            Backend::Scan(scan, v) => scan.search_one(*v, query, k),
-            Backend::ScanCustom(scan, kernel, _) => {
-                // Reuse the workload path for a single query.
-                let w = Workload {
-                    queries: vec![simsearch_data::QueryRecord::new(query.to_vec(), k)],
-                };
-                scan.run_with(*kernel, Strategy::Sequential, &w)
-                    .pop()
-                    .expect("one query in, one result out")
-            }
-            Backend::Trie(trie, mode) => match mode {
-                PruneMode::Paper => trie.search_paper(query, k),
-                PruneMode::Modern => trie.search(query, k),
-            },
-            Backend::Radix(radix, _, mode) => match mode {
-                PruneMode::Paper => radix.search_paper(query, k),
-                PruneMode::Modern => radix.search(query, k),
-            },
-            Backend::Qgram(idx, _) => idx.search(self.dataset, query, k),
-            Backend::Buckets(buckets, _) => buckets.search(self.dataset, query, k),
-            Backend::Suffix(idx, _) => idx.search(self.dataset, query, k),
-            Backend::Bk(tree, _) => tree.search(self.dataset, query, k),
-        }
+        self.backend.search(query, k)
     }
 
     /// Executes a whole workload (this is the quantity the paper times).
     pub fn run(&self, workload: &Workload) -> Vec<MatchSet> {
-        match &self.backend {
-            Backend::Scan(scan, v) => scan.run(*v, workload),
-            Backend::ScanCustom(scan, kernel, strategy) => {
-                scan.run_with(*kernel, *strategy, workload)
-            }
-            Backend::Trie(trie, mode) => workload
-                .iter()
-                .map(|q| match mode {
-                    PruneMode::Paper => trie.search_paper(&q.text, q.threshold),
-                    PruneMode::Modern => trie.search(&q.text, q.threshold),
-                })
-                .collect(),
-            Backend::Radix(radix, strategy, mode) => {
-                run_queries(*strategy, workload.len(), |i| {
-                    let q = &workload.queries[i];
-                    match mode {
-                        PruneMode::Paper => radix.search_paper(&q.text, q.threshold),
-                        PruneMode::Modern => radix.search(&q.text, q.threshold),
-                    }
-                })
-            }
-            Backend::Qgram(idx, strategy) => run_queries(*strategy, workload.len(), |i| {
-                let q = &workload.queries[i];
-                idx.search(self.dataset, &q.text, q.threshold)
-            }),
-            Backend::Buckets(buckets, strategy) => {
-                run_queries(*strategy, workload.len(), |i| {
-                    let q = &workload.queries[i];
-                    buckets.search(self.dataset, &q.text, q.threshold)
-                })
-            }
-            Backend::Suffix(idx, strategy) => run_queries(*strategy, workload.len(), |i| {
-                let q = &workload.queries[i];
-                idx.search(self.dataset, &q.text, q.threshold)
-            }),
-            Backend::Bk(tree, strategy) => run_queries(*strategy, workload.len(), |i| {
-                let q = &workload.queries[i];
-                tree.search(self.dataset, &q.text, q.threshold)
-            }),
-        }
+        self.backend.run_workload(workload)
     }
 
     /// Executes a workload under an explicit executor, overriding
@@ -327,30 +271,27 @@ impl<'a> SearchEngine<'a> {
     /// strategy per batch (sequential for tiny batches, pooled for
     /// large ones) regardless of which rung answers the queries.
     ///
-    /// Scan backends route single queries through the rung's kernel, so
-    /// results are identical to [`SearchEngine::run`] for every kind.
+    /// Results are identical to [`SearchEngine::run`] for every kind.
     pub fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
-        match &self.backend {
-            Backend::ScanCustom(scan, kernel, _) => scan.run_with(*kernel, strategy, workload),
-            _ => run_queries(strategy, workload.len(), |i| {
-                let q = &workload.queries[i];
-                self.search(&q.text, q.threshold)
-            }),
-        }
+        self.backend.run_with_strategy(workload, strategy)
+    }
+
+    /// The backend's self-description (name, structure statistics,
+    /// filter names, and — for auto engines — the recorded plan).
+    pub fn diag(&self) -> BackendDiag {
+        self.backend.diag()
     }
 
     /// Index-structure statistics, when the backend has a structure
     /// (`(node or posting count, approximate bytes)`).
     pub fn index_stats(&self) -> Option<(usize, usize)> {
-        match &self.backend {
-            Backend::Trie(t, _) => Some((t.node_count(), t.memory_bytes())),
-            Backend::Radix(r, _, _) => Some((r.node_count(), r.memory_bytes())),
-            Backend::Qgram(q, _) => Some((q.distinct_grams(), q.memory_bytes())),
-            Backend::Buckets(b, _) => Some((b.bucket_count(), 0)),
-            Backend::Suffix(sfx, _) => Some((sfx.record_count(), sfx.memory_bytes())),
-            Backend::Bk(tree, _) => Some((tree.node_count(), 0)),
-            _ => None,
-        }
+        self.backend.diag().structure
+    }
+
+    /// `(backend name, queries routed)` counters, when the engine is
+    /// planner-driven.
+    pub fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        self.backend.plan_counts()
     }
 }
 
@@ -397,6 +338,8 @@ mod tests {
             EngineKind::Bk {
                 strategy: Strategy::Sequential,
             },
+            EngineKind::Auto { threads: 1 },
+            EngineKind::Auto { threads: 2 },
         ]
     }
 
@@ -507,6 +450,43 @@ mod tests {
         let (nodes, bytes) = trie.index_stats().unwrap();
         assert!(nodes > 1);
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn build_auto_agrees_with_the_oracle_with_and_without_probe() {
+        let ds = dataset();
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 0),
+            ],
+        };
+        let reference = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let expected = reference.run(&workload);
+        for probe in [None, Some(&workload)] {
+            let auto = SearchEngine::build_auto(&ds, 2, probe);
+            assert_eq!(auto.kind(), EngineKind::Auto { threads: 2 });
+            assert_eq!(auto.run(&workload), expected, "probe {:?}", probe.is_some());
+        }
+    }
+
+    #[test]
+    fn plan_counts_present_only_for_auto() {
+        let ds = dataset();
+        let workload = Workload {
+            queries: vec![QueryRecord::new("Berlin", 2), QueryRecord::new("Ulm", 1)],
+        };
+        let scan = SearchEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        assert!(scan.plan_counts().is_none());
+        let auto = SearchEngine::build(&ds, EngineKind::Auto { threads: 1 });
+        let _ = auto.run(&workload);
+        let counts = auto.plan_counts().expect("auto engines count decisions");
+        assert_eq!(
+            counts.iter().map(|(_, c)| c).sum::<u64>(),
+            workload.len() as u64
+        );
+        assert!(auto.diag().plan.is_some());
     }
 
     #[test]

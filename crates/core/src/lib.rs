@@ -4,6 +4,12 @@
 //! every solution the paper evaluates, plus the measurement and
 //! verification machinery its methodology prescribes.
 //!
+//! * [`backend`] — the unified [`backend::Backend`] trait: one
+//!   execution seam over every scan rung and index structure, plus the
+//!   planner-driven [`backend::AutoBackend`];
+//! * [`planner`] — the adaptive [`planner::Planner`]: cost hints from
+//!   dataset statistics, one explainable [`planner::PlanDecision`] per
+//!   query class;
 //! * [`engine`] — [`engine::SearchEngine`] builds and runs any solution:
 //!   each scan rung (§3), each index rung (§4), and the extension
 //!   engines (frequency-annotated radix tree, q-gram index, length
@@ -21,15 +27,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod experiment;
 pub mod join;
+pub mod planner;
 pub mod presets;
 pub mod report;
 pub mod topk;
 pub mod verify;
 
-pub use engine::{EngineKind, IdxVariant, SearchEngine};
+pub use backend::{
+    AutoBackend, Backend, BackendDiag, FilteredScanBackend, PlanReport, QgramBackend,
+    RadixBackend, SortedScanBackend,
+};
+pub use engine::{build_backend, EngineKind, IdxVariant, SearchEngine};
+pub use planner::{BackendChoice, CostEstimate, Observation, PlanDecision, Planner, QueryClass};
 pub use join::{CrossPair, JoinPair};
 pub use topk::{search_top_k, search_top_k_with};
 pub use experiment::{
@@ -40,7 +53,9 @@ pub use verify::{compare_results, cross_validate, Mismatch};
 
 // Re-export the vocabulary types so `simsearch_core` is self-sufficient
 // for most users.
-pub use simsearch_data::{Dataset, Match, MatchSet, QueryRecord, RecordId, Workload};
+pub use simsearch_data::{
+    Dataset, Match, MatchSet, QueryRecord, RecordId, StatsSnapshot, Workload,
+};
 pub use simsearch_distance::KernelKind;
 pub use simsearch_parallel::Strategy;
 pub use simsearch_scan::SeqVariant;

@@ -48,5 +48,5 @@ pub use generate::{CityGenerator, DnaGenerator};
 pub use packed::{PackedDataset, PackedSeq};
 pub use rng::Xoshiro256;
 pub use sorted::SortedView;
-pub use stats::DatasetStats;
+pub use stats::{DatasetStats, StatsSnapshot};
 pub use workload::{QueryRecord, Workload, WorkloadSpec, CITY_THRESHOLDS, DNA_THRESHOLDS};

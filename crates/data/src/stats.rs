@@ -51,6 +51,172 @@ impl std::fmt::Display for DatasetStats {
     }
 }
 
+/// Binary-layout version of [`StatsSnapshot`] (bumped on layout change).
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Upper bound on the number of length-histogram buckets a snapshot
+/// stores (and on what [`StatsSnapshot::read_from`] accepts).
+const MAX_BUCKETS: usize = 512;
+
+/// A deterministic, integer-only summary of a dataset — the planner's
+/// input and the payload persisted alongside saved indexes.
+///
+/// Unlike [`DatasetStats`] (a float-bearing report type), a snapshot is
+/// `Eq`/`Hash`, round-trips exactly through its binary encoding, and
+/// carries a bucketed string-length distribution so the planner can
+/// estimate length-filter survivor counts without the dataset in hand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StatsSnapshot {
+    /// Number of records.
+    pub records: u64,
+    /// Number of distinct byte symbols (alphabet size).
+    pub symbols: u32,
+    /// Shortest record length.
+    pub min_len: u32,
+    /// Longest record length.
+    pub max_len: u32,
+    /// Total bytes across all records.
+    pub total_bytes: u64,
+    /// Width of each length bucket (≥ 1).
+    pub bucket_width: u32,
+    /// `len_buckets[i]` counts records whose length falls in
+    /// `[i * bucket_width, (i + 1) * bucket_width)`.
+    pub len_buckets: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// Measures `dataset`. Deterministic: two computes over the same
+    /// records produce identical snapshots.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let alphabet = Alphabet::from_corpus(dataset.records());
+        let hist = dataset.length_histogram();
+        let max_len = hist.len().saturating_sub(1);
+        let bucket_width = (max_len / MAX_BUCKETS + 1) as u32;
+        let buckets = max_len / bucket_width as usize + 1;
+        let mut len_buckets = vec![0u64; buckets.min(MAX_BUCKETS)];
+        for (len, &count) in hist.iter().enumerate() {
+            len_buckets[len / bucket_width as usize] += count as u64;
+        }
+        Self {
+            records: dataset.len() as u64,
+            symbols: alphabet.len() as u32,
+            min_len: dataset.min_len().unwrap_or(0) as u32,
+            max_len: max_len as u32,
+            total_bytes: dataset.arena_len() as u64,
+            bucket_width,
+            len_buckets,
+        }
+    }
+
+    /// Mean record length.
+    pub fn mean_len(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.records as f64
+        }
+    }
+
+    /// Upper bound on the number of records admitted by the length
+    /// filter for a query of `query_len` bytes at threshold `k`
+    /// (records with `|len - query_len| ≤ k`, rounded out to bucket
+    /// boundaries, so the estimate never under-counts).
+    pub fn length_survivors(&self, query_len: usize, k: u32) -> u64 {
+        if self.len_buckets.is_empty() {
+            return 0;
+        }
+        let w = self.bucket_width.max(1) as usize;
+        let lo = query_len.saturating_sub(k as usize) / w;
+        let hi = ((query_len + k as usize) / w).min(self.len_buckets.len() - 1);
+        if lo > hi {
+            return 0;
+        }
+        self.len_buckets[lo..=hi].iter().sum()
+    }
+
+    /// Serializes the snapshot (little-endian, versioned).
+    pub fn write_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(&[SNAPSHOT_VERSION])?;
+        out.write_all(&self.records.to_le_bytes())?;
+        out.write_all(&self.symbols.to_le_bytes())?;
+        out.write_all(&self.min_len.to_le_bytes())?;
+        out.write_all(&self.max_len.to_le_bytes())?;
+        out.write_all(&self.total_bytes.to_le_bytes())?;
+        out.write_all(&self.bucket_width.to_le_bytes())?;
+        out.write_all(&(self.len_buckets.len() as u32).to_le_bytes())?;
+        for b in &self.len_buckets {
+            out.write_all(&b.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a snapshot written by [`StatsSnapshot::write_to`].
+    /// Returns [`std::io::ErrorKind::InvalidData`] on a version or
+    /// bounds mismatch — never panics on corrupt input.
+    pub fn read_from<R: std::io::Read>(input: &mut R) -> std::io::Result<Self> {
+        fn bad(msg: &str) -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+        }
+        let mut byte = [0u8; 1];
+        input.read_exact(&mut byte)?;
+        if byte[0] != SNAPSHOT_VERSION {
+            return Err(bad("unsupported stats snapshot version"));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut u32buf = [0u8; 4];
+        let read_u64 = |input: &mut R, buf: &mut [u8; 8]| -> std::io::Result<u64> {
+            input.read_exact(buf)?;
+            Ok(u64::from_le_bytes(*buf))
+        };
+        let read_u32 = |input: &mut R, buf: &mut [u8; 4]| -> std::io::Result<u32> {
+            input.read_exact(buf)?;
+            Ok(u32::from_le_bytes(*buf))
+        };
+        let records = read_u64(input, &mut u64buf)?;
+        let symbols = read_u32(input, &mut u32buf)?;
+        let min_len = read_u32(input, &mut u32buf)?;
+        let max_len = read_u32(input, &mut u32buf)?;
+        let total_bytes = read_u64(input, &mut u64buf)?;
+        let bucket_width = read_u32(input, &mut u32buf)?;
+        if bucket_width == 0 {
+            return Err(bad("stats snapshot bucket width of zero"));
+        }
+        let buckets = read_u32(input, &mut u32buf)? as usize;
+        if buckets > MAX_BUCKETS {
+            return Err(bad("stats snapshot bucket count out of bounds"));
+        }
+        let mut len_buckets = Vec::with_capacity(buckets);
+        for _ in 0..buckets {
+            len_buckets.push(read_u64(input, &mut u64buf)?);
+        }
+        Ok(Self {
+            records,
+            symbols,
+            min_len,
+            max_len,
+            total_bytes,
+            bucket_width,
+            len_buckets,
+        })
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} records, {} symbols, length {}..{} (mean {:.1}), {} length buckets × {}",
+            self.records,
+            self.symbols,
+            self.min_len,
+            self.max_len,
+            self.mean_len(),
+            self.len_buckets.len(),
+            self.bucket_width
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +245,84 @@ mod tests {
         let ds = Dataset::from_records(["ab"]);
         let text = DatasetStats::compute(&ds).to_string();
         assert!(text.contains("1 records"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_matches_stats() {
+        let ds = Dataset::from_records(["AG", "AGGT", "T", "AG"]);
+        let a = StatsSnapshot::compute(&ds);
+        let b = StatsSnapshot::compute(&ds);
+        assert_eq!(a, b);
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(a.records as usize, stats.records);
+        assert_eq!(a.symbols as usize, stats.symbols);
+        assert_eq!(a.min_len as usize, stats.min_len);
+        assert_eq!(a.max_len as usize, stats.max_len);
+        assert_eq!(a.total_bytes as usize, stats.total_bytes);
+        assert!((a.mean_len() - stats.mean_len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_survivors_never_undercount() {
+        let ds = Dataset::from_records(["a", "bb", "ccc", "dddd", "eeeee"]);
+        let snap = StatsSnapshot::compute(&ds);
+        for q_len in 0..8 {
+            for k in 0..4u32 {
+                let exact = (0..ds.len() as u32)
+                    .filter(|&id| {
+                        ds.record_len(id).abs_diff(q_len) <= k as usize
+                    })
+                    .count() as u64;
+                assert!(
+                    snap.length_survivors(q_len, k) >= exact,
+                    "q_len={q_len} k={k}"
+                );
+            }
+        }
+        assert_eq!(snap.length_survivors(2, 1), 3); // bb, a, ccc
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_binary_encoding() {
+        let ds = Dataset::from_records(["Berlin", "Bern", "", "Bonn"]);
+        let snap = StatsSnapshot::compute(&ds);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let back = StatsSnapshot::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_read_rejects_garbage_without_panicking() {
+        for cut in 0..16 {
+            let garbage = vec![0xFFu8; cut];
+            let err = StatsSnapshot::read_from(&mut garbage.as_slice());
+            assert!(err.is_err(), "cut={cut}");
+        }
+        // Wrong version byte.
+        let ds = Dataset::from_records(["x"]);
+        let mut buf = Vec::new();
+        StatsSnapshot::compute(&ds).write_to(&mut buf).unwrap();
+        buf[0] = 0xEE;
+        let err = StatsSnapshot::read_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Absurd bucket count.
+        let mut truncated = Vec::new();
+        StatsSnapshot::compute(&ds).write_to(&mut truncated).unwrap();
+        // version(1) + records(8) + symbols/min/max(12) + total(8) + width(4)
+        let count_at = 33;
+        truncated[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = StatsSnapshot::read_from(&mut truncated.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn snapshot_buckets_stay_bounded_for_long_records() {
+        let long = "x".repeat(5000);
+        let ds = Dataset::from_records([long.as_str(), "y"]);
+        let snap = StatsSnapshot::compute(&ds);
+        assert!(snap.len_buckets.len() <= 512);
+        assert_eq!(snap.len_buckets.iter().sum::<u64>(), 2);
+        assert_eq!(snap.length_survivors(5000, 0) + snap.length_survivors(1, 0), 2);
     }
 }

@@ -33,7 +33,9 @@ pub mod trace;
 pub mod trie;
 
 pub use bktree::BkTree;
-pub use persist::{load_radix, save_radix};
+pub use persist::{
+    load_radix, load_radix_with_stats, save_radix, save_radix_with_stats, PersistError,
+};
 pub use length_bucket::LengthBuckets;
 pub use qgram::QgramIndex;
 pub use radix::RadixTrie;

@@ -7,22 +7,107 @@
 //! versioned little-endian binary dump of the arena vectors, validated
 //! on load (magic, version, bounds), with no external serialization
 //! dependency.
+//!
+//! Version 2 appends an optional [`StatsSnapshot`] section — the input
+//! the adaptive planner builds its cost model from — so a deployment
+//! that persists the index can restore the *plan* together with the
+//! structure instead of re-scanning the dataset. Load failures are
+//! reported through the structured [`PersistError`]; a file written by
+//! a different format version yields [`PersistError::VersionMismatch`]
+//! (with both versions named), never a panic and never a misparse.
 
 use crate::radix::{RadixNode, RadixTrie};
 use simsearch_data::freq::FreqVector;
+use simsearch_data::StatsSnapshot;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"SSRADIX\x01";
+/// First bytes of every radix dump, any version.
+const MAGIC_PREFIX: &[u8; 7] = b"SSRADIX";
 
-/// Writes the tree to `path`.
+/// The format version this build writes (and the only one it reads).
+/// Version 1 lacked the stats-snapshot section.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Why a radix index file could not be loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O failure (including unexpected EOF).
+    Io(io::Error),
+    /// The file is a radix index dump of a different format version.
+    /// Callers can tell "rebuild and re-save" apart from "corrupt".
+    VersionMismatch {
+        /// Version byte found in the file.
+        found: u8,
+        /// Version this build understands ([`FORMAT_VERSION`]).
+        expected: u8,
+    },
+    /// The file is not a radix index dump, or its contents are
+    /// structurally impossible (out-of-bounds ids, bad flags, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "radix index file: {e}"),
+            PersistError::VersionMismatch { found, expected } => write!(
+                f,
+                "radix index file: format version {found} (this build reads \
+                 version {expected}); rebuild and re-save the index"
+            ),
+            PersistError::Corrupt(what) => write!(f, "radix index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<PersistError> for io::Error {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Writes the tree to `path` (no stats section).
 ///
 /// # Errors
 /// Returns any underlying I/O error.
 pub fn save_radix(path: &Path, trie: &RadixTrie) -> io::Result<()> {
+    save_radix_with_stats(path, trie, None)
+}
+
+/// Writes the tree to `path`, optionally with the planner's statistics
+/// snapshot so the adaptive plan can be restored alongside the index.
+///
+/// # Errors
+/// Returns any underlying I/O error.
+pub fn save_radix_with_stats(
+    path: &Path,
+    trie: &RadixTrie,
+    stats: Option<&StatsSnapshot>,
+) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(MAGIC)?;
+    out.write_all(MAGIC_PREFIX)?;
+    out.write_all(&[FORMAT_VERSION])?;
     write_u64(&mut out, trie.record_count() as u64)?;
     write_u64(&mut out, trie.labels().len() as u64)?;
     out.write_all(trie.labels())?;
@@ -55,20 +140,50 @@ pub fn save_radix(path: &Path, trie: &RadixTrie) -> io::Result<()> {
         }
         None => out.write_all(&[0])?,
     }
+    match stats {
+        Some(snapshot) => {
+            out.write_all(&[1])?;
+            snapshot.write_to(&mut out)?;
+        }
+        None => out.write_all(&[0])?,
+    }
     out.flush()
 }
 
-/// Reads a tree previously written with [`save_radix`].
+/// Reads a tree previously written with [`save_radix`], discarding any
+/// stats section.
 ///
 /// # Errors
 /// Returns `InvalidData` for wrong magic/version or structurally
-/// impossible contents, or any underlying I/O error.
+/// impossible contents, or any underlying I/O error. Use
+/// [`load_radix_with_stats`] to receive the structured
+/// [`PersistError`] instead.
 pub fn load_radix(path: &Path) -> io::Result<RadixTrie> {
+    load_radix_with_stats(path)
+        .map(|(trie, _)| trie)
+        .map_err(io::Error::from)
+}
+
+/// Reads a tree and, if the file carries one, the planner's statistics
+/// snapshot saved with [`save_radix_with_stats`].
+///
+/// # Errors
+/// [`PersistError::VersionMismatch`] when the file is a radix dump of
+/// another format version, [`PersistError::Corrupt`] when it is not a
+/// radix dump or is structurally impossible, [`PersistError::Io`] for
+/// underlying I/O failures (including truncation).
+pub fn load_radix_with_stats(path: &Path) -> Result<(RadixTrie, Option<StatsSnapshot>), PersistError> {
     let mut inp = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
     inp.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("wrong magic/version"));
+    if &magic[..7] != MAGIC_PREFIX {
+        return Err(PersistError::Corrupt("wrong magic".into()));
+    }
+    if magic[7] != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: magic[7],
+            expected: FORMAT_VERSION,
+        });
     }
     let record_count = read_u64(&mut inp)? as usize;
     let labels_len = read_u64(&mut inp)? as usize;
@@ -79,11 +194,13 @@ pub fn load_radix(path: &Path) -> io::Result<RadixTrie> {
         .take(labels_len as u64)
         .read_to_end(&mut labels)?;
     if labels.len() != labels_len {
-        return Err(bad("truncated label arena"));
+        return Err(PersistError::Corrupt("truncated label arena".into()));
     }
     let node_count = read_u64(&mut inp)? as usize;
     if node_count == 0 {
-        return Err(bad("a radix tree has at least the root node"));
+        return Err(PersistError::Corrupt(
+            "a radix tree has at least the root node".into(),
+        ));
     }
     // Do not trust the count for pre-allocation (corrupted files would
     // otherwise trigger enormous reservations before any read fails).
@@ -92,13 +209,15 @@ pub fn load_radix(path: &Path) -> io::Result<RadixTrie> {
         let label_start = read_u32(&mut inp)?;
         let label_len = read_u32(&mut inp)?;
         if label_start as u64 + label_len as u64 > labels_len as u64 {
-            return Err(bad("label range out of bounds"));
+            return Err(PersistError::Corrupt("label range out of bounds".into()));
         }
         let min_len = read_u32(&mut inp)?;
         let max_len = read_u32(&mut inp)?;
         let n_children = read_u32(&mut inp)? as usize;
         if n_children > 256 {
-            return Err(bad("more than 256 children on one node"));
+            return Err(PersistError::Corrupt(
+                "more than 256 children on one node".into(),
+            ));
         }
         let mut children = Vec::with_capacity(n_children);
         for _ in 0..n_children {
@@ -106,19 +225,21 @@ pub fn load_radix(path: &Path) -> io::Result<RadixTrie> {
             inp.read_exact(&mut b)?;
             let child = read_u32(&mut inp)?;
             if child as usize >= node_count {
-                return Err(bad("child id out of bounds"));
+                return Err(PersistError::Corrupt("child id out of bounds".into()));
             }
             children.push((b[0], child));
         }
         let n_records = read_u32(&mut inp)? as usize;
         if n_records > record_count {
-            return Err(bad("more terminal records than the dataset holds"));
+            return Err(PersistError::Corrupt(
+                "more terminal records than the dataset holds".into(),
+            ));
         }
         let mut records = Vec::with_capacity(n_records);
         for _ in 0..n_records {
             let id = read_u32(&mut inp)?;
             if id as usize >= record_count {
-                return Err(bad("record id out of bounds"));
+                return Err(PersistError::Corrupt("record id out of bounds".into()));
             }
             records.push(id);
         }
@@ -152,13 +273,24 @@ pub fn load_radix(path: &Path) -> io::Result<RadixTrie> {
             }
             Some((tracked, boxes))
         }
-        _ => return Err(bad("bad frequency flag")),
+        _ => return Err(PersistError::Corrupt("bad frequency flag".into())),
     };
-    Ok(RadixTrie::from_parts(nodes, labels, record_count, freq))
-}
-
-fn bad(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("radix index file: {what}"))
+    let mut stats_flag = [0u8; 1];
+    inp.read_exact(&mut stats_flag)?;
+    let stats = match stats_flag[0] {
+        0 => None,
+        1 => Some(StatsSnapshot::read_from(&mut inp).map_err(|e| {
+            // The snapshot parser reports its own structural checks as
+            // InvalidData; surface those as corruption, not I/O.
+            if e.kind() == io::ErrorKind::InvalidData {
+                PersistError::Corrupt(e.to_string())
+            } else {
+                PersistError::Io(e)
+            }
+        })?),
+        _ => return Err(PersistError::Corrupt("bad stats flag".into())),
+    };
+    Ok((RadixTrie::from_parts(nodes, labels, record_count, freq), stats))
 }
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
@@ -229,11 +361,56 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_carries_the_stats_snapshot() {
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm", ""]);
+        let trie = crate::radix::build(&ds);
+        let snapshot = StatsSnapshot::compute(&ds);
+        let path = tmp("stats");
+        save_radix_with_stats(&path, &trie, Some(&snapshot)).unwrap();
+        let (loaded, restored) = load_radix_with_stats(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.record_count(), trie.record_count());
+        assert_eq!(restored.as_ref(), Some(&snapshot), "snapshot survives the disk trip");
+        // A stats-less save restores None, not a default snapshot.
+        let path = tmp("stats-none");
+        save_radix_with_stats(&path, &trie, None).unwrap();
+        let (_, restored) = load_radix_with_stats(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(restored.is_none());
+    }
+
+    #[test]
     fn rejects_wrong_magic() {
         let path = tmp("magic");
         std::fs::write(&path, b"NOTANIDX").unwrap();
         let err = load_radix(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = load_radix_with_stats(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_structured_error() {
+        let ds = Dataset::from_records(["ab"]);
+        let trie = crate::radix::build(&ds);
+        let path = tmp("version");
+        save_radix(&path, &trie).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[7] = 1; // a version-1 dump (no stats section)
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_radix_with_stats(&path).unwrap_err();
+        match err {
+            PersistError::VersionMismatch { found, expected } => {
+                assert_eq!(found, 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        // The io wrapper degrades it to InvalidData with the versions named.
+        let err = load_radix(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 1"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

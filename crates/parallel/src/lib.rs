@@ -122,6 +122,28 @@ pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Picks a sensible executor for `jobs` units of work on `threads`
+/// worker threads: sequential when either is ≤ 1 or the job count is
+/// too small to amortize pool startup, a fixed pool otherwise. This is
+/// the default scheduling the planner's auto backend inherits.
+///
+/// # Examples
+///
+/// ```
+/// use simsearch_parallel::{auto_strategy, Strategy};
+///
+/// assert_eq!(auto_strategy(1000, 1), Strategy::Sequential);
+/// assert_eq!(auto_strategy(2, 8), Strategy::Sequential);
+/// assert_eq!(auto_strategy(1000, 8), Strategy::FixedPool { threads: 8 });
+/// ```
+pub fn auto_strategy(jobs: usize, threads: usize) -> Strategy {
+    if threads <= 1 || jobs < threads.max(4) {
+        Strategy::Sequential
+    } else {
+        Strategy::FixedPool { threads }
+    }
+}
+
 /// Executes `work(0..n)` under `strategy`, returning results in job order.
 /// # Examples
 ///

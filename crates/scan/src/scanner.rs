@@ -12,6 +12,7 @@ use simsearch_distance::{
     ed_within_banded_with, ed_within_early_abort, ed_within_early_abort_with,
     levenshtein_naive_alloc, BoundedKernel, KernelKind, RowStackKernel, RowStackMode,
 };
+use simsearch_filters::FilterChain;
 use simsearch_parallel::{chunk_ranges, run_queries, Strategy};
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -254,6 +255,42 @@ impl<'a> SequentialScan<'a> {
         MatchSet::from_unsorted(out)
     }
 
+    /// Flat scan whose candidate set comes from a [`FilterChain`] —
+    /// the unified filter→verify pipeline the planner's scan backend
+    /// runs on. Every admitted candidate is verified with the banded
+    /// early-abort kernel, so results are byte-identical to
+    /// [`SequentialScan::search_one`] for any sound chain.
+    pub fn search_filtered(&self, chain: &FilterChain, query: &[u8], k: u32) -> MatchSet {
+        let prepared = chain.prepare(query, k);
+        let mut rows = Vec::new();
+        let mut out = Vec::new();
+        for id in 0..self.dataset.len() as u32 {
+            if !prepared.admits(id) {
+                continue;
+            }
+            if let Some(d) =
+                ed_within_early_abort_with(&mut rows, query, self.dataset.get(id), k)
+            {
+                out.push(Match::new(id, d));
+            }
+        }
+        MatchSet::from_unsorted(out)
+    }
+
+    /// Runs a whole workload through [`SequentialScan::search_filtered`]
+    /// under an explicit executor.
+    pub fn run_filtered(
+        &self,
+        chain: &FilterChain,
+        strategy: Strategy,
+        workload: &Workload,
+    ) -> Vec<MatchSet> {
+        run_queries(strategy, workload.len(), |i| {
+            let q = &workload.queries[i];
+            self.search_filtered(chain, &q.text, q.threshold)
+        })
+    }
+
     /// Flat scan with a selectable kernel (ablation extension).
     fn kernel_search(&self, kernel: KernelKind, query: &[u8], k: u32) -> MatchSet {
         let mut out = Vec::new();
@@ -437,6 +474,39 @@ mod tests {
                     strategy.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn filtered_scan_matches_the_oracle_for_sound_chains() {
+        use simsearch_filters::{FrequencyFilter, LengthFilter};
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        let chains = [
+            FilterChain::new(),
+            FilterChain::new().push(LengthFilter::build(&ds)),
+            FilterChain::new()
+                .push(LengthFilter::build(&ds))
+                .push(FrequencyFilter::build(&ds, *b"aeiou")),
+        ];
+        for chain in &chains {
+            for q in ["Berlin", "Urm", "", "Xyzzy"] {
+                for k in 0..4 {
+                    assert_eq!(
+                        scan.search_filtered(chain, q.as_bytes(), k),
+                        brute_force(&ds, q.as_bytes(), k),
+                        "chain {:?} q={q} k={k}",
+                        chain.names()
+                    );
+                }
+            }
+        }
+        let w = Workload {
+            queries: vec![QueryRecord::new("Berlin", 2), QueryRecord::new("", 1)],
+        };
+        let expected = scan.run(SeqVariant::V1Base, &w);
+        for strategy in [Strategy::Sequential, Strategy::FixedPool { threads: 2 }] {
+            assert_eq!(scan.run_filtered(&chains[2], strategy, &w), expected);
         }
     }
 

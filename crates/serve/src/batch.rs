@@ -157,6 +157,11 @@ pub(crate) fn worker_loop(
                 .observe(pending.admitted.elapsed().as_nanos() as u64);
             let _ = pending.reply.send(response);
         }
+        // Planner-driven engines: refresh the per-backend routing
+        // counters after each chunk so `STATS` stays near-live.
+        if let Some(counts) = engine.plan_counts() {
+            metrics.plan_decisions.publish(&counts);
+        }
     }
 }
 

@@ -1,56 +1,46 @@
-//! The daemon-side engine wrapper: one prepared engine, shared by every
-//! request for the server's whole lifetime.
+//! The daemon-side engine wrapper: one prepared backend, shared by
+//! every request for the server's whole lifetime.
 //!
-//! Two concerns separate this from using [`SearchEngine`] directly:
-//! auxiliary state must be built once at startup (the whole point of a
-//! long-lived server — `prepare()`d owned copies / sorted views are
-//! reused across requests, where the batch CLI rebuilds them per
-//! process), and the V7 row-stack kernel reports the DP cells it
-//! computes, which feeds the metrics registry's `dp_cells` counter.
+//! Since the planner refactor this is a thin shell over the
+//! [`Backend`] trait: `build` maps the configured [`EngineKind`] to
+//! one trait object (calibrating the planner when the kind is
+//! `Auto`), prepares it once at startup, and every request reuses the
+//! prepared state. DP-cell counting and top-k deepening are trait
+//! methods now, so the V7 scan needs no special case — any backend
+//! that counts cells feeds the metrics registry's `dp_cells` counter,
+//! and planner-driven backends expose their `plan_decisions` counters
+//! through [`ServedEngine::plan_counts`].
 
-use simsearch_core::{search_top_k, search_top_k_with, EngineKind, SearchEngine};
+use simsearch_core::{build_backend, AutoBackend, Backend, EngineKind};
 use simsearch_data::{Dataset, Match, MatchSet};
-use simsearch_scan::{SeqVariant, SequentialScan};
-
-enum Inner<'a> {
-    /// The V7 sorted-prefix scan, kept unwrapped so every answer also
-    /// yields its DP-cell count (the PR 2 diagnostics).
-    V7(SequentialScan<'a>),
-    /// Any other engine, behind the uniform [`SearchEngine`] interface.
-    /// Scan rungs arrive here through [`SearchEngine::from_scan`], so
-    /// their prepared state is likewise built exactly once.
-    Engine(SearchEngine<'a>),
-}
 
 /// The engine a running `simsearchd` answers with.
 pub(crate) struct ServedEngine<'a> {
-    inner: Inner<'a>,
+    backend: Box<dyn Backend + 'a>,
     name: String,
     records: usize,
 }
 
 impl<'a> ServedEngine<'a> {
-    /// Builds (and prepares) the engine once, at server startup.
+    /// Builds (and prepares) the backend once, at server startup. For
+    /// `EngineKind::Auto` the planner is calibrated with a micro-probe
+    /// drawn from the dataset ([`AutoBackend::default_probe`]) — build
+    /// cost, like index construction, lands here and not in the first
+    /// request.
     pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
-        let name = kind.name();
-        let records = dataset.len();
-        let inner = match kind {
-            EngineKind::Scan(SeqVariant::V7SortedPrefix) => {
-                let scan = SequentialScan::new(dataset);
-                scan.prepare(SeqVariant::V7SortedPrefix);
-                Inner::V7(scan)
-            }
-            EngineKind::Scan(variant) => {
-                let scan = SequentialScan::new(dataset);
-                scan.prepare(variant);
-                Inner::Engine(SearchEngine::from_scan(scan, variant))
-            }
-            other => Inner::Engine(SearchEngine::build(dataset, other)),
+        let backend: Box<dyn Backend + 'a> = match kind {
+            EngineKind::Auto { threads } => Box::new(AutoBackend::calibrated(
+                dataset,
+                threads,
+                &AutoBackend::default_probe(dataset),
+            )),
+            other => build_backend(dataset, other),
         };
+        backend.prepare();
         Self {
-            inner,
-            name,
-            records,
+            backend,
+            name: kind.name(),
+            records: dataset.len(),
         }
     }
 
@@ -67,38 +57,27 @@ impl<'a> ServedEngine<'a> {
     /// Threshold search: all records within `k`, plus the DP cells the
     /// kernel reports (0 for kernels without cell counting).
     pub fn search(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
-        match &self.inner {
-            Inner::V7(scan) => scan.v7_search(query, k),
-            Inner::Engine(engine) => (engine.search(query, k), 0),
-        }
+        self.backend.search_counting(query, k)
     }
 
     /// Top-k search by iterative deepening, accumulating DP cells over
     /// the deepening probes.
     pub fn topk(&self, query: &[u8], count: usize, max_radius: u32) -> (Vec<Match>, u64) {
-        match &self.inner {
-            Inner::V7(scan) => {
-                let mut cells = 0u64;
-                let matches = search_top_k_with(
-                    |radius| {
-                        let (m, c) = scan.v7_search(query, radius);
-                        cells += c;
-                        m
-                    },
-                    count,
-                    max_radius,
-                );
-                (matches, cells)
-            }
-            Inner::Engine(engine) => (search_top_k(engine, query, count, max_radius), 0),
-        }
+        self.backend.search_top_k_with(query, count, max_radius)
+    }
+
+    /// `(backend name, queries routed)` counters when the engine is
+    /// planner-driven (`None` otherwise). The batch workers publish
+    /// these into the metrics registry after every chunk.
+    pub fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        self.backend.plan_counts()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simsearch_core::IdxVariant;
+    use simsearch_core::{IdxVariant, SeqVariant};
 
     fn dataset() -> Dataset {
         Dataset::from_records(["Berlin", "Bern", "Bonn", "Ulm", "Berlingen", ""])
@@ -112,6 +91,7 @@ mod tests {
             EngineKind::Scan(SeqVariant::V4Flat),
             EngineKind::Scan(SeqVariant::V7SortedPrefix),
             EngineKind::Index(IdxVariant::I2Compressed),
+            EngineKind::Auto { threads: 1 },
         ];
         for kind in kinds {
             let engine = ServedEngine::build(&ds, kind);
@@ -137,5 +117,28 @@ mod tests {
         let (_, flat_cells) =
             ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat)).search(b"Berlin", 2);
         assert_eq!(flat_cells, 0, "uncounted kernels report zero");
+    }
+
+    #[test]
+    fn auto_engines_count_plan_decisions() {
+        let ds = dataset();
+        let fixed = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        assert!(fixed.plan_counts().is_none());
+        let auto = ServedEngine::build(&ds, EngineKind::Auto { threads: 1 });
+        let before: u64 = auto
+            .plan_counts()
+            .expect("auto engines expose counters")
+            .iter()
+            .map(|(_, c)| c)
+            .sum();
+        let _ = auto.search(b"Berlin", 2);
+        let _ = auto.search(b"Ulm", 1);
+        let after: u64 = auto
+            .plan_counts()
+            .unwrap()
+            .iter()
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(after, before + 2);
     }
 }

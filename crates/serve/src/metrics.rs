@@ -10,6 +10,7 @@
 //! which is the standard contract for serving metrics.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// A monotone event counter.
@@ -163,6 +164,57 @@ impl Histogram {
     }
 }
 
+/// Per-backend query-routing counters for planner-driven engines.
+///
+/// The label set (backend names, in planner-candidate order) is fixed
+/// at first publish and never changes afterwards, so the slots can be
+/// `OnceLock`-initialised once and updated with plain relaxed stores:
+/// the engine workers *overwrite* each slot with the engine's own
+/// monotone counter value rather than accumulating deltas, which makes
+/// publishing idempotent and race-free across workers (the counters
+/// only ever grow, so any interleaving of stores leaves a value that
+/// was true at some recent instant — the standard serving-metrics
+/// contract).
+#[derive(Default)]
+pub struct PlanCounters {
+    slots: OnceLock<Vec<(String, AtomicU64)>>,
+}
+
+impl PlanCounters {
+    /// Publishes the engine's current `(backend, routed)` counters.
+    /// The first call fixes the label set; later calls overwrite the
+    /// matching slots by position (the engine reports a stable order).
+    pub fn publish(&self, counts: &[(&str, u64)]) {
+        let slots = self.slots.get_or_init(|| {
+            counts
+                .iter()
+                .map(|(name, _)| (name.to_string(), AtomicU64::new(0)))
+                .collect()
+        });
+        for ((_, slot), (_, value)) in slots.iter().zip(counts) {
+            slot.store(*value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current `(backend, routed)` values (empty before first publish).
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.slots
+            .get()
+            .map(|slots| {
+                slots
+                    .iter()
+                    .map(|(name, slot)| (name.clone(), slot.load(Ordering::Relaxed)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// True before anything was published (fixed-backend engines).
+    pub fn is_empty(&self) -> bool {
+        self.slots.get().is_none()
+    }
+}
+
 /// The registry: every metric `simsearchd` exposes through `STATS`.
 ///
 /// Field groups mirror the request lifecycle: admission (accepted /
@@ -193,6 +245,9 @@ pub struct Metrics {
     pub dp_cells: Counter,
     /// Client connections accepted.
     pub connections: Counter,
+    /// Queries routed per backend by the adaptive planner (empty for
+    /// fixed-backend engines; published by the batch workers).
+    pub plan_decisions: PlanCounters,
 }
 
 impl Metrics {
@@ -229,7 +284,8 @@ impl Metrics {
              \"counters\": {{\"requests_admitted\": {}, \"rejected_busy\": {}, \
              \"dropped_timeout\": {}, \"replied_error\": {}, \"replied_ok\": {}, \
              \"batches\": {}, \"queue_depth\": {}, \"dp_cells\": {}, \
-             \"connections\": {}, \"uptime_ms\": {}}}}}",
+             \"connections\": {}, \"uptime_ms\": {}, \
+             \"plan_decisions\": {{{}}}}}}}",
             crate::STATS_SCHEMA,
             json_escape(dataset),
             self.requests_admitted.get(),
@@ -246,6 +302,12 @@ impl Metrics {
             self.dp_cells.get(),
             self.connections.get(),
             started.elapsed().as_millis(),
+            self.plan_decisions
+                .snapshot()
+                .iter()
+                .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
+                .collect::<Vec<_>>()
+                .join(", "),
         )
     }
 }
@@ -365,5 +427,35 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert!(!json.contains('\n'), "STATS must stay one frame");
+        assert!(
+            json.contains("\"plan_decisions\": {}"),
+            "fixed-backend engines report an empty plan_decisions object: {json}"
+        );
+    }
+
+    #[test]
+    fn plan_counters_publish_overwrites_and_snapshot_reads_back() {
+        let counters = PlanCounters::default();
+        assert!(counters.is_empty());
+        assert!(counters.snapshot().is_empty());
+        counters.publish(&[("scan-flat", 3), ("radix", 1)]);
+        counters.publish(&[("scan-flat", 7), ("radix", 2)]);
+        assert!(!counters.is_empty());
+        assert_eq!(
+            counters.snapshot(),
+            vec![("scan-flat".to_string(), 7), ("radix".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn stats_json_renders_published_plan_decisions() {
+        let m = Metrics::new();
+        m.plan_decisions.publish(&[("scan-flat", 5), ("qgram", 9)]);
+        let json = m.stats_json("auto[threads=1]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(
+            json.contains("\"plan_decisions\": {\"scan-flat\": 5, \"qgram\": 9}"),
+            "missing plan_decisions counters in {json}"
+        );
     }
 }

@@ -155,6 +155,7 @@ impl Harness {
             harness: self,
             name: name.to_string(),
             workload: None,
+            plan_decisions: Vec::new(),
             results: Vec::new(),
         }
     }
@@ -183,6 +184,7 @@ pub struct Group<'a> {
     harness: &'a Harness,
     name: String,
     workload: Option<WorkloadMeta>,
+    plan_decisions: Vec<(String, u64)>,
     results: Vec<BenchResult>,
 }
 
@@ -204,6 +206,18 @@ impl Group<'_> {
             thresholds: thresholds.to_string(),
         });
     }
+    /// Attaches per-backend query-routing counters (an adaptive
+    /// planner's decisions for the group's workload) to the JSON
+    /// output as a `plan_decisions` object. A v2 extension like the
+    /// workload metadata: absent unless set, so existing readers are
+    /// unaffected.
+    pub fn set_plan_decisions(&mut self, counts: &[(&str, u64)]) {
+        self.plan_decisions = counts
+            .iter()
+            .map(|(name, count)| (name.to_string(), *count))
+            .collect();
+    }
+
     /// Runs (smoke mode) or measures (bench mode) one benchmark.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
         if !self.harness.measuring {
@@ -275,6 +289,17 @@ impl Group<'_> {
                 w.records,
                 w.queries,
                 escape(&w.thresholds),
+            ));
+        }
+        if !self.plan_decisions.is_empty() {
+            let counts: Vec<String> = self
+                .plan_decisions
+                .iter()
+                .map(|(name, count)| format!("\"{}\": {count}", escape(name)))
+                .collect();
+            out.push_str(&format!(
+                "  \"plan_decisions\": {{{}}},\n",
+                counts.join(", ")
             ));
         }
         out.push_str("  \"results\": [\n");
@@ -436,6 +461,26 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn plan_decisions_render_as_a_counter_object() {
+        let dir = tmp_dir("plan");
+        let h = Harness::with_mode(true, &dir).config(BenchConfig {
+            warmup: Duration::from_micros(200),
+            samples: 3,
+            sample_time: Duration::from_micros(200),
+        });
+        let mut g = h.group("unit_plan");
+        g.set_plan_decisions(&[("scan-flat", 12), ("qgram", 38)]);
+        g.bench("auto", || std::hint::black_box((0..100u32).sum::<u32>()));
+        g.finish();
+        let json = std::fs::read_to_string(dir.join("BENCH_unit_plan.json")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(
+            json.contains("\"plan_decisions\": {\"scan-flat\": 12, \"qgram\": 38}"),
+            "missing plan_decisions in:\n{json}"
+        );
     }
 
     #[test]
