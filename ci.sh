@@ -20,6 +20,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # count, and the plan-decision counters must account for every query.
 cargo test -q --offline --test planner_parity
 
+# Shard-equivalence gate: a sharded backend (every shard count ×
+# partitioner × executor, static and calibrated, threshold and top-k)
+# must be byte-identical to the unsharded V1 oracle, and per-shard
+# decision counters must account for every fanned-out query.
+cargo test -q --offline --test shard_oracle
+
 # Canonical benchmark snapshots (published by `cargo bench` via
 # testkit's publish_snapshot) must stay committed at the repo root.
 for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
@@ -88,6 +94,37 @@ done
 if kill -0 "$serve_pid" 2>/dev/null; then
     kill "$serve_pid"
     echo "simsearchd (auto) failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"
+
+# Sharded serve smoke: a --shards 4 daemon calibrates one planner per
+# shard and STATS must carry per-shard plan_decisions ("s<i>.<arm>"
+# keys) and per-shard match counters, still as valid JSON.
+rm -f "$smoke_dir/port"
+"$SIMSEARCH" serve --data "$smoke_dir/city.data" --shards 4 --shard-by len \
+    --port 0 --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+"$SIMSEARCH" client --port "$port" --send 'QUERY 2 Berlin' | grep -q '^OK '
+"$SIMSEARCH" client --port "$port" --send 'QUERY 1 Ulm' | grep -q '^OK '
+stats=$("$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS')
+echo "$stats" | grep -q '"s0\.'
+echo "$stats" | grep -q '"s3\.'
+echo "$stats" | grep -q '"shard_matches": {"s0": '
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd (sharded) failed to drain within 10s" >&2
     exit 1
 fi
 wait "$serve_pid"

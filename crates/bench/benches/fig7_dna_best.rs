@@ -3,7 +3,9 @@
 
 use simsearch_bench::experiments::{DNA_IDX_BEST_THREADS, DNA_SEQ_BEST_THREADS};
 use simsearch_bench::Scale;
-use simsearch_core::{EngineKind, IdxVariant, SearchEngine, SeqVariant};
+use simsearch_core::{
+    Backend, EngineKind, IdxVariant, SearchEngine, SeqVariant, ShardBy, ShardedBackend,
+};
 use simsearch_testkit::bench::Harness;
 
 fn main() {
@@ -32,12 +34,28 @@ fn main() {
     // is build cost, mirroring index construction) and given the same
     // thread budget as the best fixed competitor.
     let auto = SearchEngine::build_auto(&preset.dataset, DNA_IDX_BEST_THREADS, Some(&workload));
+    // The same calibrated planning, but per length-partitioned shard,
+    // each planner calibrated on the same workload. DNA shards coarser
+    // than city (2-way, not 4-way): reads span only 89..112 bytes while
+    // k reaches 16, so the |q| ± k window covers every length band and
+    // the shard-level prune never fires — and the index arms' per-probe
+    // cost (tree-top descent, q-gram extraction) does not shrink with
+    // shard size, so each extra shard is a fixed per-query tax.
+    let sharded_auto = ShardedBackend::calibrated_with(
+        &preset.dataset,
+        2,
+        ShardBy::Len,
+        DNA_IDX_BEST_THREADS,
+        &workload,
+    );
+    sharded_auto.prepare();
     let mut group = h.group("fig7_dna_best");
     group.set_workload("dna", preset.dataset.len(), workload.len(), "0, 4, 8, 16");
     group.bench("best_scan", || best_scan.run(&workload));
     group.bench("best_index_paper", || best_index.run(&workload));
     group.bench("best_index_modern", || best_index_modern.run(&workload));
     group.bench("auto", || auto.run(&workload));
+    group.bench("sharded_auto", || sharded_auto.run_workload(&workload));
     if let Some(counts) = auto.plan_counts() {
         group.set_plan_decisions(&counts);
     }

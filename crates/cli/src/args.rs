@@ -1,6 +1,7 @@
 //! Command-line argument parsing (hand-rolled; the workspace keeps its
 //! dependency set to the algorithmic essentials).
 
+use simsearch_core::ShardBy;
 use std::path::PathBuf;
 
 /// Parsed command line.
@@ -45,6 +46,11 @@ pub struct ExplainArgs {
     pub queries: Option<PathBuf>,
     /// Worker threads the planned engine would use.
     pub threads: usize,
+    /// Number of shards (0 or 1 = unsharded). When ≥ 2, `explain` also
+    /// prints every shard's snapshot and decision table.
+    pub shards: usize,
+    /// Shard partitioner (`--shard-by len|hash`).
+    pub shard_by: ShardBy,
 }
 
 /// Arguments of the `serve` subcommand.
@@ -71,6 +77,12 @@ pub struct ServeArgs {
     pub queue_capacity: usize,
     /// Per-request deadline, milliseconds (exceeded ⇒ `TIMEOUT`).
     pub deadline_ms: u64,
+    /// Number of shards (0 or 1 = unsharded). When ≥ 2 the daemon
+    /// serves a sharded engine with per-shard calibrated planners and
+    /// the engine selector is ignored.
+    pub shards: usize,
+    /// Shard partitioner (`--shard-by len|hash`).
+    pub shard_by: ShardBy,
 }
 
 /// Arguments of the `client` subcommand.
@@ -114,6 +126,12 @@ pub struct SearchArgs {
     pub engine: EngineChoice,
     /// Pool threads for parallel engines.
     pub threads: usize,
+    /// Number of shards (0 or 1 = unsharded). When ≥ 2 the dataset is
+    /// partitioned and each shard runs the selected engine's arm (or
+    /// its own calibrated planner for `auto`).
+    pub shards: usize,
+    /// Shard partitioner (`--shard-by len|hash`).
+    pub shard_by: ShardBy,
 }
 
 /// Which engine the CLI runs.
@@ -182,8 +200,9 @@ simsearch — string similarity search (EDBT 2013 reproduction)
 USAGE:
   simsearch search --data FILE --queries FILE [--output FILE]
                    [--backend auto|scan|scan-base|scan-sorted|trie|radix|qgram|buckets|bktree]
-                   [--threads N]
+                   [--threads N] [--shards N] [--shard-by len|hash]
   simsearch explain --data FILE [--queries FILE] [--threads N]
+                    [--shards N] [--shard-by len|hash]
   simsearch generate --kind city|dna --count N [--seed S] --out FILE
                      [--queries FILE] [--query-count N]
   simsearch stats --data FILE
@@ -193,6 +212,7 @@ USAGE:
   simsearch serve --data FILE [--backend NAME] [--threads N] [--port P]
                   [--port-file FILE] [--batch-size N] [--max-delay-ms N]
                   [--queue-capacity N] [--deadline-ms N]
+                  [--shards N] [--shard-by len|hash]
   simsearch client --port P [--host H] --send FRAME [--send FRAME ...]
                    [--check-stats-json]
   simsearch help
@@ -201,6 +221,11 @@ USAGE:
 With `--backend auto` a planner builds a cost model from the dataset's
 statistics and routes each query to the cheapest backend; `explain`
 prints that plan without running anything.
+
+With `--shards N` (N ≥ 2) the dataset is partitioned into N shards —
+by record length (`--shard-by len`, the default) or by an FNV-1a
+content hash (`--shard-by hash`) — each shard plans independently, and
+queries fan out across shards with a k-way result merge.
 
 The serve daemon speaks a line protocol on loopback TCP:
   QUERY <k> <text> | TOPK <n> <text> | STATS | HEALTH | SHUTDOWN
@@ -261,12 +286,18 @@ fn value<'a>(
     it.next().ok_or_else(|| format!("{flag} needs a value"))
 }
 
+fn shard_by_value(v: &str) -> Result<ShardBy, String> {
+    ShardBy::parse(v).ok_or_else(|| format!("unknown partitioner '{v}' (expected len or hash)"))
+}
+
 fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
     let mut data = None;
     let mut queries = None;
     let mut output = None;
     let mut engine = EngineChoice::Radix;
     let mut threads = 1usize;
+    let mut shards = 0usize;
+    let mut shard_by = ShardBy::Len;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -282,6 +313,12 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
                     return Err("--threads needs a positive integer".into());
                 }
             }
+            "--shards" => {
+                shards = value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a non-negative integer".to_string())?
+            }
+            "--shard-by" => shard_by = shard_by_value(value(&mut it, "--shard-by")?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -291,6 +328,8 @@ fn parse_search(rest: &[String]) -> Result<SearchArgs, String> {
         output,
         engine,
         threads,
+        shards,
+        shard_by,
     })
 }
 
@@ -298,6 +337,8 @@ fn parse_explain(rest: &[String]) -> Result<ExplainArgs, String> {
     let mut data = None;
     let mut queries = None;
     let mut threads = 1usize;
+    let mut shards = 0usize;
+    let mut shard_by = ShardBy::Len;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -311,6 +352,12 @@ fn parse_explain(rest: &[String]) -> Result<ExplainArgs, String> {
                     return Err("--threads needs a positive integer".into());
                 }
             }
+            "--shards" => {
+                shards = value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a non-negative integer".to_string())?
+            }
+            "--shard-by" => shard_by = shard_by_value(value(&mut it, "--shard-by")?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -318,6 +365,8 @@ fn parse_explain(rest: &[String]) -> Result<ExplainArgs, String> {
         data: data.ok_or("explain requires --data")?,
         queries,
         threads,
+        shards,
+        shard_by,
     })
 }
 
@@ -376,6 +425,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
     let mut max_delay_ms = 1u64;
     let mut queue_capacity = 1024usize;
     let mut deadline_ms = 10_000u64;
+    let mut shards = 0usize;
+    let mut shard_by = ShardBy::Len;
     let int = |v: &str, flag: &str| -> Result<u64, String> {
         v.parse().map_err(|_| format!("{flag} needs an integer"))
     };
@@ -417,6 +468,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
             "--deadline-ms" => {
                 deadline_ms = int(value(&mut it, "--deadline-ms")?, "--deadline-ms")?
             }
+            "--shards" => shards = int(value(&mut it, "--shards")?, "--shards")? as usize,
+            "--shard-by" => shard_by = shard_by_value(value(&mut it, "--shard-by")?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -430,6 +483,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
         max_delay_ms,
         queue_capacity,
         deadline_ms,
+        shards,
+        shard_by,
     })
 }
 
@@ -714,6 +769,59 @@ mod tests {
         assert!(parse(&v(&["explain"])).is_err()); // missing --data
         assert!(parse(&v(&["explain", "--data", "d", "--threads", "0"])).is_err());
         assert!(parse(&v(&["explain", "--data", "d", "--engine", "auto"])).is_err());
+    }
+
+    #[test]
+    fn parses_shard_flags_with_defaults() {
+        // Defaults: unsharded, length partitioner.
+        let cmd = parse(&v(&["search", "--data", "d", "--queries", "q"])).unwrap();
+        match cmd {
+            Command::Search(a) => {
+                assert_eq!(a.shards, 0);
+                assert_eq!(a.shard_by, ShardBy::Len);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&v(&[
+            "search", "--data", "d", "--queries", "q", "--shards", "4", "--shard-by", "hash",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Search(a) => {
+                assert_eq!(a.shards, 4);
+                assert_eq!(a.shard_by, ShardBy::Hash);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&v(&["serve", "--data", "d", "--shards", "3"])).unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.shards, 3);
+                assert_eq!(s.shard_by, ShardBy::Len);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&v(&[
+            "explain", "--data", "d", "--shards", "2", "--shard-by", "len",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Explain(e) => {
+                assert_eq!(e.shards, 2);
+                assert_eq!(e.shard_by, ShardBy::Len);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shard_flags() {
+        assert!(parse(&v(&[
+            "search", "--data", "d", "--queries", "q", "--shard-by", "zip"
+        ]))
+        .is_err());
+        assert!(parse(&v(&["serve", "--data", "d", "--shards", "many"])).is_err());
+        assert!(parse(&v(&["explain", "--data", "d", "--shard-by", ""])).is_err());
     }
 
     #[test]

@@ -11,11 +11,11 @@ use args::{
     USAGE,
 };
 use simsearch_core::{
-    experiment::time, AutoBackend, EngineKind, IdxVariant, Planner, SearchEngine, SeqVariant,
-    Strategy,
+    experiment::time, AutoBackend, Backend, BackendChoice, EngineKind, IdxVariant, PlanDecision,
+    Planner, SearchEngine, SeqVariant, ShardedBackend, Strategy,
 };
 use simsearch_data::{io, Alphabet, CityGenerator, DnaGenerator, MatchSet, WorkloadSpec};
-use simsearch_data::{DatasetStats, StatsSnapshot, CITY_THRESHOLDS, DNA_THRESHOLDS};
+use simsearch_data::{Dataset, DatasetStats, StatsSnapshot, Workload, CITY_THRESHOLDS, DNA_THRESHOLDS};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -55,6 +55,9 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
     let dataset = io::read_dataset(&a.data).map_err(|e| format!("reading {:?}: {e}", a.data))?;
     let workload =
         io::read_queries(&a.queries).map_err(|e| format!("reading {:?}: {e}", a.queries))?;
+    if a.shards >= 2 {
+        return run_search_sharded(&a, &dataset, &workload);
+    }
     let strategy = if a.threads > 1 {
         Strategy::FixedPool { threads: a.threads }
     } else {
@@ -105,10 +108,78 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
             .collect();
         eprintln!("plan decisions: {}", routed.join(" "));
     }
+    write_search_results(a.output.as_deref(), &results)
+}
+
+/// Maps an engine selector to the shard arm every shard runs, or `None`
+/// for `auto` (each shard then calibrates its own planner). `scan` and
+/// `scan-base` both map to the flat scan arm — shard-local scheduling
+/// is the sharded backend's job, and the naive rung exists only as an
+/// unsharded baseline.
+fn shard_arm(choice: EngineChoice) -> Option<BackendChoice> {
+    match choice {
+        EngineChoice::Auto => None,
+        EngineChoice::Scan | EngineChoice::ScanBase => Some(BackendChoice::ScanFlat),
+        EngineChoice::ScanSorted => Some(BackendChoice::ScanSorted),
+        EngineChoice::Trie => Some(BackendChoice::Trie),
+        EngineChoice::Radix => Some(BackendChoice::Radix),
+        EngineChoice::Qgram => Some(BackendChoice::Qgram),
+        EngineChoice::Buckets => Some(BackendChoice::Buckets),
+        EngineChoice::BkTree => Some(BackendChoice::BkTree),
+    }
+}
+
+fn run_search_sharded(a: &SearchArgs, dataset: &Dataset, workload: &Workload) -> Result<(), String> {
+    let (backend, build_time) = time(|| {
+        let b = match shard_arm(a.engine) {
+            // Auto: every shard calibrates against the same workload
+            // prefix the unsharded path probes with, so per-shard
+            // routing reflects the real query mix.
+            None => {
+                let probe = workload.prefix(workload.len().min(16));
+                ShardedBackend::calibrated_with(dataset, a.shards, a.shard_by, a.threads, &probe)
+            }
+            Some(c) => ShardedBackend::with_fixed_arm(dataset, a.shards, a.shard_by, a.threads, c),
+        };
+        b.prepare();
+        b
+    });
+    let (results, query_time) = time(|| backend.run_workload(workload));
+    eprintln!(
+        "{}: {} records, {} queries; build {:.3}s, query {:.3}s",
+        backend.name(),
+        dataset.len(),
+        workload.len(),
+        build_time.as_secs_f64(),
+        query_time.as_secs_f64()
+    );
+    if let Some(counts) = backend.plan_counts() {
+        let routed: Vec<String> = counts
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(name, c)| format!("{name}={c}"))
+            .collect();
+        eprintln!("plan decisions: {}", routed.join(" "));
+    }
+    if let Some(stats) = backend.shard_stats() {
+        for (i, s) in stats.iter().enumerate() {
+            eprintln!(
+                "  shard s{i}: {} records, {} queries, {} matches",
+                s.records, s.queries, s.matches
+            );
+        }
+    }
+    write_search_results(a.output.as_deref(), &results)
+}
+
+fn write_search_results(
+    output: Option<&std::path::Path>,
+    results: &[MatchSet],
+) -> Result<(), String> {
     let id_lists: Vec<Vec<u32>> = results.iter().map(MatchSet::ids).collect();
-    match a.output {
+    match output {
         Some(path) => {
-            io::write_results(&path, &id_lists).map_err(|e| format!("writing {path:?}: {e}"))?
+            io::write_results(path, &id_lists).map_err(|e| format!("writing {path:?}: {e}"))?
         }
         None => {
             let stdout = std::io::stdout();
@@ -170,7 +241,18 @@ fn run_serve(a: ServeArgs) -> Result<(), String> {
         ..simsearch_serve::ServerConfig::default()
     };
     let records = dataset.len();
-    let handle = simsearch_serve::spawn(dataset, serve_engine_kind(a.engine), config)
+    // Sharded serving: per-shard calibrated planners, sequential
+    // per-query fan-out (batch workers supply the concurrency).
+    let kind = if a.shards >= 2 {
+        EngineKind::Sharded {
+            shards: a.shards,
+            by: a.shard_by,
+            threads: 1,
+        }
+    } else {
+        serve_engine_kind(a.engine)
+    };
+    let handle = simsearch_serve::spawn(dataset, kind, config)
         .map_err(|e| format!("binding 127.0.0.1:{}: {e}", a.port))?;
     // The actually-bound address, on stdout, before any connection is
     // served — scripts pointing at `--port 0` parse this line. Rust's
@@ -316,25 +398,9 @@ fn run_explain(a: ExplainArgs) -> Result<(), String> {
     let planner = Planner::new(snapshot.clone(), &AutoBackend::DEFAULT_CANDIDATES);
     println!();
     println!("static plan (length class × k → backend; costs in planner units):");
-    let len_label = |c: u8| match c {
-        0 => "short",
-        1 => "medium",
-        _ => "long",
-    };
-    for decision in planner.decisions() {
-        let repr = decision.class.representative_len(&snapshot);
-        let costs: Vec<String> = decision
-            .estimates
-            .iter()
-            .map(|e| format!("{}={:.0}", e.choice.name(), e.cost))
-            .collect();
-        println!(
-            "  {:<6} (|q|≈{repr:>4}) k={:<2} → {:<12} [{}]",
-            len_label(decision.class.len_class),
-            decision.class.k_class,
-            decision.chosen.name(),
-            costs.join(", ")
-        );
+    print_decision_table(&snapshot, planner.decisions());
+    if a.shards >= 2 {
+        return explain_sharded(&a, &dataset);
     }
     if let Some(qpath) = &a.queries {
         let workload =
@@ -352,6 +418,89 @@ fn run_explain(a: ExplainArgs) -> Result<(), String> {
         );
         for (name, count) in engine.plan_counts().unwrap_or_default() {
             println!("  {name:<12} {count}");
+        }
+    }
+    Ok(())
+}
+
+/// One planner decision table, one row per query class.
+fn print_decision_table(snapshot: &StatsSnapshot, decisions: &[PlanDecision]) {
+    let len_label = |c: u8| match c {
+        0 => "short",
+        1 => "medium",
+        _ => "long",
+    };
+    for decision in decisions {
+        let repr = decision.class.representative_len(snapshot);
+        let costs: Vec<String> = decision
+            .estimates
+            .iter()
+            .map(|e| format!("{}={:.0}", e.choice.name(), e.cost))
+            .collect();
+        println!(
+            "  {:<6} (|q|≈{repr:>4}) k={:<2} → {:<12} [{}]",
+            len_label(decision.class.len_class),
+            decision.class.k_class,
+            decision.chosen.name(),
+            costs.join(", ")
+        );
+    }
+}
+
+/// The `--shards` half of `explain`: every shard's own snapshot and
+/// decision table, plus (with `--queries`) calibrated per-shard routing
+/// of the workload.
+fn explain_sharded(a: &ExplainArgs, dataset: &Dataset) -> Result<(), String> {
+    let workload = match &a.queries {
+        Some(qpath) => {
+            Some(io::read_queries(qpath).map_err(|e| format!("reading {qpath:?}: {e}"))?)
+        }
+        None => None,
+    };
+    let backend = match &workload {
+        // With a workload on hand each shard's planner is calibrated
+        // against its prefix, matching what `search --shards` runs.
+        Some(w) => {
+            let probe = w.prefix(w.len().min(16));
+            ShardedBackend::calibrated_with(dataset, a.shards, a.shard_by, a.threads, &probe)
+        }
+        None => ShardedBackend::build(dataset, a.shards, a.shard_by, a.threads),
+    };
+    println!();
+    println!(
+        "sharded plan ({} shards, --shard-by {}):",
+        backend.shard_count(),
+        backend.shard_by().name()
+    );
+    for (i, diag) in backend.shard_diags().iter().enumerate() {
+        let Some(plan) = &diag.plan else { continue };
+        println!();
+        println!(
+            "shard s{i} ({}, {} records):",
+            diag.name, plan.snapshot.records
+        );
+        println!("{}", plan.snapshot);
+        print_decision_table(&plan.snapshot, &plan.decisions);
+    }
+    if let Some(workload) = &workload {
+        backend.prepare();
+        let (_, query_time) = time(|| backend.run_workload(workload));
+        println!();
+        println!(
+            "calibrated sharded routing of {} queries ({:.3}s):",
+            workload.len(),
+            query_time.as_secs_f64()
+        );
+        if let Some(counts) = backend.plan_counts() {
+            for (name, count) in counts {
+                println!("  {name:<12} {count}");
+            }
+        }
+        for (i, s) in backend.shard_stats().into_iter().flatten().enumerate() {
+            println!(
+                "  shard s{i}: {} records, {} queries, {} matches",
+                s.records, s.queries, s.matches
+            );
         }
     }
     Ok(())

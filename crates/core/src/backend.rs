@@ -116,6 +116,14 @@ pub trait Backend: Send + Sync {
         None
     }
 
+    /// Per-shard lifetime statistics for sharded composites
+    /// ([`crate::sharded::ShardedBackend`]); `None` for single-arena
+    /// backends. Cheap (atomic loads), so per-batch metrics publishing
+    /// can call it freely.
+    fn shard_stats(&self) -> Option<Vec<crate::sharded::ShardStats>> {
+        None
+    }
+
     /// The executor [`Backend::run_workload`] uses by default.
     fn preferred_strategy(&self) -> Strategy {
         Strategy::Sequential

@@ -12,6 +12,7 @@ use crate::backend::{
     AutoBackend, Backend, BackendDiag, BkBackend, BucketsBackend, KernelScanBackend,
     QgramBackend, RadixBackend, ScanBackend, SuffixBackend, TrieBackend,
 };
+use crate::sharded::{ShardBy, ShardedBackend};
 use simsearch_data::{Dataset, MatchSet, Workload};
 use simsearch_distance::KernelKind;
 use simsearch_parallel::Strategy;
@@ -113,6 +114,20 @@ pub enum EngineKind {
         /// Worker threads for workload execution (1 = sequential).
         threads: usize,
     },
+    /// Partitioned execution: the dataset is split into shards, each
+    /// with its own planner-driven backend over its own statistics;
+    /// queries fan out and per-shard results are k-way merged. This
+    /// variant plans each shard statically (deterministically); the
+    /// serving layer uses [`ShardedBackend::calibrated`] for measured
+    /// per-shard routing.
+    Sharded {
+        /// Number of shards (clamped to ≥ 1).
+        shards: usize,
+        /// How records are assigned to shards.
+        by: ShardBy,
+        /// Worker threads for fan-out and workload execution.
+        threads: usize,
+    },
 }
 
 impl EngineKind {
@@ -131,6 +146,11 @@ impl EngineKind {
             EngineKind::Suffix { strategy } => format!("suffix-array[{}]", strategy.name()),
             EngineKind::Bk { strategy } => format!("bk-tree[{}]", strategy.name()),
             EngineKind::Auto { threads } => format!("auto[threads={threads}]"),
+            EngineKind::Sharded {
+                shards,
+                by,
+                threads,
+            } => format!("sharded[s={shards}/{}/threads={threads}]", by.name()),
         }
     }
 }
@@ -167,6 +187,11 @@ pub fn build_backend<'a>(dataset: &'a Dataset, kind: EngineKind) -> Box<dyn Back
         EngineKind::Suffix { strategy } => Box::new(SuffixBackend::build(dataset, strategy)),
         EngineKind::Bk { strategy } => Box::new(BkBackend::build(dataset, strategy)),
         EngineKind::Auto { threads } => Box::new(AutoBackend::new(dataset, threads)),
+        EngineKind::Sharded {
+            shards,
+            by,
+            threads,
+        } => Box::new(ShardedBackend::build(dataset, shards, by, threads)),
     }
 }
 
@@ -340,6 +365,26 @@ mod tests {
             },
             EngineKind::Auto { threads: 1 },
             EngineKind::Auto { threads: 2 },
+            EngineKind::Sharded {
+                shards: 1,
+                by: crate::sharded::ShardBy::Len,
+                threads: 1,
+            },
+            EngineKind::Sharded {
+                shards: 3,
+                by: crate::sharded::ShardBy::Len,
+                threads: 2,
+            },
+            EngineKind::Sharded {
+                shards: 3,
+                by: crate::sharded::ShardBy::Hash,
+                threads: 1,
+            },
+            EngineKind::Sharded {
+                shards: 16,
+                by: crate::sharded::ShardBy::Hash,
+                threads: 2,
+            },
         ]
     }
 

@@ -34,6 +34,7 @@ pub mod join;
 pub mod planner;
 pub mod presets;
 pub mod report;
+pub mod sharded;
 pub mod topk;
 pub mod verify;
 
@@ -42,6 +43,10 @@ pub use backend::{
     RadixBackend, SortedScanBackend,
 };
 pub use engine::{build_backend, EngineKind, IdxVariant, SearchEngine};
+pub use sharded::{
+    merge_match_sets, partition_ids, remap_to_global, ShardAutoBackend, ShardBy, ShardStats,
+    ShardedBackend,
+};
 pub use planner::{BackendChoice, CostEstimate, Observation, PlanDecision, Planner, QueryClass};
 pub use join::{CrossPair, JoinPair};
 pub use topk::{search_top_k, search_top_k_with};

@@ -1,0 +1,815 @@
+//! Sharded execution: partition the dataset, search every shard, merge.
+//!
+//! The paper's scan-vs-index crossover (§3–§4) is a property of *one*
+//! arena; production datasets outgrow one arena. This module partitions
+//! a dataset into `S` shards ([`ShardBy::Len`] length bands or
+//! [`ShardBy::Hash`] content hashing), gives each shard its own
+//! [`Backend`] — a [`ShardAutoBackend`], a planner-driven router that
+//! *owns* its shard and calibrates against that shard's own
+//! [`StatsSnapshot`] — fans each query out across shards via
+//! `simsearch_parallel`, and unions the per-shard [`MatchSet`]s with a
+//! k-way merge ([`merge_match_sets`]) after remapping shard-local ids
+//! back to global ids ([`remap_to_global`]).
+//!
+//! Per-shard planners are the point: a shard of short city names and a
+//! shard of long DNA reads route differently, which a single global
+//! decision table cannot express. The partition invariant that makes
+//! the merge cheap: every shard's global-id table is strictly
+//! increasing, so a remapped shard-local result is already a sorted run
+//! and the union is a classic k-way merge of disjoint sorted lists.
+
+use crate::backend::{AutoBackend, Backend, BackendDiag, PlanReport};
+use crate::planner::{static_cost, BackendChoice, Observation, Planner};
+use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
+use simsearch_data::{
+    Alphabet, Dataset, Match, MatchSet, RecordId, SortedView, StatsSnapshot, Workload,
+};
+use simsearch_filters::{FilterChain, FrequencyFilter, LengthFilter};
+use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, Trie};
+use simsearch_parallel::{auto_strategy, run_queries, Strategy};
+use simsearch_scan::{v7_search_view, SequentialScan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// How records are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardBy {
+    /// Contiguous length bands: records sorted by `(length, id)` and cut
+    /// into `S` equal chunks, so each shard holds a narrow length range
+    /// and its planner sees a genuinely different [`StatsSnapshot`].
+    Len,
+    /// FNV-1a content hash modulo `S`: statistically uniform shards with
+    /// near-identical snapshots (the load-balancing choice).
+    Hash,
+}
+
+impl ShardBy {
+    /// The CLI spelling (`--shard-by len|hash`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardBy::Len => "len",
+            ShardBy::Hash => "hash",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "len" => Some(ShardBy::Len),
+            "hash" => Some(ShardBy::Hash),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a, the workspace's deterministic content hash for partitioning.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assigns every record of `dataset` to exactly one of `shards` shards.
+///
+/// Returns one id list per shard (possibly empty when `shards >
+/// dataset.len()`). Invariants the merge relies on, property-tested in
+/// `crates/testkit`: the lists are disjoint, cover every id, and each
+/// is strictly increasing — so remapping a shard-local result through
+/// its list preserves id order.
+pub fn partition_ids(dataset: &Dataset, shards: usize, by: ShardBy) -> Vec<Vec<RecordId>> {
+    let s = shards.max(1);
+    let n = dataset.len();
+    let mut out: Vec<Vec<RecordId>> = vec![Vec::new(); s];
+    match by {
+        ShardBy::Len => {
+            let mut ids: Vec<RecordId> = (0..n as u32).collect();
+            ids.sort_by_key(|&id| (dataset.record_len(id), id));
+            for (i, bucket) in out.iter_mut().enumerate() {
+                let mut chunk = ids[i * n / s..(i + 1) * n / s].to_vec();
+                chunk.sort_unstable();
+                *bucket = chunk;
+            }
+        }
+        ShardBy::Hash => {
+            for id in 0..n as u32 {
+                out[(fnv1a(dataset.get(id)) % s as u64) as usize].push(id);
+            }
+        }
+    }
+    out
+}
+
+/// Copies the records named by `ids` (in order) into an owned sub-dataset
+/// with local ids `0..ids.len()`.
+pub fn materialize(dataset: &Dataset, ids: &[RecordId]) -> Dataset {
+    let total: usize = ids.iter().map(|&id| dataset.record_len(id)).sum();
+    let mut out = Dataset::with_capacity(ids.len(), total);
+    for &id in ids {
+        out.push(dataset.get(id));
+    }
+    out
+}
+
+/// Remaps a shard-local match set to global ids through the shard's id
+/// table (`local id i` ↔ `globals[i]`, a bijection onto the shard's
+/// slice of the global id space).
+pub fn remap_to_global(local: &MatchSet, globals: &[RecordId]) -> MatchSet {
+    MatchSet::from_unsorted(
+        local
+            .iter()
+            .map(|m| Match::new(globals[m.id as usize], m.distance))
+            .collect(),
+    )
+}
+
+/// K-way merge of per-shard match sets already remapped to global ids.
+///
+/// Each input is sorted by id (a [`MatchSet`] invariant); the output is
+/// their sorted, deduplicated union — equal to
+/// [`MatchSet::from_unsorted`] of the concatenation when the inputs are
+/// disjoint, and keeping the *minimum* distance per id when partitions
+/// overlap (the heap yields the smaller distance first).
+pub fn merge_match_sets(parts: &[MatchSet]) -> MatchSet {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(Match, usize)>> = BinaryHeap::new();
+    let mut cursors = vec![0usize; parts.len()];
+    for (i, p) in parts.iter().enumerate() {
+        if let Some(&m) = p.matches().first() {
+            heap.push(Reverse((m, i)));
+            cursors[i] = 1;
+        }
+    }
+    let mut out: Vec<Match> = Vec::new();
+    while let Some(Reverse((m, i))) = heap.pop() {
+        if out.last().map(|last| last.id) != Some(m.id) {
+            out.push(m);
+        }
+        if let Some(&next) = parts[i].matches().get(cursors[i]) {
+            heap.push(Reverse((next, i)));
+            cursors[i] += 1;
+        }
+    }
+    MatchSet::from_unsorted(out)
+}
+
+/// One candidate execution arm over an *owned* shard dataset.
+///
+/// Unlike the borrowing arms in [`crate::backend`], every variant here
+/// either owns its structure outright or takes the dataset as a
+/// call-time argument — which is what lets a shard own its dataset and
+/// its backend in one struct without self-reference.
+enum ShardArm {
+    /// Flat scan through the unified filter chain.
+    ScanFlat(FilterChain),
+    /// V7 sorted-prefix scan over an owned sorted view.
+    ScanSorted(SortedView),
+    /// Uncompressed prefix tree (modern pruning).
+    Trie(Trie),
+    /// Compressed (radix) tree (modern pruning).
+    Radix(RadixTrie),
+    /// Inverted q-gram index (q = 2, the planner's choice).
+    Qgram(QgramIndex),
+    /// Length-bucketed scan.
+    Buckets(LengthBuckets),
+    /// Burkhard–Keller metric tree.
+    Bk(BkTree),
+}
+
+impl ShardArm {
+    fn build(dataset: &Dataset, choice: BackendChoice) -> Self {
+        match choice {
+            BackendChoice::ScanFlat => {
+                let dna = Alphabet::dna();
+                let tracked = if dataset.records().all(|r| dna.covers(r)) {
+                    DNA_SYMBOLS
+                } else {
+                    VOWEL_SYMBOLS
+                };
+                ShardArm::ScanFlat(
+                    FilterChain::new()
+                        .push(LengthFilter::build(dataset))
+                        .push(FrequencyFilter::build(dataset, tracked)),
+                )
+            }
+            BackendChoice::ScanSorted => ShardArm::ScanSorted(SortedView::build(dataset)),
+            BackendChoice::Trie => ShardArm::Trie(simsearch_index::trie::build(dataset)),
+            BackendChoice::Radix => ShardArm::Radix(simsearch_index::radix::build(dataset)),
+            BackendChoice::Qgram => ShardArm::Qgram(QgramIndex::build(dataset, 2)),
+            BackendChoice::Buckets => ShardArm::Buckets(LengthBuckets::build(dataset)),
+            BackendChoice::BkTree => ShardArm::Bk(BkTree::build(dataset)),
+        }
+    }
+
+    fn search_counting(&self, dataset: &Dataset, query: &[u8], k: u32) -> (MatchSet, u64) {
+        match self {
+            // `SequentialScan::new` allocates nothing (lazy internals),
+            // and `search_filtered` touches only the borrowed dataset —
+            // constructing one per call is free.
+            ShardArm::ScanFlat(chain) => (
+                SequentialScan::new(dataset).search_filtered(chain, query, k),
+                0,
+            ),
+            ShardArm::ScanSorted(sv) => v7_search_view(sv, query, k),
+            ShardArm::Trie(t) => (t.search(query, k), 0),
+            ShardArm::Radix(r) => (r.search(query, k), 0),
+            ShardArm::Qgram(q) => (q.search(dataset, query, k), 0),
+            ShardArm::Buckets(b) => (b.search(dataset, query, k), 0),
+            ShardArm::Bk(t) => (t.search(dataset, query, k), 0),
+        }
+    }
+}
+
+/// A planner-driven backend that *owns* its (shard) dataset.
+///
+/// The sharded composite needs `Box<dyn Backend>` per shard, and the
+/// borrowing [`AutoBackend`] cannot outlive a dataset owned by a
+/// sibling field — so this is its owned twin: same candidate set, same
+/// decision table, same calibration protocol, but every arm is an
+/// owned [`ShardArm`]. Also usable stand-alone with a single fixed
+/// candidate ([`ShardAutoBackend::fixed`]) to pin a shard to one arm.
+pub struct ShardAutoBackend {
+    dataset: Dataset,
+    planner: Planner,
+    arms: [OnceLock<ShardArm>; BackendChoice::COUNT],
+    counters: [AtomicU64; BackendChoice::COUNT],
+}
+
+impl ShardAutoBackend {
+    /// Builds with purely static (deterministic) planning over
+    /// [`AutoBackend::DEFAULT_CANDIDATES`].
+    pub fn new(dataset: Dataset) -> Self {
+        let snapshot = StatsSnapshot::compute(&dataset);
+        let planner = Planner::new(snapshot, &AutoBackend::DEFAULT_CANDIDATES);
+        Self::with_planner(dataset, planner)
+    }
+
+    /// Builds with a single fixed arm: the planner has one candidate,
+    /// so every query routes to `choice`.
+    pub fn fixed(dataset: Dataset, choice: BackendChoice) -> Self {
+        let snapshot = StatsSnapshot::compute(&dataset);
+        let planner = Planner::new(snapshot, &[choice]);
+        Self::with_planner(dataset, planner)
+    }
+
+    /// Builds and calibrates against `probe` with the same protocol as
+    /// [`AutoBackend::calibrated`]: one untimed warm pass per arm, then
+    /// two timed per-query passes feeding [`Observation`]s grouped by
+    /// query class. An empty probe yields static planning.
+    pub fn calibrated(dataset: Dataset, probe: &Workload) -> Self {
+        let mut auto = Self::new(dataset);
+        if probe.queries.is_empty() {
+            return auto;
+        }
+        let mut observations = Vec::new();
+        for &choice in &AutoBackend::DEFAULT_CANDIDATES {
+            let arm = auto.arm(choice);
+            for q in &probe.queries {
+                let _ = arm.search_counting(&auto.dataset, &q.text, q.threshold);
+            }
+            for _ in 0..2 {
+                for q in &probe.queries {
+                    let started = std::time::Instant::now();
+                    let _ = arm.search_counting(&auto.dataset, &q.text, q.threshold);
+                    observations.push(Observation {
+                        choice,
+                        query_len: q.text.len(),
+                        k: q.threshold,
+                        nanos: started.elapsed().as_nanos() as f64,
+                    });
+                }
+            }
+        }
+        auto.planner = Planner::with_observations(
+            auto.planner.snapshot().clone(),
+            &AutoBackend::DEFAULT_CANDIDATES,
+            &observations,
+        );
+        for counter in &auto.counters {
+            counter.store(0, Ordering::Relaxed);
+        }
+        auto
+    }
+
+    fn with_planner(dataset: Dataset, planner: Planner) -> Self {
+        Self {
+            dataset,
+            planner,
+            arms: std::array::from_fn(|_| OnceLock::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The shard's own planner (per-shard `explain`).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The owned shard dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn arm(&self, choice: BackendChoice) -> &ShardArm {
+        self.arms[choice.index()].get_or_init(|| ShardArm::build(&self.dataset, choice))
+    }
+
+    fn counts_vec(&self) -> Vec<(&'static str, u64)> {
+        self.planner
+            .candidates()
+            .iter()
+            .map(|&c| (c.name(), self.counters[c.index()].load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+impl Backend for ShardAutoBackend {
+    fn name(&self) -> String {
+        if let [only] = self.planner.candidates() {
+            format!("shard[{}]", only.name())
+        } else if self.planner.is_calibrated() {
+            "shard-auto[calibrated]".into()
+        } else {
+            "shard-auto[static]".into()
+        }
+    }
+
+    fn prepare(&self) {
+        let mut chosen: Vec<BackendChoice> =
+            self.planner.decisions().iter().map(|d| d.chosen).collect();
+        chosen.sort_by_key(|c| c.index());
+        chosen.dedup();
+        for choice in chosen {
+            self.arm(choice);
+        }
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.search_counting(query, k).0
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        let decision = self.planner.decide(query.len(), k);
+        self.counters[decision.chosen.index()].fetch_add(1, Ordering::Relaxed);
+        // Shard-level length prune: ed(q, x) ≥ ||q| − |x||, so when the
+        // shard's entire length band lies outside |q| ± k no record can
+        // match and the arm probe is skipped. Under `ShardBy::Len` the
+        // bands are narrow, which turns a fan-out into a near-miss for
+        // most shards; under `ShardBy::Hash` the band is the full length
+        // range and this never fires. The routing counter above still
+        // ticks — the planner decided, the length bound answered.
+        let snapshot = self.planner.snapshot();
+        let (ql, k) = (query.len() as u64, u64::from(k));
+        if snapshot.records == 0
+            || ql + k < u64::from(snapshot.min_len)
+            || ql.saturating_sub(k) > u64::from(snapshot.max_len)
+        {
+            return (MatchSet::default(), 0);
+        }
+        self.arm(decision.chosen)
+            .search_counting(&self.dataset, query, k as u32)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        self.planner
+            .candidates()
+            .iter()
+            .map(|&c| static_cost(snapshot, c, query_len, k))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters: vec!["length", "frequency"],
+            plan: Some(PlanReport {
+                snapshot: self.planner.snapshot().clone(),
+                decisions: self.planner.decisions().to_vec(),
+                counts: self.counts_vec(),
+                calibrated: self.planner.is_calibrated(),
+            }),
+        }
+    }
+
+    fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        Some(self.counts_vec())
+    }
+}
+
+/// One shard: an owned backend plus the strictly increasing table
+/// mapping its local ids back to global ids, and lifetime counters for
+/// serving metrics.
+struct Shard {
+    backend: Box<dyn Backend>,
+    globals: Vec<RecordId>,
+    queries: AtomicU64,
+    matches: AtomicU64,
+}
+
+/// Per-shard lifetime statistics, surfaced through
+/// [`Backend::shard_stats`] into the serving layer's `STATS` JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Records this shard holds.
+    pub records: usize,
+    /// Queries fanned to this shard so far.
+    pub queries: u64,
+    /// Total matches this shard has returned so far.
+    pub matches: u64,
+    /// `(arm name, queries routed)` for planner-driven shard backends.
+    pub plan_counts: Option<Vec<(&'static str, u64)>>,
+}
+
+/// The sharded composite backend: `S` shards, each with its own
+/// [`Backend`], fan-out per query, k-way union of the results.
+pub struct ShardedBackend {
+    shards: Vec<Shard>,
+    by: ShardBy,
+    threads: usize,
+}
+
+impl ShardedBackend {
+    /// Partitions `dataset` and gives every shard a statically planned
+    /// [`ShardAutoBackend`] (deterministic; what
+    /// [`crate::engine::build_backend`] uses).
+    pub fn build(dataset: &Dataset, shards: usize, by: ShardBy, threads: usize) -> Self {
+        Self::assemble(dataset, shards, by, threads, |sub| {
+            Box::new(ShardAutoBackend::new(sub))
+        })
+    }
+
+    /// Like [`ShardedBackend::build`], but each shard calibrates its
+    /// own planner against a probe drawn from that shard's records
+    /// ([`AutoBackend::default_probe`]), so routing reflects per-shard
+    /// measured costs (the serving daemon's choice).
+    pub fn calibrated(dataset: &Dataset, shards: usize, by: ShardBy, threads: usize) -> Self {
+        Self::assemble(dataset, shards, by, threads, |sub| {
+            let probe = AutoBackend::default_probe(&sub);
+            Box::new(ShardAutoBackend::calibrated(sub, &probe))
+        })
+    }
+
+    /// Like [`ShardedBackend::calibrated`], but every shard calibrates
+    /// against the *same* caller-supplied probe workload — the choice
+    /// when the real workload is in hand (the CLI and the benches),
+    /// mirroring [`crate::SearchEngine::build_auto`] with a probe. A
+    /// synthetic per-shard probe measures each arm on queries drawn
+    /// from the shard's own records; real queries can have a different
+    /// length × threshold mix, and the per-class winner differs with
+    /// them.
+    pub fn calibrated_with(
+        dataset: &Dataset,
+        shards: usize,
+        by: ShardBy,
+        threads: usize,
+        probe: &Workload,
+    ) -> Self {
+        Self::assemble(dataset, shards, by, threads, |sub| {
+            Box::new(ShardAutoBackend::calibrated(sub, probe))
+        })
+    }
+
+    /// Pins every shard to one fixed arm (`choice`).
+    pub fn with_fixed_arm(
+        dataset: &Dataset,
+        shards: usize,
+        by: ShardBy,
+        threads: usize,
+        choice: BackendChoice,
+    ) -> Self {
+        Self::assemble(dataset, shards, by, threads, move |sub| {
+            Box::new(ShardAutoBackend::fixed(sub, choice))
+        })
+    }
+
+    fn assemble(
+        dataset: &Dataset,
+        shards: usize,
+        by: ShardBy,
+        threads: usize,
+        make: impl Fn(Dataset) -> Box<dyn Backend>,
+    ) -> Self {
+        let shards = partition_ids(dataset, shards, by)
+            .into_iter()
+            .map(|globals| {
+                let sub = materialize(dataset, &globals);
+                Shard {
+                    backend: make(sub),
+                    globals,
+                    queries: AtomicU64::new(0),
+                    matches: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            by,
+            threads,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioner this composite was built with.
+    pub fn shard_by(&self) -> ShardBy {
+        self.by
+    }
+
+    /// Every shard backend's self-description, in shard order (the
+    /// CLI's `explain` renders per-shard snapshots and decision tables
+    /// from these).
+    pub fn shard_diags(&self) -> Vec<BackendDiag> {
+        self.shards.iter().map(|s| s.backend.diag()).collect()
+    }
+
+    /// One query against every shard under `strategy`, returning the
+    /// merged global result and total DP cells.
+    fn fan_out(&self, query: &[u8], k: u32, strategy: Strategy) -> (MatchSet, u64) {
+        let parts = run_queries(strategy, self.shards.len(), |i| {
+            let shard = &self.shards[i];
+            let (local, cells) = shard.backend.search_counting(query, k);
+            shard.queries.fetch_add(1, Ordering::Relaxed);
+            shard.matches.fetch_add(local.len() as u64, Ordering::Relaxed);
+            (remap_to_global(&local, &shard.globals), cells)
+        });
+        let cells = parts.iter().map(|(_, c)| c).sum();
+        let sets: Vec<MatchSet> = parts.into_iter().map(|(s, _)| s).collect();
+        (merge_match_sets(&sets), cells)
+    }
+}
+
+impl Backend for ShardedBackend {
+    fn name(&self) -> String {
+        format!("sharded[s={}/{}]", self.shards.len(), self.by.name())
+    }
+
+    fn prepare(&self) {
+        for shard in &self.shards {
+            shard.backend.prepare();
+        }
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.search_counting(query, k).0
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        // A lone query may parallelize across shards; workload paths
+        // override `run_with_strategy` below to parallelize across
+        // queries instead (never both — no nested spawns).
+        self.fan_out(query, k, auto_strategy(self.shards.len(), self.threads))
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        // Shards run concurrently: the critical path is the costliest
+        // shard, not the sum.
+        self.shards
+            .iter()
+            .map(|s| s.backend.cost_hint(snapshot, query_len, k))
+            .fold(0.0, f64::max)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: Some((self.shards.len(), 0)),
+            filters: vec!["length", "frequency"],
+            plan: None,
+        }
+    }
+
+    fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        // Cross-shard aggregate per arm name; per-shard breakdowns come
+        // from `shard_stats`.
+        let mut agg: Vec<(&'static str, u64)> = Vec::new();
+        let mut any = false;
+        for shard in &self.shards {
+            if let Some(counts) = shard.backend.plan_counts() {
+                any = true;
+                for (name, c) in counts {
+                    if let Some(entry) = agg.iter_mut().find(|(n, _)| *n == name) {
+                        entry.1 += c;
+                    } else {
+                        agg.push((name, c));
+                    }
+                }
+            }
+        }
+        any.then_some(agg)
+    }
+
+    fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        Some(
+            self.shards
+                .iter()
+                .map(|s| ShardStats {
+                    records: s.globals.len(),
+                    queries: s.queries.load(Ordering::Relaxed),
+                    matches: s.matches.load(Ordering::Relaxed),
+                    plan_counts: s.backend.plan_counts(),
+                })
+                .collect(),
+        )
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        if self.threads > 1 {
+            Strategy::FixedPool {
+                threads: self.threads,
+            }
+        } else {
+            Strategy::Sequential
+        }
+    }
+
+    fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
+        let (nq, s) = (workload.len(), self.shards.len());
+        let pool = match strategy {
+            Strategy::FixedPool { threads }
+            | Strategy::WorkQueue { threads }
+            | Strategy::Adaptive {
+                max_threads: threads,
+            } => threads,
+            Strategy::Sequential | Strategy::ThreadPerQuery => 0,
+        };
+        // Scarce-query regime (micro-batches, small benchmark
+        // workloads): too few queries for a pool to balance when one of
+        // them is expensive, so flatten the shard × query product into
+        // the executor — shard-major, so one query's S probes land in S
+        // different chunks of a static partition — and merge per query
+        // afterwards. Still a single level of parallelism: the probes
+        // themselves stay sequential.
+        if s > 1 && pool > 1 && nq < pool * 4 {
+            let mut parts = run_queries(strategy, nq * s, |i| {
+                let shard = &self.shards[i / nq];
+                let q = &workload.queries[i % nq];
+                let (local, _) = shard.backend.search_counting(&q.text, q.threshold);
+                shard.queries.fetch_add(1, Ordering::Relaxed);
+                shard.matches.fetch_add(local.len() as u64, Ordering::Relaxed);
+                remap_to_global(&local, &shard.globals)
+            });
+            return (0..nq)
+                .map(|qi| {
+                    let sets: Vec<MatchSet> = (0..s)
+                        .map(|si| std::mem::take(&mut parts[si * nq + qi]))
+                        .collect();
+                    merge_match_sets(&sets)
+                })
+                .collect();
+        }
+        // Plenty of queries: parallelize across them and keep the inner
+        // shard loop sequential, so no executor ever nests thread
+        // spawns and the merge happens inside the parallel region.
+        run_queries(strategy, nq, |i| {
+            let q = &workload.queries[i];
+            self.fan_out(&q.text, q.threshold, Strategy::Sequential).0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsearch_data::QueryRecord;
+    use simsearch_scan::SeqVariant;
+
+    fn dataset() -> Dataset {
+        Dataset::from_records([
+            "Berlin", "Bern", "Bonn", "Ulm", "Bärlin", "Berlingen", "B", "", "Ber", "Ulmen",
+        ])
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 0),
+                QueryRecord::new("Bxr", 3),
+            ],
+        }
+    }
+
+    fn oracle(ds: &Dataset, w: &Workload) -> Vec<MatchSet> {
+        SequentialScan::new(ds).run(SeqVariant::V1Base, w)
+    }
+
+    #[test]
+    fn partitions_are_disjoint_covering_and_increasing() {
+        let ds = dataset();
+        for by in [ShardBy::Len, ShardBy::Hash] {
+            for s in [1, 2, 3, 8, 32] {
+                let parts = partition_ids(&ds, s, by);
+                assert_eq!(parts.len(), s);
+                let mut all: Vec<RecordId> = parts.iter().flatten().copied().collect();
+                for p in &parts {
+                    assert!(p.windows(2).all(|w| w[0] < w[1]), "{by:?} s={s}");
+                }
+                all.sort_unstable();
+                assert_eq!(all, (0..ds.len() as u32).collect::<Vec<_>>(), "{by:?} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_agrees_with_the_oracle_for_every_configuration() {
+        let ds = dataset();
+        let w = workload();
+        let expected = oracle(&ds, &w);
+        for by in [ShardBy::Len, ShardBy::Hash] {
+            for s in [1, 2, 3, 8, 32] {
+                let backend = ShardedBackend::build(&ds, s, by, 2);
+                backend.prepare();
+                assert_eq!(backend.run_workload(&w), expected, "{by:?} s={s}");
+                for strategy in [
+                    Strategy::Sequential,
+                    Strategy::FixedPool { threads: 2 },
+                    Strategy::WorkQueue { threads: 3 },
+                ] {
+                    assert_eq!(
+                        backend.run_with_strategy(&w, strategy),
+                        expected,
+                        "{by:?} s={s} {}",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_and_fixed_arm_shards_agree_with_the_oracle() {
+        let ds = dataset();
+        let w = workload();
+        let expected = oracle(&ds, &w);
+        let calibrated = ShardedBackend::calibrated(&ds, 3, ShardBy::Len, 1);
+        assert_eq!(calibrated.run_workload(&w), expected);
+        for choice in BackendChoice::ALL {
+            let fixed = ShardedBackend::with_fixed_arm(&ds, 3, ShardBy::Hash, 1, choice);
+            assert_eq!(fixed.run_workload(&w), expected, "{}", choice.name());
+        }
+    }
+
+    #[test]
+    fn shard_stats_count_queries_and_matches() {
+        let ds = dataset();
+        let w = workload();
+        let backend = ShardedBackend::build(&ds, 3, ShardBy::Len, 1);
+        let _ = backend.run_workload(&w);
+        let stats = Backend::shard_stats(&backend).expect("sharded reports shard stats");
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|s| s.records).sum::<usize>(), ds.len());
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.queries, w.len() as u64, "shard {i}");
+            let routed: u64 = s
+                .plan_counts
+                .as_ref()
+                .expect("shard backends are planner-driven")
+                .iter()
+                .map(|(_, c)| c)
+                .sum();
+            assert_eq!(routed, w.len() as u64, "shard {i}");
+        }
+        let total_matches: u64 = stats.iter().map(|s| s.matches).sum();
+        let expected_matches: usize = oracle(&ds, &w).iter().map(MatchSet::len).sum();
+        assert_eq!(total_matches, expected_matches as u64);
+    }
+
+    #[test]
+    fn merge_keeps_minimum_distance_on_overlap() {
+        let a = MatchSet::from_unsorted(vec![Match::new(1, 3), Match::new(5, 0)]);
+        let b = MatchSet::from_unsorted(vec![Match::new(1, 1), Match::new(2, 2)]);
+        let merged = merge_match_sets(&[a, b]);
+        assert_eq!(
+            merged.matches(),
+            &[Match::new(1, 1), Match::new(2, 2), Match::new(5, 0)]
+        );
+    }
+
+    #[test]
+    fn merge_handles_empty_inputs() {
+        assert_eq!(merge_match_sets(&[]), MatchSet::default());
+        let a = MatchSet::from_unsorted(vec![Match::new(0, 0)]);
+        let merged = merge_match_sets(&[MatchSet::default(), a.clone(), MatchSet::default()]);
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn topk_matches_unsharded_deepening() {
+        let ds = dataset();
+        let sharded = ShardedBackend::build(&ds, 3, ShardBy::Len, 1);
+        let flat = crate::backend::ScanBackend::new(SequentialScan::new(&ds), SeqVariant::V4Flat);
+        for count in [1, 3, 20] {
+            let (a, _) = sharded.search_top_k_with(b"Berlim", count, 8);
+            let (b, _) = flat.search_top_k_with(b"Berlim", count, 8);
+            assert_eq!(a, b, "count {count}");
+        }
+    }
+}

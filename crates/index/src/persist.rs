@@ -427,6 +427,60 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_stats_section_is_reported_as_corrupt() {
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm", ""]);
+        let trie = crate::radix::build(&ds);
+        let snapshot = StatsSnapshot::compute(&ds);
+        let mut snap_bytes = Vec::new();
+        snapshot.write_to(&mut snap_bytes).unwrap();
+        let path = tmp("corrupt-stats");
+        save_radix_with_stats(&path, &trie, Some(&snapshot)).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let snap_at = good.len() - snap_bytes.len();
+        assert_eq!(&good[snap_at..], &snap_bytes[..], "snapshot is the final section");
+
+        // Bad snapshot version byte inside an otherwise intact v2 file.
+        let mut bad_version = good.clone();
+        bad_version[snap_at] = 0xEE;
+        std::fs::write(&path, &bad_version).unwrap();
+        let err = load_radix_with_stats(&path).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("version")),
+            "expected Corrupt for a bad snapshot version, got {err:?}"
+        );
+
+        // Absurd bucket count: structurally impossible, not truncation.
+        let mut bad_count = good.clone();
+        // snapshot layout: version(1) + records(8) + symbols/min/max(12)
+        // + total_bytes(8) + bucket_width(4), then the bucket count.
+        let count_at = snap_at + 33;
+        bad_count[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bad_count).unwrap();
+        let err = load_radix_with_stats(&path).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("bucket")),
+            "expected Corrupt for an absurd bucket count, got {err:?}"
+        );
+
+        // An unknown stats-section flag is corruption too.
+        let mut bad_flag = good.clone();
+        bad_flag[snap_at - 1] = 7;
+        std::fs::write(&path, &bad_flag).unwrap();
+        let err = load_radix_with_stats(&path).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("stats flag")),
+            "expected Corrupt for a bad stats flag, got {err:?}"
+        );
+
+        // Truncation inside the snapshot stays an I/O error (EOF) so
+        // callers can distinguish "short read" from "hostile bytes".
+        std::fs::write(&path, &good[..good.len() - 4]).unwrap();
+        let err = load_radix_with_stats(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn rejects_out_of_bounds_child() {
         let ds = Dataset::from_records(["ab"]);
         let trie = crate::radix::build(&ds);

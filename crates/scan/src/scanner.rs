@@ -134,10 +134,7 @@ impl<'a> SequentialScan<'a> {
     /// row-stack DP at the running LCP minimum. Returns the matches and
     /// the number of DP cells computed (for diagnostics).
     pub fn v7_search(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
-        let sv = self.sorted_view();
-        let mut dp = RowStackKernel::new(RowStackMode::Banded, query, k);
-        let out = self.v7_scan_range(&mut dp, query, k, 0..sv.len());
-        (MatchSet::from_unsorted(out), dp.cells_computed())
+        v7_search_view(self.sorted_view(), query, k)
     }
 
     /// Rung V7 with intra-query data parallelism: the sorted view is cut
@@ -161,11 +158,7 @@ impl<'a> SequentialScan<'a> {
     }
 
     /// The V7 inner loop over one contiguous range of sorted positions.
-    ///
-    /// `stack_lcp` carries the minimum LCP seen since the last record the
-    /// kernel actually processed — records skipped by the length filter
-    /// still constrain how much of the stack the next record may reuse
-    /// (the LCP range-minimum property).
+    /// Delegates to [`v7_scan_view_range`] over the lazily built view.
     fn v7_scan_range(
         &self,
         dp: &mut RowStackKernel,
@@ -173,24 +166,7 @@ impl<'a> SequentialScan<'a> {
         k: u32,
         range: Range<usize>,
     ) -> Vec<Match> {
-        let sv = self.sorted_view();
-        let mut out = Vec::new();
-        let start = range.start;
-        // The first record in a range restarts from row zero.
-        let mut stack_lcp = 0usize;
-        for pos in range {
-            if pos > start {
-                stack_lcp = stack_lcp.min(sv.lcp(pos));
-            }
-            if sv.record_len(pos).abs_diff(query.len()) > k as usize {
-                continue;
-            }
-            if let Some(d) = dp.resume(sv.get(pos), stack_lcp) {
-                out.push(Match::new(sv.original_id(pos), d));
-            }
-            stack_lcp = usize::MAX;
-        }
-        out
+        v7_scan_view_range(self.sorted_view(), dp, query, k, range)
     }
 
     /// Rung 1: owned copies of query and candidate per comparison, naive
@@ -324,6 +300,52 @@ impl<'a> SequentialScan<'a> {
         }
         MatchSet::from_unsorted(out)
     }
+}
+
+/// Rung V7 for one query over an externally owned [`SortedView`]: walk
+/// the view once, resuming the row-stack DP at the running LCP minimum.
+/// Returns the matches and the number of DP cells computed.
+///
+/// This is the reusable core behind [`SequentialScan::v7_search`],
+/// exposed so callers that own their view (per-shard backends, tools)
+/// can run the sorted-prefix scan without borrowing a scanner.
+pub fn v7_search_view(sv: &SortedView, query: &[u8], k: u32) -> (MatchSet, u64) {
+    let mut dp = RowStackKernel::new(RowStackMode::Banded, query, k);
+    let out = v7_scan_view_range(sv, &mut dp, query, k, 0..sv.len());
+    (MatchSet::from_unsorted(out), dp.cells_computed())
+}
+
+/// The V7 inner loop over one contiguous range of sorted positions in
+/// `sv`.
+///
+/// `stack_lcp` carries the minimum LCP seen since the last record the
+/// kernel actually processed — records skipped by the length filter
+/// still constrain how much of the stack the next record may reuse
+/// (the LCP range-minimum property).
+pub fn v7_scan_view_range(
+    sv: &SortedView,
+    dp: &mut RowStackKernel,
+    query: &[u8],
+    k: u32,
+    range: Range<usize>,
+) -> Vec<Match> {
+    let mut out = Vec::new();
+    let start = range.start;
+    // The first record in a range restarts from row zero.
+    let mut stack_lcp = 0usize;
+    for pos in range {
+        if pos > start {
+            stack_lcp = stack_lcp.min(sv.lcp(pos));
+        }
+        if sv.record_len(pos).abs_diff(query.len()) > k as usize {
+            continue;
+        }
+        if let Some(d) = dp.resume(sv.get(pos), stack_lcp) {
+            out.push(Match::new(sv.original_id(pos), d));
+        }
+        stack_lcp = usize::MAX;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -158,10 +158,9 @@ pub(crate) fn worker_loop(
             let _ = pending.reply.send(response);
         }
         // Planner-driven engines: refresh the per-backend routing
-        // counters after each chunk so `STATS` stays near-live.
-        if let Some(counts) = engine.plan_counts() {
-            metrics.plan_decisions.publish(&counts);
-        }
+        // counters (and per-shard breakdowns) after each chunk so
+        // `STATS` stays near-live.
+        engine.publish_plan(metrics);
     }
 }
 

@@ -11,7 +11,8 @@
 //! and planner-driven backends expose their `plan_decisions` counters
 //! through [`ServedEngine::plan_counts`].
 
-use simsearch_core::{build_backend, AutoBackend, Backend, EngineKind};
+use crate::metrics::Metrics;
+use simsearch_core::{build_backend, AutoBackend, Backend, EngineKind, ShardedBackend};
 use simsearch_data::{Dataset, Match, MatchSet};
 
 /// The engine a running `simsearchd` answers with.
@@ -34,6 +35,13 @@ impl<'a> ServedEngine<'a> {
                 threads,
                 &AutoBackend::default_probe(dataset),
             )),
+            // A served sharded engine calibrates every shard's planner
+            // against that shard's own records at startup.
+            EngineKind::Sharded {
+                shards,
+                by,
+                threads,
+            } => Box::new(ShardedBackend::calibrated(dataset, shards, by, threads)),
             other => build_backend(dataset, other),
         };
         backend.prepare();
@@ -71,6 +79,41 @@ impl<'a> ServedEngine<'a> {
     /// these into the metrics registry after every chunk.
     pub fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
         self.backend.plan_counts()
+    }
+
+    /// Publishes the engine's routing state into the metrics registry:
+    /// `plan_decisions` gets the cross-shard aggregate per arm plus one
+    /// `s{i}.{arm}` entry per shard and arm (sharded engines), and
+    /// `shard_matches` gets per-shard cumulative match counts. Called
+    /// by the batch workers after every executed chunk.
+    pub fn publish_plan(&self, metrics: &Metrics) {
+        let shards = self.backend.shard_stats();
+        if let Some(counts) = self.plan_counts() {
+            match &shards {
+                Some(stats) => {
+                    let mut labelled: Vec<(String, u64)> =
+                        counts.iter().map(|&(n, c)| (n.to_string(), c)).collect();
+                    for (i, s) in stats.iter().enumerate() {
+                        for (n, c) in s.plan_counts.iter().flatten() {
+                            labelled.push((format!("s{i}.{n}"), *c));
+                        }
+                    }
+                    let refs: Vec<(&str, u64)> =
+                        labelled.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+                    metrics.plan_decisions.publish(&refs);
+                }
+                None => metrics.plan_decisions.publish(&counts),
+            }
+        }
+        if let Some(stats) = shards {
+            let labelled: Vec<(String, u64)> = stats
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (format!("s{i}"), s.matches))
+                .collect();
+            let refs: Vec<(&str, u64)> = labelled.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+            metrics.shard_matches.publish(&refs);
+        }
     }
 }
 
@@ -140,5 +183,36 @@ mod tests {
             .map(|(_, c)| c)
             .sum();
         assert_eq!(after, before + 2);
+    }
+
+    #[test]
+    fn sharded_engine_agrees_and_publishes_per_shard_metrics() {
+        let ds = dataset();
+        let reference = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let sharded = ServedEngine::build(
+            &ds,
+            EngineKind::Sharded {
+                shards: 3,
+                by: simsearch_core::ShardBy::Len,
+                threads: 1,
+            },
+        );
+        for q in ["Berlin", "Urm", ""] {
+            for k in 0..3 {
+                let (want, _) = reference.search(q.as_bytes(), k);
+                let (got, _) = sharded.search(q.as_bytes(), k);
+                assert_eq!(got, want, "q={q} k={k}");
+            }
+        }
+        let metrics = Metrics::new();
+        sharded.publish_plan(&metrics);
+        let decisions = metrics.plan_decisions.snapshot();
+        assert!(
+            decisions.iter().any(|(n, _)| n.starts_with("s0.")),
+            "per-shard plan_decisions published: {decisions:?}"
+        );
+        let matches = metrics.shard_matches.snapshot();
+        assert_eq!(matches.len(), 3);
+        assert!(matches.iter().all(|(n, _)| n.starts_with('s')));
     }
 }

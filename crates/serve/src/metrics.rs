@@ -246,8 +246,13 @@ pub struct Metrics {
     /// Client connections accepted.
     pub connections: Counter,
     /// Queries routed per backend by the adaptive planner (empty for
-    /// fixed-backend engines; published by the batch workers).
+    /// fixed-backend engines; published by the batch workers). Sharded
+    /// engines add one `s{i}.{arm}` entry per shard and arm beside the
+    /// cross-shard aggregates.
     pub plan_decisions: PlanCounters,
+    /// Cumulative matches returned per shard (`s{i}` labels; empty for
+    /// unsharded engines).
+    pub shard_matches: PlanCounters,
 }
 
 impl Metrics {
@@ -285,7 +290,7 @@ impl Metrics {
              \"dropped_timeout\": {}, \"replied_error\": {}, \"replied_ok\": {}, \
              \"batches\": {}, \"queue_depth\": {}, \"dp_cells\": {}, \
              \"connections\": {}, \"uptime_ms\": {}, \
-             \"plan_decisions\": {{{}}}}}}}",
+             \"plan_decisions\": {{{}}}, \"shard_matches\": {{{}}}}}}}",
             crate::STATS_SCHEMA,
             json_escape(dataset),
             self.requests_admitted.get(),
@@ -303,6 +308,12 @@ impl Metrics {
             self.connections.get(),
             started.elapsed().as_millis(),
             self.plan_decisions
+                .snapshot()
+                .iter()
+                .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.shard_matches
                 .snapshot()
                 .iter()
                 .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
@@ -456,6 +467,24 @@ mod tests {
         assert!(
             json.contains("\"plan_decisions\": {\"scan-flat\": 5, \"qgram\": 9}"),
             "missing plan_decisions counters in {json}"
+        );
+    }
+
+    #[test]
+    fn stats_json_renders_per_shard_decisions_and_matches() {
+        let m = Metrics::new();
+        m.plan_decisions
+            .publish(&[("scan-flat", 5), ("s0.scan-flat", 2), ("s1.scan-flat", 3)]);
+        m.shard_matches.publish(&[("s0", 7), ("s1", 4)]);
+        let json = m.stats_json("sharded[s=2/len/threads=1]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(
+            json.contains("\"s0.scan-flat\": 2") && json.contains("\"s1.scan-flat\": 3"),
+            "missing per-shard plan_decisions in {json}"
+        );
+        assert!(
+            json.contains("\"shard_matches\": {\"s0\": 7, \"s1\": 4}"),
+            "missing shard_matches counters in {json}"
         );
     }
 }

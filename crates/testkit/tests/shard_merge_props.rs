@@ -1,0 +1,211 @@
+//! Property tests for the sharded backend's building blocks
+//! (`simsearch_core::sharded`): the k-way `MatchSet` merge, the shard
+//! partitioners, and the shard-local → global id remap.
+//!
+//! The merge's contract: for parts that are themselves valid
+//! `MatchSet`s, the result is sorted, deduplicated, keeps the minimum
+//! distance for ids present in several parts, and — for disjoint parts,
+//! the case the sharded backend actually produces — equals
+//! `MatchSet::from_unsorted` of the plain concatenation.
+
+use simsearch_core::{merge_match_sets, partition_ids, remap_to_global, ShardBy};
+use simsearch_data::{Dataset, Match, MatchSet};
+use simsearch_testkit::{check, gen, prop_assert, prop_assert_eq, Config};
+use std::collections::BTreeMap;
+
+/// Raw per-shard `(id, distance)` pairs. Ids repeat freely, within and
+/// across shards; shards may be empty, and so may the whole list.
+fn parts_gen() -> simsearch_testkit::Gen<Vec<Vec<(u32, u32)>>> {
+    gen::vec_of(
+        gen::vec_of(gen::zip(gen::u32_in(0..40), gen::u32_in(0..8)), 0..12),
+        0..6,
+    )
+}
+
+/// Collapses raw pairs into a valid `MatchSet`: unique ids, minimum
+/// distance kept on duplicates.
+fn to_match_set(pairs: &[(u32, u32)]) -> MatchSet {
+    let mut best: BTreeMap<u32, u32> = BTreeMap::new();
+    for &(id, d) in pairs {
+        best.entry(id).and_modify(|v| *v = (*v).min(d)).or_insert(d);
+    }
+    MatchSet::from_unsorted(best.into_iter().map(|(id, d)| Match::new(id, d)).collect())
+}
+
+/// Reference semantics of the merge: per-id minimum distance over every
+/// part, sorted by id.
+fn min_distance_union(parts: &[MatchSet]) -> MatchSet {
+    let mut best: BTreeMap<u32, u32> = BTreeMap::new();
+    for m in parts.iter().flat_map(MatchSet::matches) {
+        best.entry(m.id)
+            .and_modify(|v| *v = (*v).min(m.distance))
+            .or_insert(m.distance);
+    }
+    MatchSet::from_unsorted(best.into_iter().map(|(id, d)| Match::new(id, d)).collect())
+}
+
+#[test]
+fn merge_equals_min_distance_union_even_with_overlap() {
+    check(
+        "merge_equals_min_distance_union",
+        Config::cases(512).seed(0x5AAD_0001),
+        &parts_gen(),
+        |raw| {
+            let parts: Vec<MatchSet> = raw.iter().map(|p| to_match_set(p)).collect();
+            let merged = merge_match_sets(&parts);
+            prop_assert_eq!(&merged, &min_distance_union(&parts));
+            let ids = merged.ids();
+            prop_assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "merge output must be sorted and duplicate-free: {ids:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_of_disjoint_parts_equals_from_unsorted_of_concatenation() {
+    check(
+        "merge_disjoint_is_concat",
+        Config::cases(512).seed(0x5AAD_0002),
+        &parts_gen(),
+        |raw| {
+            // Interleave shard indices into the ids so no id appears in
+            // two parts — the invariant real shard partitions guarantee.
+            let stride = raw.len().max(1) as u32;
+            let parts: Vec<MatchSet> = raw
+                .iter()
+                .enumerate()
+                .map(|(s, p)| {
+                    let tagged: Vec<(u32, u32)> =
+                        p.iter().map(|&(id, d)| (id * stride + s as u32, d)).collect();
+                    to_match_set(&tagged)
+                })
+                .collect();
+            let concat: Vec<Match> = parts
+                .iter()
+                .flat_map(|p| p.matches().iter().copied())
+                .collect();
+            prop_assert_eq!(merge_match_sets(&parts), MatchSet::from_unsorted(concat));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    check(
+        "merge_commutative_associative",
+        Config::cases(512).seed(0x5AAD_0003),
+        &parts_gen(),
+        |raw| {
+            let parts: Vec<MatchSet> = raw.iter().map(|p| to_match_set(p)).collect();
+            let merged = merge_match_sets(&parts);
+            let mut reversed = parts.clone();
+            reversed.reverse();
+            prop_assert_eq!(merge_match_sets(&reversed), merged.clone(), "order-insensitive");
+            let (a, b) = parts.split_at(parts.len() / 2);
+            let folded = merge_match_sets(&[merge_match_sets(a), merge_match_sets(b)]);
+            prop_assert_eq!(folded, merged.clone(), "merge of partial merges");
+            // Empty parts are neutral elements.
+            let mut padded = vec![MatchSet::default()];
+            for p in &parts {
+                padded.push(p.clone());
+                padded.push(MatchSet::default());
+            }
+            prop_assert_eq!(merge_match_sets(&padded), merged.clone(), "empty parts are neutral");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn partitions_are_bijective_and_remap_inverts_them() {
+    let corpus_and_shape = gen::zip3(
+        gen::corpus(gen::city_string(0..8), 0..30),
+        gen::usize_in(1..12),
+        gen::u32_in(0..2),
+    );
+    check(
+        "partition_remap_bijection",
+        Config::cases(256).seed(0x5AAD_0004),
+        &corpus_and_shape,
+        |(words, shard_count, by_raw)| {
+            let by = if *by_raw == 0 { ShardBy::Len } else { ShardBy::Hash };
+            let ds = Dataset::from_records(words.iter());
+            let shards = partition_ids(&ds, *shard_count, by);
+            prop_assert_eq!(shards.len(), *shard_count);
+
+            // Disjoint, covering, strictly increasing per shard.
+            let mut seen = vec![false; ds.len()];
+            for ids in &shards {
+                prop_assert!(
+                    ids.windows(2).all(|w| w[0] < w[1]),
+                    "per-shard ids strictly increasing: {ids:?}"
+                );
+                for &id in ids {
+                    prop_assert!(
+                        !std::mem::replace(&mut seen[id as usize], true),
+                        "id {id} assigned to two shards"
+                    );
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "every record assigned to a shard");
+
+            // Remap: the local→global map is monotone (ids strictly
+            // increase), so the j-th local match becomes the j-th global
+            // match with the same distance.
+            let parts: Vec<MatchSet> = shards
+                .iter()
+                .map(|ids| {
+                    let local = MatchSet::from_unsorted(
+                        (0..ids.len())
+                            .map(|i| Match::new(i as u32, (i % 5) as u32))
+                            .collect(),
+                    );
+                    let global = remap_to_global(&local, ids);
+                    assert_eq!(global.ids(), *ids, "remap hits exactly the globals");
+                    for (l, g) in local.matches().iter().zip(global.matches()) {
+                        assert_eq!(l.distance, g.distance, "remap keeps distances");
+                    }
+                    global
+                })
+                .collect();
+
+            // Union of all remapped shards: every global id exactly once.
+            let merged = merge_match_sets(&parts);
+            prop_assert_eq!(merged.len(), ds.len());
+            prop_assert_eq!(merged.ids(), (0..ds.len() as u32).collect::<Vec<_>>());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_handles_no_parts_and_all_empty_parts() {
+    assert!(merge_match_sets(&[]).is_empty());
+    assert!(merge_match_sets(&[MatchSet::default(), MatchSet::default()]).is_empty());
+}
+
+#[test]
+fn more_shards_than_records_leaves_trailing_shards_empty_but_valid() {
+    let ds = Dataset::from_records(["aa", "b", "cccc"]);
+    for by in [ShardBy::Len, ShardBy::Hash] {
+        let shards = partition_ids(&ds, 8, by);
+        assert_eq!(shards.len(), 8);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "{by:?}");
+        assert!(
+            shards.iter().filter(|s| s.is_empty()).count() >= 5,
+            "{by:?}: 8 shards can hold at most 3 of 3 records non-empty"
+        );
+        // Singleton shards remap correctly too.
+        for ids in &shards {
+            let local = MatchSet::from_unsorted(
+                (0..ids.len()).map(|i| Match::new(i as u32, 0)).collect(),
+            );
+            assert_eq!(remap_to_global(&local, ids).ids(), *ids);
+        }
+    }
+}
