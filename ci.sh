@@ -26,6 +26,15 @@ cargo test -q --offline --test planner_parity
 # decision counters must account for every fanned-out query.
 cargo test -q --offline --test shard_oracle
 
+# Live-ingest gates: any interleaving of INSERT/DELETE/QUERY/TOPK/
+# COMPACT must answer exactly like a fresh V1 scan over the surviving
+# records (shrinking to a minimal interleaving on failure), under every
+# executor × thread count; and every compaction step — flush, tiered
+# merge, tombstone elision — must be an atomic re-layout that queries
+# racing it can never observe half-done.
+cargo test -q --offline --test live_oracle
+cargo test -q --offline --test live_compaction
+
 # Canonical benchmark snapshots (published by `cargo bench` via
 # testkit's publish_snapshot) must stay committed at the repo root.
 for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
@@ -125,6 +134,43 @@ done
 if kill -0 "$serve_pid" 2>/dev/null; then
     kill "$serve_pid"
     echo "simsearchd (sharded) failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"
+
+# Live-ingest serve smoke: a --live daemon accepts INSERT/DELETE over
+# the wire, the mutations are immediately visible to QUERY, and STATS
+# carries the LSM gauges (memtable_len / segments / compactions), still
+# as valid JSON.
+rm -f "$smoke_dir/port"
+"$SIMSEARCH" serve --data "$smoke_dir/city.data" --live --memtable-cap 64 \
+    --port 0 --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+# The record uses bytes (#, digits) outside the city generator's
+# alphabet, so the exact-match query can only ever hit the insert.
+"$SIMSEARCH" client --port "$port" --send 'INSERT zz#live-smoke-9' | grep -qx 'OK id=2000'
+"$SIMSEARCH" client --port "$port" --send 'QUERY 0 zz#live-smoke-9' | grep -qx 'OK 1 2000:0'
+"$SIMSEARCH" client --port "$port" --send 'DELETE 2000' | grep -qx 'OK deleted'
+"$SIMSEARCH" client --port "$port" --send 'DELETE 2000' | grep -qx 'OK absent'
+"$SIMSEARCH" client --port "$port" --send 'QUERY 0 zz#live-smoke-9' | grep -qx 'OK 0'
+stats=$("$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS')
+echo "$stats" | grep -q '"memtable_len"'
+echo "$stats" | grep -q '"segments"'
+echo "$stats" | grep -q '"compactions"'
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd (live) failed to drain within 10s" >&2
     exit 1
 fi
 wait "$serve_pid"

@@ -83,6 +83,12 @@ pub struct ServeArgs {
     pub shards: usize,
     /// Shard partitioner (`--shard-by len|hash`).
     pub shard_by: ShardBy,
+    /// Serve a live (mutable) engine: the dataset seeds an LSM engine
+    /// and the daemon accepts `INSERT`/`DELETE`. Incompatible with
+    /// `--shards` ≥ 2 and overrides the engine selector.
+    pub live: bool,
+    /// Memtable flush threshold for `--live` (records).
+    pub memtable_cap: usize,
 }
 
 /// Arguments of the `client` subcommand.
@@ -213,6 +219,7 @@ USAGE:
                   [--port-file FILE] [--batch-size N] [--max-delay-ms N]
                   [--queue-capacity N] [--deadline-ms N]
                   [--shards N] [--shard-by len|hash]
+                  [--live] [--memtable-cap N]
   simsearch client --port P [--host H] --send FRAME [--send FRAME ...]
                    [--check-stats-json]
   simsearch help
@@ -228,9 +235,14 @@ content hash (`--shard-by hash`) — each shard plans independently, and
 queries fan out across shards with a k-way result merge.
 
 The serve daemon speaks a line protocol on loopback TCP:
-  QUERY <k> <text> | TOPK <n> <text> | STATS | HEALTH | SHUTDOWN
+  QUERY <k> <text> | TOPK <n> <text> | INSERT <text> | DELETE <id>
+  | STATS | HEALTH | SHUTDOWN
 With --port 0 (the default) it binds an ephemeral port and prints the
 actually-bound address on stdout before accepting connections.
+
+With --live the dataset seeds a mutable LSM engine (memtable + sorted
+segments) and the daemon accepts INSERT/DELETE; --memtable-cap sets the
+flush threshold (default 1024). Without --live those verbs answer ERR.
 ";
 
 /// Parses an argument vector (without the program name).
@@ -427,6 +439,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
     let mut deadline_ms = 10_000u64;
     let mut shards = 0usize;
     let mut shard_by = ShardBy::Len;
+    let mut live = false;
+    let mut memtable_cap = 1024usize;
     let int = |v: &str, flag: &str| -> Result<u64, String> {
         v.parse().map_err(|_| format!("{flag} needs an integer"))
     };
@@ -470,8 +484,18 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
             }
             "--shards" => shards = int(value(&mut it, "--shards")?, "--shards")? as usize,
             "--shard-by" => shard_by = shard_by_value(value(&mut it, "--shard-by")?)?,
+            "--live" => live = true,
+            "--memtable-cap" => {
+                memtable_cap = int(value(&mut it, "--memtable-cap")?, "--memtable-cap")? as usize;
+                if memtable_cap == 0 {
+                    return Err("--memtable-cap needs a positive integer".into());
+                }
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if live && shards >= 2 {
+        return Err("--live is incompatible with --shards (the live engine is unsharded)".into());
     }
     Ok(ServeArgs {
         data: data.ok_or("serve requires --data")?,
@@ -485,6 +509,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
         deadline_ms,
         shards,
         shard_by,
+        live,
+        memtable_cap,
     })
 }
 
@@ -650,9 +676,36 @@ mod tests {
                 assert_eq!(s.threads, 4);
                 assert_eq!(s.batch_size, 64);
                 assert!(s.port_file.is_none());
+                assert!(!s.live, "read-only by default");
+                assert_eq!(s.memtable_cap, 1024);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_live_mode() {
+        let cmd = parse(&v(&[
+            "serve", "--data", "d.txt", "--live", "--memtable-cap", "64",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert!(s.live);
+                assert_eq!(s.memtable_cap, 64);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // --live without --memtable-cap keeps the default.
+        let cmd = parse(&v(&["serve", "--data", "d.txt", "--live"])).unwrap();
+        assert!(matches!(cmd, Command::Serve(s) if s.live && s.memtable_cap == 1024));
+        // The live engine is unsharded; a sharded live daemon is a
+        // contradiction and must be rejected at parse time.
+        assert!(parse(&v(&["serve", "--data", "d", "--live", "--shards", "2"])).is_err());
+        // shards 0/1 mean "unsharded" and stay compatible.
+        assert!(parse(&v(&["serve", "--data", "d", "--live", "--shards", "1"])).is_ok());
+        assert!(parse(&v(&["serve", "--data", "d", "--memtable-cap", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--data", "d", "--memtable-cap", "x"])).is_err());
     }
 
     #[test]

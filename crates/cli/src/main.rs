@@ -243,7 +243,14 @@ fn run_serve(a: ServeArgs) -> Result<(), String> {
     let records = dataset.len();
     // Sharded serving: per-shard calibrated planners, sequential
     // per-query fan-out (batch workers supply the concurrency).
-    let kind = if a.shards >= 2 {
+    // Live serving: the dataset seeds a mutable LSM engine and the
+    // daemon accepts INSERT/DELETE (parse_serve rejects --live with
+    // --shards, so these never collide).
+    let kind = if a.live {
+        EngineKind::Live {
+            memtable_cap: a.memtable_cap,
+        }
+    } else if a.shards >= 2 {
         EngineKind::Sharded {
             shards: a.shards,
             by: a.shard_by,

@@ -128,6 +128,14 @@ pub enum EngineKind {
         /// Worker threads for fan-out and workload execution.
         threads: usize,
     },
+    /// Live ingest: an LSM-shaped [`LiveEngine`](crate::lsm::LiveEngine)
+    /// (append-only memtable + tombstones in front of immutable V7
+    /// segments) seeded from the dataset. The only mutable engine —
+    /// the serving layer's `--live` mode.
+    Live {
+        /// Memtable flush threshold (records).
+        memtable_cap: usize,
+    },
 }
 
 impl EngineKind {
@@ -151,6 +159,7 @@ impl EngineKind {
                 by,
                 threads,
             } => format!("sharded[s={shards}/{}/threads={threads}]", by.name()),
+            EngineKind::Live { memtable_cap } => format!("live[lsm/cap={memtable_cap}]"),
         }
     }
 }
@@ -192,6 +201,10 @@ pub fn build_backend<'a>(dataset: &'a Dataset, kind: EngineKind) -> Box<dyn Back
             by,
             threads,
         } => Box::new(ShardedBackend::build(dataset, shards, by, threads)),
+        EngineKind::Live { memtable_cap } => Box::new(crate::lsm::LiveEngine::from_dataset(
+            dataset,
+            crate::lsm::LsmConfig { memtable_cap },
+        )),
     }
 }
 
@@ -385,6 +398,7 @@ mod tests {
                 by: crate::sharded::ShardBy::Hash,
                 threads: 2,
             },
+            EngineKind::Live { memtable_cap: 4 },
         ]
     }
 

@@ -22,7 +22,10 @@
 //! * [`presets`] — the standard synthetic datasets and workloads;
 //! * [`join`] — the similarity self-join (the venue's other competition
 //!   track), scan- and index-based;
-//! * [`topk`] — nearest-neighbour search by iterative deepening.
+//! * [`topk`] — nearest-neighbour search by iterative deepening;
+//! * [`lsm`] — live ingest: [`lsm::LiveEngine`] puts an append-only
+//!   memtable and tombstone set in front of immutable V7 segments, so
+//!   the frozen-dataset machinery serves a mutable workload.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod backend;
 pub mod engine;
 pub mod experiment;
 pub mod join;
+pub mod lsm;
 pub mod planner;
 pub mod presets;
 pub mod report;
@@ -43,6 +47,7 @@ pub use backend::{
     RadixBackend, SortedScanBackend,
 };
 pub use engine::{build_backend, EngineKind, IdxVariant, SearchEngine};
+pub use lsm::{LiveEngine, LiveStats, LsmConfig};
 pub use sharded::{
     merge_match_sets, partition_ids, remap_to_global, ShardAutoBackend, ShardBy, ShardStats,
     ShardedBackend,

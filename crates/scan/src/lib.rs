@@ -22,6 +22,6 @@ pub mod substring;
 pub mod variant;
 
 pub use measure::{measure_scan, Measure};
-pub use scanner::{v7_scan_view_range, v7_search_view, SequentialScan};
+pub use scanner::{flat_search_where, v7_scan_view_range, v7_search_view, SequentialScan};
 pub use substring::{substring_scan, substring_scan_myers, SubstringHit};
 pub use variant::SeqVariant;

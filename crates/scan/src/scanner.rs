@@ -302,6 +302,37 @@ impl<'a> SequentialScan<'a> {
     }
 }
 
+/// Flat (V1-style, unsorted) scan for one query over `dataset`,
+/// consulting `keep` before every comparison.
+///
+/// This is the live-ingest memtable's search path: the memtable is an
+/// append-only arena where deleted slots are masked by a tombstone set,
+/// so the scan must skip rejected slots *without* computing a distance
+/// for them. On the kept subset the result is byte-identical to the V1
+/// oracle (length filter plus the banded bounded kernel — all kernels
+/// agree, oracle-tested in `crates/testkit`).
+pub fn flat_search_where(
+    dataset: &Dataset,
+    query: &[u8],
+    k: u32,
+    mut keep: impl FnMut(u32) -> bool,
+) -> MatchSet {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for id in 0..dataset.len() as u32 {
+        if !keep(id) {
+            continue;
+        }
+        if dataset.record_len(id).abs_diff(query.len()) > k as usize {
+            continue;
+        }
+        if let Some(d) = ed_within_banded_with(&mut rows, query, dataset.get(id), k) {
+            out.push(Match::new(id, d));
+        }
+    }
+    MatchSet::from_unsorted(out)
+}
+
 /// Rung V7 for one query over an externally owned [`SortedView`]: walk
 /// the view once, resuming the row-stack DP at the running LCP minimum.
 /// Returns the matches and the number of DP cells computed.

@@ -82,6 +82,14 @@ pub(crate) enum Work {
         /// How many records.
         count: u32,
     },
+    /// Append the request text as a record (live engines only; the
+    /// pending's `text` carries the record bytes).
+    Insert,
+    /// Tombstone record `id` (live engines only).
+    Delete {
+        /// The global record id.
+        id: u32,
+    },
 }
 
 /// One admitted request waiting for execution.
@@ -161,6 +169,14 @@ pub(crate) fn worker_loop(
         // counters (and per-shard breakdowns) after each chunk so
         // `STATS` stays near-live.
         engine.publish_plan(metrics);
+        // Live engines: compaction rides the worker threads — one step
+        // between chunks keeps the memtable bounded without a dedicated
+        // compaction thread, and the gate inside the engine serialises
+        // concurrent workers. Then refresh the structural gauges.
+        if engine.is_live() {
+            engine.maybe_compact();
+            engine.publish_live(metrics);
+        }
     }
 }
 
@@ -179,6 +195,9 @@ fn execute_one(
     if !cfg.exec_delay.is_zero() {
         std::thread::sleep(cfg.exec_delay);
     }
+    let read_only = || {
+        Response::Error("engine is read-only (start simsearchd with --live)".into())
+    };
     let (response, cells) = match work {
         Work::Query { k } => {
             let (matches, cells) = engine.search(text, k);
@@ -188,9 +207,20 @@ fn execute_one(
             let (matches, cells) = engine.topk(text, count as usize, cfg.topk_max_radius);
             (Response::Matches(matches), cells)
         }
+        Work::Insert => match engine.insert(text) {
+            Some(id) => (Response::Inserted(id), 0),
+            None => (read_only(), 0),
+        },
+        Work::Delete { id } => match engine.delete(id) {
+            Some(existed) => (Response::Deleted { existed }, 0),
+            None => (read_only(), 0),
+        },
     };
     metrics.dp_cells.add(cells);
-    metrics.replied_ok.inc();
+    match &response {
+        Response::Error(_) => metrics.replied_error.inc(),
+        _ => metrics.replied_ok.inc(),
+    }
     response
 }
 

@@ -96,6 +96,24 @@ impl Client {
         }
     }
 
+    /// `INSERT <text>`, unwrapped to the assigned record id.
+    pub fn insert(&mut self, text: &[u8]) -> std::io::Result<u32> {
+        match self.request(&Request::Insert {
+            text: text.to_vec(),
+        })? {
+            Response::Inserted(id) => Ok(id),
+            other => Err(bad_data(format!("expected inserted id, got {other:?}"))),
+        }
+    }
+
+    /// `DELETE <id>` — true iff the id named a live record.
+    pub fn delete(&mut self, id: u32) -> std::io::Result<bool> {
+        match self.request(&Request::Delete { id })? {
+            Response::Deleted { existed } => Ok(existed),
+            other => Err(bad_data(format!("expected deleted/absent, got {other:?}"))),
+        }
+    }
+
     /// `HEALTH` — true iff the server answered `OK healthy`.
     pub fn health(&mut self) -> std::io::Result<bool> {
         Ok(self.request(&Request::Health)? == Response::Healthy)

@@ -12,14 +12,53 @@
 //! through [`ServedEngine::plan_counts`].
 
 use crate::metrics::Metrics;
-use simsearch_core::{build_backend, AutoBackend, Backend, EngineKind, ShardedBackend};
-use simsearch_data::{Dataset, Match, MatchSet};
+use simsearch_core::{
+    build_backend, AutoBackend, Backend, BackendDiag, EngineKind, LiveEngine, LsmConfig,
+    ShardedBackend,
+};
+use simsearch_data::{Dataset, Match, MatchSet, StatsSnapshot};
+use std::sync::Arc;
 
 /// The engine a running `simsearchd` answers with.
 pub(crate) struct ServedEngine<'a> {
     backend: Box<dyn Backend + 'a>,
+    /// Set when the engine is a live (mutable) engine: the mutation
+    /// surface (`INSERT`/`DELETE`, compaction) reaches the same engine
+    /// the read path queries. `None` for every frozen engine.
+    live: Option<Arc<LiveEngine>>,
     name: String,
     records: usize,
+}
+
+/// [`Backend`] by delegation over a shared [`LiveEngine`]: the served
+/// backend slot wants a `Box<dyn Backend>`, the mutation surface wants
+/// an `Arc` — this handle lets both alias one engine.
+struct LiveHandle(Arc<LiveEngine>);
+
+impl Backend for LiveHandle {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.0.search(query, k)
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        self.0.search_counting(query, k)
+    }
+
+    fn search_top_k_with(&self, query: &[u8], count: usize, max_radius: u32) -> (Vec<Match>, u64) {
+        self.0.search_top_k_with(query, count, max_radius)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        self.0.cost_hint(snapshot, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        self.0.diag()
+    }
 }
 
 impl<'a> ServedEngine<'a> {
@@ -29,6 +68,7 @@ impl<'a> ServedEngine<'a> {
     /// cost, like index construction, lands here and not in the first
     /// request.
     pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
+        let mut live = None;
         let backend: Box<dyn Backend + 'a> = match kind {
             EngineKind::Auto { threads } => Box::new(AutoBackend::calibrated(
                 dataset,
@@ -42,13 +82,62 @@ impl<'a> ServedEngine<'a> {
                 by,
                 threads,
             } => Box::new(ShardedBackend::calibrated(dataset, shards, by, threads)),
+            // The live engine is shared between the read path (this
+            // backend slot) and the mutation surface.
+            EngineKind::Live { memtable_cap } => {
+                let engine = Arc::new(LiveEngine::from_dataset(
+                    dataset,
+                    LsmConfig { memtable_cap },
+                ));
+                live = Some(Arc::clone(&engine));
+                Box::new(LiveHandle(engine))
+            }
             other => build_backend(dataset, other),
         };
         backend.prepare();
         Self {
             backend,
+            live,
             name: kind.name(),
             records: dataset.len(),
+        }
+    }
+
+    /// Whether this engine accepts `INSERT`/`DELETE`.
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Appends a record on a live engine; `None` on read-only engines.
+    pub fn insert(&self, record: &[u8]) -> Option<u32> {
+        self.live.as_ref().map(|l| l.insert(record))
+    }
+
+    /// Tombstones a record on a live engine; `None` on read-only
+    /// engines, `Some(existed)` otherwise.
+    pub fn delete(&self, id: u32) -> Option<bool> {
+        self.live.as_ref().map(|l| l.delete(id))
+    }
+
+    /// Runs one compaction step on a live engine when one is due.
+    /// Called by the batch workers between chunks — compaction rides
+    /// the worker threads, no dedicated compaction thread needed.
+    pub fn maybe_compact(&self) -> bool {
+        self.live.as_ref().is_some_and(|l| l.maybe_compact())
+    }
+
+    /// Publishes the live engine's structural state into the metrics
+    /// registry (no-op for frozen engines). Called beside
+    /// [`ServedEngine::publish_plan`] after every executed chunk.
+    pub fn publish_live(&self, metrics: &Metrics) {
+        if let Some(live) = &self.live {
+            let stats = live.stats();
+            metrics.memtable_len.set(stats.memtable_len);
+            metrics.segments.set(stats.segments);
+            metrics.tombstones.set(stats.tombstones);
+            metrics.compactions.set(stats.compactions);
+            metrics.inserts.set(stats.inserts);
+            metrics.deletes.set(stats.deletes);
         }
     }
 
@@ -183,6 +272,42 @@ mod tests {
             .map(|(_, c)| c)
             .sum();
         assert_eq!(after, before + 2);
+    }
+
+    #[test]
+    fn live_engine_accepts_mutations_and_frozen_engines_refuse() {
+        let ds = dataset();
+        let frozen = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        assert!(!frozen.is_live());
+        assert!(frozen.insert(b"x").is_none());
+        assert!(frozen.delete(0).is_none());
+        assert!(!frozen.maybe_compact());
+
+        let live = ServedEngine::build(&ds, EngineKind::Live { memtable_cap: 2 });
+        assert!(live.is_live());
+        // Seeded reads agree with the reference engine.
+        let reference = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        for q in ["Berlin", "Urm", ""] {
+            for k in 0..3 {
+                let (want, _) = reference.search(q.as_bytes(), k);
+                let (got, _) = live.search(q.as_bytes(), k);
+                assert_eq!(got, want, "q={q} k={k}");
+            }
+        }
+        let id = live.insert("Bärlin".as_bytes()).unwrap();
+        assert_eq!(id as usize, ds.len(), "ids continue after the seed");
+        assert_eq!(live.delete(id), Some(true));
+        assert_eq!(live.delete(id), Some(false));
+
+        let metrics = Metrics::new();
+        live.publish_live(&metrics);
+        assert_eq!(metrics.segments.get(), 1, "seed flushed to one segment");
+        assert_eq!(metrics.inserts.get(), ds.len() as u64 + 1);
+        assert_eq!(metrics.deletes.get(), 1);
+        // Frozen engines leave the live gauges untouched.
+        let frozen_metrics = Metrics::new();
+        frozen.publish_live(&frozen_metrics);
+        assert_eq!(frozen_metrics.segments.get(), 0);
     }
 
     #[test]

@@ -28,6 +28,14 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Overwrites the value — for counters mirroring a monotone source
+    /// of truth elsewhere (the live engine's own compaction/insert
+    /// counters), where publishing is an idempotent copy rather than an
+    /// accumulation, exactly like [`PlanCounters::publish`].
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -253,6 +261,19 @@ pub struct Metrics {
     /// Cumulative matches returned per shard (`s{i}` labels; empty for
     /// unsharded engines).
     pub shard_matches: PlanCounters,
+    /// Live engines: current memtable length (0 for frozen engines).
+    pub memtable_len: Gauge,
+    /// Live engines: current immutable segment count.
+    pub segments: Gauge,
+    /// Live engines: tombstones not yet elided by compaction.
+    pub tombstones: Gauge,
+    /// Live engines: compaction steps completed (flushes + merges);
+    /// mirrored from the engine's own counter via [`Counter::set`].
+    pub compactions: Counter,
+    /// Live engines: total `INSERT`s accepted (mirrored).
+    pub inserts: Counter,
+    /// Live engines: total `DELETE`s that hit a live record (mirrored).
+    pub deletes: Counter,
 }
 
 impl Metrics {
@@ -290,6 +311,8 @@ impl Metrics {
              \"dropped_timeout\": {}, \"replied_error\": {}, \"replied_ok\": {}, \
              \"batches\": {}, \"queue_depth\": {}, \"dp_cells\": {}, \
              \"connections\": {}, \"uptime_ms\": {}, \
+             \"memtable_len\": {}, \"segments\": {}, \"tombstones\": {}, \
+             \"compactions\": {}, \"inserts\": {}, \"deletes\": {}, \
              \"plan_decisions\": {{{}}}, \"shard_matches\": {{{}}}}}}}",
             crate::STATS_SCHEMA,
             json_escape(dataset),
@@ -307,6 +330,12 @@ impl Metrics {
             self.dp_cells.get(),
             self.connections.get(),
             started.elapsed().as_millis(),
+            self.memtable_len.get(),
+            self.segments.get(),
+            self.tombstones.get(),
+            self.compactions.get(),
+            self.inserts.get(),
+            self.deletes.get(),
             self.plan_decisions
                 .snapshot()
                 .iter()
@@ -442,6 +471,36 @@ mod tests {
             json.contains("\"plan_decisions\": {}"),
             "fixed-backend engines report an empty plan_decisions object: {json}"
         );
+    }
+
+    #[test]
+    fn stats_json_always_carries_live_ingest_keys() {
+        // The keys are present (zeroed) even for frozen engines, so
+        // dashboards and the CI smoke can grep unconditionally.
+        let m = Metrics::new();
+        let json = m.stats_json("scan[v7]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        for needle in [
+            "\"memtable_len\": 0",
+            "\"segments\": 0",
+            "\"tombstones\": 0",
+            "\"compactions\": 0",
+            "\"inserts\": 0",
+            "\"deletes\": 0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        m.memtable_len.set(5);
+        m.segments.set(2);
+        m.compactions.set(3);
+        m.compactions.set(4); // set overwrites, idempotent publish
+        m.inserts.set(17);
+        let json = m.stats_json("live[lsm/cap=4]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"memtable_len\": 5"), "{json}");
+        assert!(json.contains("\"segments\": 2"), "{json}");
+        assert!(json.contains("\"compactions\": 4"), "{json}");
+        assert!(json.contains("\"inserts\": 17"), "{json}");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! ```text
 //! request  = "QUERY" SP integer SP text      ; all records within k
 //!          / "TOPK"  SP integer SP text      ; the count nearest records
+//!          / "INSERT" SP text                ; append a record (live mode)
+//!          / "DELETE" SP integer             ; tombstone a record (live mode)
 //!          / "STATS"                         ; metrics snapshot (JSON)
 //!          / "HEALTH"                        ; liveness probe
 //!          / "SHUTDOWN"                      ; drain and exit
@@ -16,10 +18,16 @@
 //!          / "TIMEOUT"                       ; per-request deadline hit
 //!          / "ERR" SP message
 //! payload  = "healthy" / "bye" / matches / json
+//!          / "id=" integer                   ; INSERT: the assigned record id
+//!          / "deleted" / "absent"            ; DELETE: whether the id was live
 //! matches  = integer [SP match *("," match)] ; count, then id:distance
 //! match    = integer ":" integer
 //! json     = "{" …single-line JSON… "}"
 //! ```
+//!
+//! `INSERT`/`DELETE` are only *servable* when the daemon runs a live
+//! engine (`--live`); a read-only daemon still parses them (the parser
+//! is engine-agnostic) and answers `ERR`.
 //!
 //! Every parser here is total: malformed input yields a
 //! [`ProtocolError`], never a panic (property-tested against arbitrary
@@ -50,6 +58,18 @@ pub enum Request {
         /// Query string.
         text: Vec<u8>,
     },
+    /// `INSERT <text>`: append a record to a live engine; the reply
+    /// carries the assigned global id.
+    Insert {
+        /// The record to append (byte semantics; may be empty, may
+        /// contain spaces).
+        text: Vec<u8>,
+    },
+    /// `DELETE <id>`: tombstone record `id` on a live engine.
+    Delete {
+        /// The global record id to delete.
+        id: u32,
+    },
     /// `STATS`: one-line JSON metrics snapshot.
     Stats,
     /// `HEALTH`: liveness probe.
@@ -69,6 +89,14 @@ pub enum Response {
     Timeout,
     /// `OK healthy`: reply to `HEALTH`.
     Healthy,
+    /// `OK id=<n>`: reply to `INSERT` — the assigned record id.
+    Inserted(u32),
+    /// `OK deleted` / `OK absent`: reply to `DELETE` — whether the id
+    /// named a live record.
+    Deleted {
+        /// `true` when the id was live (and is now tombstoned).
+        existed: bool,
+    },
     /// `OK {…}`: reply to `STATS` (single-line JSON).
     Stats(String),
     /// `OK bye`: reply to `SHUTDOWN`; the server drains and exits.
@@ -90,6 +118,8 @@ pub enum ProtocolError {
     BadInteger(String),
     /// The verb requires `<int> <text>` fields that are missing.
     MissingFields(&'static str),
+    /// The verb requires one argument that is missing.
+    MissingArg(&'static str, &'static str),
     /// The frame contains a CR or LF where none is allowed.
     BadByte,
 }
@@ -103,11 +133,14 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::UnknownVerb(v) => write!(
                 f,
-                "unknown verb '{v}' (expected QUERY, TOPK, STATS, HEALTH, SHUTDOWN)"
+                "unknown verb '{v}' (expected QUERY, TOPK, INSERT, DELETE, STATS, HEALTH, SHUTDOWN)"
             ),
             ProtocolError::BadInteger(s) => write!(f, "bad integer '{s}'"),
             ProtocolError::MissingFields(verb) => {
                 write!(f, "{verb} requires '<integer> <text>'")
+            }
+            ProtocolError::MissingArg(verb, expected) => {
+                write!(f, "{verb} requires '{expected}'")
             }
             ProtocolError::BadByte => write!(f, "frame contains CR/LF"),
         }
@@ -171,6 +204,27 @@ pub fn parse_request(line: &[u8]) -> Result<Request, ProtocolError> {
             text: text.to_vec(),
         });
     }
+    if let Some(text) = line.strip_prefix(b"INSERT ") {
+        // The whole remainder is the record — it may be empty and may
+        // contain spaces, exactly like query text.
+        return Ok(Request::Insert {
+            text: text.to_vec(),
+        });
+    }
+    if let Some(rest) = line.strip_prefix(b"DELETE ") {
+        let id = std::str::from_utf8(rest)
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| ProtocolError::BadInteger(String::from_utf8_lossy(rest).into_owned()))?;
+        return Ok(Request::Delete { id });
+    }
+    // A bare mutation verb is a known verb missing its argument — more
+    // actionable than "unknown verb".
+    match line {
+        b"INSERT" => return Err(ProtocolError::MissingArg("INSERT", "<text>")),
+        b"DELETE" => return Err(ProtocolError::MissingArg("DELETE", "<id>")),
+        _ => {}
+    }
     let verb = line.split(|&b| b == b' ').next().unwrap_or(line);
     Err(ProtocolError::UnknownVerb(
         String::from_utf8_lossy(verb).into_owned(),
@@ -195,6 +249,16 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
     match request {
         Request::Query { k, text } => frame("QUERY", *k, text),
         Request::TopK { count, text } => frame("TOPK", *count, text),
+        Request::Insert { text } => {
+            assert!(
+                !text.iter().any(|&b| b == b'\n' || b == b'\r'),
+                "record text contains CR/LF"
+            );
+            let mut out = b"INSERT ".to_vec();
+            out.extend_from_slice(text);
+            out
+        }
+        Request::Delete { id } => format!("DELETE {id}").into_bytes(),
         Request::Stats => b"STATS".to_vec(),
         Request::Health => b"HEALTH".to_vec(),
         Request::Shutdown => b"SHUTDOWN".to_vec(),
@@ -215,6 +279,9 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         Response::Busy => b"BUSY".to_vec(),
         Response::Timeout => b"TIMEOUT".to_vec(),
         Response::Healthy => b"OK healthy".to_vec(),
+        Response::Inserted(id) => format!("OK id={id}").into_bytes(),
+        Response::Deleted { existed: true } => b"OK deleted".to_vec(),
+        Response::Deleted { existed: false } => b"OK absent".to_vec(),
         Response::Stats(json) => format!("OK {json}").into_bytes(),
         Response::Bye => b"OK bye".to_vec(),
         Response::Error(msg) => {
@@ -234,12 +301,23 @@ pub fn parse_response(line: &[u8]) -> Result<Response, ProtocolError> {
         b"TIMEOUT" => return Ok(Response::Timeout),
         b"OK healthy" => return Ok(Response::Healthy),
         b"OK bye" => return Ok(Response::Bye),
+        b"OK deleted" => return Ok(Response::Deleted { existed: true }),
+        b"OK absent" => return Ok(Response::Deleted { existed: false }),
         _ => {}
     }
     if let Some(msg) = line.strip_prefix(b"ERR ") {
         return Ok(Response::Error(String::from_utf8_lossy(msg).into_owned()));
     }
     if let Some(payload) = line.strip_prefix(b"OK ") {
+        if let Some(id) = payload.strip_prefix(b"id=") {
+            let id = std::str::from_utf8(id)
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| {
+                    ProtocolError::BadInteger(String::from_utf8_lossy(id).into_owned())
+                })?;
+            return Ok(Response::Inserted(id));
+        }
         if payload.first() == Some(&b'{') {
             let json = std::str::from_utf8(payload)
                 .map_err(|_| ProtocolError::BadInteger("non-UTF-8 JSON".into()))?;
@@ -315,6 +393,12 @@ mod tests {
                 count: 10,
                 text: b"ACGT".to_vec(),
             },
+            Request::Insert {
+                text: b"New York City".to_vec(), // spaces survive
+            },
+            Request::Insert { text: Vec::new() }, // empty record is legal
+            Request::Delete { id: 0 },
+            Request::Delete { id: u32::MAX },
             Request::Stats,
             Request::Health,
             Request::Shutdown,
@@ -334,6 +418,10 @@ mod tests {
             Response::Timeout,
             Response::Healthy,
             Response::Bye,
+            Response::Inserted(0),
+            Response::Inserted(u32::MAX),
+            Response::Deleted { existed: true },
+            Response::Deleted { existed: false },
             Response::Stats("{\"schema\": \"simsearch-bench-v2\"}".into()),
             Response::Error("bad integer 'x'".into()),
         ];
@@ -357,6 +445,13 @@ mod tests {
             b"STATS now",
             b"\xff\xfe\x00",
             b"QUERY 2 a\rb",
+            b"INSERT",                       // bare mutation verbs
+            b"DELETE",
+            b"DELETE x",                     // non-numeric id
+            b"DELETE -1",
+            b"DELETE 99999999999999999999",  // u32 overflow
+            b"DELETE 1 2",                   // trailing junk
+            b"insert a",
         ];
         for frame in bad {
             assert!(
@@ -388,5 +483,20 @@ mod tests {
         let err = parse_request(b"NOPE").unwrap_err();
         assert!(err.to_string().contains("NOPE"));
         assert!(err.to_string().contains("QUERY"));
+        assert!(err.to_string().contains("INSERT"));
+        let err = parse_request(b"INSERT").unwrap_err();
+        assert_eq!(err, ProtocolError::MissingArg("INSERT", "<text>"));
+        assert!(err.to_string().contains("<text>"));
+        let err = parse_request(b"DELETE").unwrap_err();
+        assert_eq!(err, ProtocolError::MissingArg("DELETE", "<id>"));
+    }
+
+    #[test]
+    fn insert_id_replies_parse_strictly() {
+        assert_eq!(parse_response(b"OK id=7"), Ok(Response::Inserted(7)));
+        assert!(parse_response(b"OK id=").is_err());
+        assert!(parse_response(b"OK id=x").is_err());
+        assert!(parse_response(b"OK id=-1").is_err());
+        assert!(parse_response(b"OK id=99999999999999999999").is_err());
     }
 }

@@ -375,6 +375,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(Request::TopK { count, text }) => {
                 enqueue_and_wait(shared, Work::TopK { count }, text)
             }
+            // Mutations ride the same admission/batch/worker pipeline as
+            // queries: they are ordered with the queries around them,
+            // inherit admission control (BUSY) and deadlines (TIMEOUT),
+            // and a read-only engine answers ERR from the worker.
+            Ok(Request::Insert { text }) => enqueue_and_wait(shared, Work::Insert, text),
+            Ok(Request::Delete { id }) => {
+                enqueue_and_wait(shared, Work::Delete { id }, Vec::new())
+            }
         };
         if write_frame(&mut writer, &response).is_err() {
             return; // client hung up

@@ -151,6 +151,178 @@ fn oversized_line_closes_only_that_connection() {
 }
 
 #[test]
+fn mutation_requests_round_trip() {
+    // INSERT carries arbitrary line-safe bytes (including empty and
+    // space-laden records); DELETE carries any u32. Both must survive
+    // encode→parse unchanged, like every other verb.
+    let cases = gen::zip(frame_gen(80), gen::u32_in(0..u32::MAX));
+    check(
+        "mutation_requests_round_trip",
+        Config::default(),
+        &cases,
+        |(text, id): &(Vec<u8>, u32)| -> TestResult {
+            let insert = Request::Insert { text: text.clone() };
+            prop_assert_eq!(parse_request(&encode_request(&insert)), Ok(insert));
+            let delete = Request::Delete { id: *id };
+            prop_assert_eq!(parse_request(&encode_request(&delete)), Ok(delete));
+            Ok(())
+        },
+    );
+}
+
+/// Malformed mutation frames over a live socket: every one gets `ERR`
+/// (never silence, never a crash) and the daemon keeps serving.
+#[test]
+fn malformed_mutation_frames_get_err_replies() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern"]),
+        EngineKind::Live { memtable_cap: 4 },
+        ServerConfig::default(),
+    );
+    let mut client = server.client();
+    for frame in [
+        &b"INSERT"[..],       // bare verb: missing argument
+        b"DELETE",            // bare verb: missing argument
+        b"DELETE x",          // non-numeric id
+        b"DELETE -1",         // signs are not part of the grammar
+        b"DELETE 1 2",        // trailing junk after the id
+        b"DELETE 99999999999999999999", // u32 overflow
+        b"insert a",          // verbs are case-sensitive
+        b"INSERTx",           // no separating space
+    ] {
+        let reply = client.send_raw(frame).expect("a reply");
+        assert!(
+            reply.starts_with(b"ERR "),
+            "{:?} got {:?}",
+            String::from_utf8_lossy(frame),
+            String::from_utf8_lossy(&reply)
+        );
+    }
+    // The connection and the engine both survived: a real insert works.
+    let id = client.insert(b"Bonn").expect("insert after fuzz");
+    assert_eq!(id, 2, "ids continue after the seed load");
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}
+
+/// An oversized INSERT payload is refused exactly like any oversized
+/// line — `ERR`, connection closed, daemon alive — and the refused
+/// record is NOT inserted.
+#[test]
+fn oversized_insert_payloads_are_refused_without_side_effects() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin"]),
+        EngineKind::Live { memtable_cap: 4 },
+        ServerConfig::default(),
+    );
+    let mut victim = server.client();
+    let mut huge = b"INSERT ".to_vec();
+    huge.resize(simsearch_serve::protocol::MAX_LINE_BYTES + 64, b'A');
+    let reply = victim.send_raw(&huge).expect("TooLong still gets a reply");
+    assert!(reply.starts_with(b"ERR "), "got {:?}", String::from_utf8_lossy(&reply));
+    assert!(victim.send_raw(b"HEALTH").is_err(), "connection must close");
+    // The refused record never reached the engine: the next id is the
+    // one right after the seed load.
+    let mut fresh = server.client();
+    assert_eq!(fresh.insert(b"Bern").expect("insert"), 1);
+    server.shutdown();
+}
+
+/// Mutations on a frozen daemon: the verbs parse (the protocol is one
+/// grammar for every engine) but the engine refuses, with an `ERR` that
+/// names the fix. Nothing about the connection or daemon degrades.
+#[test]
+fn read_only_daemons_refuse_mutations_politely() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern"]),
+        EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        ServerConfig::default(),
+    );
+    let mut client = server.client();
+    for frame in [&b"INSERT Bonn"[..], b"DELETE 0"] {
+        let reply = client.send_raw(frame).expect("a reply");
+        assert!(
+            reply.starts_with(b"ERR ") && reply.windows(6).any(|w| w == b"--live"),
+            "{:?} got {:?}",
+            String::from_utf8_lossy(frame),
+            String::from_utf8_lossy(&reply)
+        );
+    }
+    // Queries on the same connection are unaffected.
+    let reply = client.query(b"Berlin", 1).expect("query");
+    assert!(matches!(reply, simsearch_serve::protocol::Response::Matches(_)));
+    server.shutdown();
+}
+
+/// Concurrent churn and queries: while one client INSERTs and DELETEs
+/// far-away records, another client's QUERY replies stay byte-identical
+/// to their pre-churn frames — the valid subset of traffic is
+/// unaffected by interleaved mutations on other connections.
+#[test]
+fn queries_stay_byte_identical_under_concurrent_mutation() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern", "Bonn", "Ulm"]),
+        EngineKind::Live { memtable_cap: 4 },
+        ServerConfig::default(),
+    );
+    // Freeze the expected reply bytes before any churn: the churn
+    // records below are 40 bytes long, unreachable within distance 2
+    // of any probe, so these frames must never change.
+    let probes: &[&[u8]] = &[b"QUERY 1 Bern", b"QUERY 2 Ulm", b"TOPK 2 Berlin"];
+    let expected: Vec<Vec<u8>> = {
+        let mut c = server.client();
+        probes
+            .iter()
+            .map(|p| c.send_raw(p).expect("baseline reply"))
+            .collect()
+    };
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churner = {
+        let stop = std::sync::Arc::clone(&stop);
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut c = simsearch_serve::Client::connect_retry(
+                addr,
+                std::time::Duration::from_secs(5),
+            )
+            .expect("churn client");
+            let filler = [b'z'; 40];
+            let mut live = std::collections::VecDeque::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                live.push_back(c.insert(&filler).expect("churn insert"));
+                if live.len() > 4 {
+                    let id = live.pop_front().unwrap();
+                    assert!(c.delete(id).expect("churn delete"), "churn ids are live");
+                }
+            }
+        })
+    };
+
+    let mut client = server.client();
+    for round in 0..120 {
+        for (probe, want) in probes.iter().zip(&expected) {
+            let got = client.send_raw(probe).expect("query under churn");
+            assert_eq!(
+                got,
+                *want,
+                "round {round}: {:?} diverged under concurrent mutation",
+                String::from_utf8_lossy(probe)
+            );
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    churner.join().expect("churn client thread");
+
+    // The daemon did real mutation work while the queries held steady.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"inserts\""), "stats: {stats}");
+    assert!(server.metrics().inserts.get() > 0, "churn reached the engine");
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}
+
+#[test]
 fn empty_and_whitespace_frames_get_err_replies() {
     let server = Loopback::spawn(
         Dataset::from_records(["Berlin"]),

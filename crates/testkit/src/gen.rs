@@ -122,6 +122,31 @@ pub fn corpus(word: Gen<Vec<u8>>, count: Range<usize>) -> Gen<Vec<Vec<u8>>> {
     vec_of(word, count)
 }
 
+/// Draws uniformly from `choices`, then samples the chosen generator —
+/// the sum-type combinator (e.g. one of several operation kinds).
+pub fn one_of<T: 'static>(choices: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!choices.is_empty(), "empty generator choices");
+    Gen::new(move |rng| choices[rng.index(choices.len())].sample(rng))
+}
+
+/// Like [`one_of`], but each choice carries an integer weight: choice
+/// `i` is drawn with probability `weight_i / Σ weights`. Zero-weight
+/// choices are never drawn (but at least one weight must be positive).
+pub fn weighted<T: 'static>(choices: Vec<(u32, Gen<T>)>) -> Gen<T> {
+    let total: u64 = choices.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "weights sum to zero");
+    Gen::new(move |rng| {
+        let mut ticket = rng.below(total);
+        for (weight, gen) in &choices {
+            if ticket < *weight as u64 {
+                return gen.sample(rng);
+            }
+            ticket -= *weight as u64;
+        }
+        unreachable!("ticket below total weight")
+    })
+}
+
 /// Pairs two generators.
 pub fn zip<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
     Gen::new(move |rng| (a.sample(rng), b.sample(rng)))
@@ -223,6 +248,41 @@ mod tests {
             let d = simsearch_distance::levenshtein(&orig, &edited);
             assert!(d as usize <= budget, "{d} > {budget}");
         }
+    }
+
+    #[test]
+    fn one_of_draws_every_choice() {
+        let mut r = rng();
+        let g = one_of(vec![constant(1u32), constant(2), constant(3)]);
+        let mut seen = [false; 4];
+        for _ in 0..300 {
+            let v = g.sample(&mut r) as usize;
+            assert!((1..=3).contains(&v));
+            seen[v] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3], "all choices reachable");
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut r = rng();
+        // Weight 0 must never be drawn; 9:1 should skew heavily.
+        let g = weighted(vec![
+            (9, constant("common")),
+            (1, constant("rare")),
+            (0, constant("never")),
+        ]);
+        let mut common = 0;
+        let mut rare = 0;
+        for _ in 0..1000 {
+            match g.sample(&mut r) {
+                "common" => common += 1,
+                "rare" => rare += 1,
+                other => panic!("zero-weight choice drawn: {other}"),
+            }
+        }
+        assert!(rare > 0, "positive-weight choice reachable");
+        assert!(common > rare * 4, "9:1 skew visible: {common} vs {rare}");
     }
 
     #[test]
