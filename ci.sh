@@ -35,10 +35,17 @@ cargo test -q --offline --test shard_oracle
 cargo test -q --offline --test live_oracle
 cargo test -q --offline --test live_compaction
 
+# V8 bit-parallel gate: the Myers-block sweep (as an engine, as a
+# planner arm under static and calibrated routing, and pinned per
+# shard) must be byte-identical to the V1 oracle under every executor
+# × thread count on both alphabets.
+cargo test -q --offline --test v8_oracle
+
 # Canonical benchmark snapshots (published by `cargo bench` via
 # testkit's publish_snapshot) must stay committed at the repo root.
 for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
-    BENCH_ablation_lcp_reuse_city.json BENCH_ablation_lcp_reuse_dna.json; do
+    BENCH_ablation_lcp_reuse_city.json BENCH_ablation_lcp_reuse_dna.json \
+    BENCH_ablation_bitparallel_city.json BENCH_ablation_bitparallel_dna.json; do
     test -f "$snapshot"
 done
 
@@ -103,6 +110,37 @@ done
 if kill -0 "$serve_pid" 2>/dev/null; then
     kill "$serve_pid"
     echo "simsearchd (auto) failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"
+
+# Bit-parallel routing smoke: on DNA-length queries at high k the auto
+# planner must route to the V8 arm, and STATS must show a nonzero
+# scan-bitparallel plan_decisions counter (still valid JSON).
+"$SIMSEARCH" generate --kind dna --count 500 --seed 7 --out "$smoke_dir/dna.data"
+rm -f "$smoke_dir/port"
+"$SIMSEARCH" serve --data "$smoke_dir/dna.data" --backend auto --port 0 \
+    --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+dna_q=$(head -n 1 "$smoke_dir/dna.data")
+"$SIMSEARCH" client --port "$port" --send "QUERY 16 $dna_q" | grep -q '^OK '
+"$SIMSEARCH" client --port "$port" --send "QUERY 16 $dna_q" | grep -q '^OK '
+"$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS' \
+    | grep -q '"scan-bitparallel": [1-9]'
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd (dna auto) failed to drain within 10s" >&2
     exit 1
 fi
 wait "$serve_pid"

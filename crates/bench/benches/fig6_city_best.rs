@@ -30,6 +30,12 @@ fn main() {
             threads: CITY_IDX_BEST_THREADS,
         }),
     );
+    // The V8 bit-parallel sweep (single-threaded kernel; the chunked
+    // executor path is ablated separately), for the scan-extension row.
+    let best_scan_v8 = SearchEngine::build(
+        &preset.dataset,
+        EngineKind::Scan(SeqVariant::V8BitParallel),
+    );
     // The adaptive planner, calibrated on this very workload (probe cost
     // is build cost, mirroring index construction) and given the same
     // thread budget as the best fixed competitor.
@@ -52,6 +58,7 @@ fn main() {
     group.bench("best_scan", || best_scan.run(&workload));
     group.bench("best_index_paper", || best_index.run(&workload));
     group.bench("best_index_modern", || best_index_modern.run(&workload));
+    group.bench("best_scan_v8", || best_scan_v8.run(&workload));
     group.bench("auto", || auto.run(&workload));
     group.bench("sharded_auto", || sharded_auto.run_workload(&workload));
     if let Some(counts) = auto.plan_counts() {

@@ -473,9 +473,11 @@ mod tests {
         let (city, _) = tiny();
         let counts = [5, 10];
         let seq = seq_ladder_table(&city, &counts, 2, 1, "T");
-        // 6 paper rungs + the V7 sorted-prefix extension row.
-        assert_eq!(seq.rows.len(), 7);
+        // 6 paper rungs + the V7 sorted-prefix and V8 bit-parallel
+        // extension rows.
+        assert_eq!(seq.rows.len(), 8);
         assert!(seq.rows[6].0.starts_with("x)"));
+        assert!(seq.rows[7].0.starts_with("x)"));
         let idx = idx_ladder_table(&city, &counts, 2, "T");
         // 3 paper rungs + 2 modern-pruning extension rows.
         assert_eq!(idx.rows.len(), 5);

@@ -157,6 +157,8 @@ pub enum EngineChoice {
     Buckets,
     /// LCP-resumable scan over the sorted arena (rung 7).
     ScanSorted,
+    /// Bit-parallel Myers sweep over the sorted arena (rung 8).
+    ScanBitParallel,
     /// BK-tree metric index baseline.
     BkTree,
     /// Adaptive planner: route each query to the cheapest backend.
@@ -169,6 +171,7 @@ impl EngineChoice {
             "scan" => Ok(Self::Scan),
             "scan-base" => Ok(Self::ScanBase),
             "scan-sorted" => Ok(Self::ScanSorted),
+            "scan-bitparallel" | "scan-bit-parallel" => Ok(Self::ScanBitParallel),
             "trie" => Ok(Self::Trie),
             "radix" => Ok(Self::Radix),
             "qgram" => Ok(Self::Qgram),
@@ -176,7 +179,7 @@ impl EngineChoice {
             "bktree" | "bk-tree" => Ok(Self::BkTree),
             "auto" => Ok(Self::Auto),
             other => Err(format!(
-                "unknown engine '{other}' (expected auto, scan, scan-base, scan-sorted, trie, radix, qgram, buckets, bktree)"
+                "unknown engine '{other}' (expected auto, scan, scan-base, scan-sorted, scan-bitparallel, trie, radix, qgram, buckets, bktree)"
             )),
         }
     }
@@ -205,7 +208,7 @@ simsearch — string similarity search (EDBT 2013 reproduction)
 
 USAGE:
   simsearch search --data FILE --queries FILE [--output FILE]
-                   [--backend auto|scan|scan-base|scan-sorted|trie|radix|qgram|buckets|bktree]
+                   [--backend auto|scan|scan-base|scan-sorted|scan-bitparallel|trie|radix|qgram|buckets|bktree]
                    [--threads N] [--shards N] [--shard-by len|hash]
   simsearch explain --data FILE [--queries FILE] [--threads N]
                     [--shards N] [--shard-by len|hash]
@@ -772,6 +775,22 @@ mod tests {
             Command::Search(a) => assert_eq!(a.engine, EngineChoice::ScanSorted),
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn search_accepts_the_bit_parallel_engine_under_both_spellings() {
+        for spelling in ["scan-bitparallel", "scan-bit-parallel"] {
+            let cmd = parse(&v(&[
+                "search", "--data", "d", "--queries", "q", "--engine", spelling,
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Search(a) => assert_eq!(a.engine, EngineChoice::ScanBitParallel),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        let cmd = parse(&v(&["serve", "--data", "d", "--backend", "scan-bitparallel"])).unwrap();
+        assert!(matches!(cmd, Command::Serve(s) if s.engine == EngineChoice::ScanBitParallel));
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn run_search(a: SearchArgs) -> Result<(), String> {
         }),
         EngineChoice::ScanBase => EngineKind::Scan(SeqVariant::V1Base),
         EngineChoice::ScanSorted => EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        EngineChoice::ScanBitParallel => EngineKind::Scan(SeqVariant::V8BitParallel),
         EngineChoice::Trie => EngineKind::Index(IdxVariant::I1BaseTrie),
         EngineChoice::Radix => EngineKind::Index(if a.threads > 1 {
             IdxVariant::I3Pool { threads: a.threads }
@@ -121,6 +122,7 @@ fn shard_arm(choice: EngineChoice) -> Option<BackendChoice> {
         EngineChoice::Auto => None,
         EngineChoice::Scan | EngineChoice::ScanBase => Some(BackendChoice::ScanFlat),
         EngineChoice::ScanSorted => Some(BackendChoice::ScanSorted),
+        EngineChoice::ScanBitParallel => Some(BackendChoice::ScanBitParallel),
         EngineChoice::Trie => Some(BackendChoice::Trie),
         EngineChoice::Radix => Some(BackendChoice::Radix),
         EngineChoice::Qgram => Some(BackendChoice::Qgram),
@@ -201,6 +203,7 @@ fn serve_engine_kind(choice: EngineChoice) -> EngineKind {
         EngineChoice::Scan => EngineKind::Scan(SeqVariant::V4Flat),
         EngineChoice::ScanBase => EngineKind::Scan(SeqVariant::V1Base),
         EngineChoice::ScanSorted => EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        EngineChoice::ScanBitParallel => EngineKind::Scan(SeqVariant::V8BitParallel),
         EngineChoice::Trie => EngineKind::Index(IdxVariant::I1BaseTrie),
         EngineChoice::Radix => EngineKind::Index(IdxVariant::I2Compressed),
         EngineChoice::Qgram => EngineKind::Qgram {
@@ -406,6 +409,16 @@ fn run_explain(a: ExplainArgs) -> Result<(), String> {
     println!();
     println!("static plan (length class × k → backend; costs in planner units):");
     print_decision_table(&snapshot, planner.decisions());
+    println!();
+    println!("static routing summary (query classes won per backend):");
+    for &choice in planner.candidates() {
+        let won = planner
+            .decisions()
+            .iter()
+            .filter(|d| d.chosen == choice)
+            .count();
+        println!("  {:<16} {won} classes", choice.name());
+    }
     if a.shards >= 2 {
         return explain_sharded(&a, &dataset);
     }

@@ -174,6 +174,7 @@ impl Backend for ScanBackend<'_> {
     fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
         match self.variant {
             SeqVariant::V7SortedPrefix => self.scan.v7_search(query, k),
+            SeqVariant::V8BitParallel => self.scan.v8_search(query, k),
             _ => (self.search(query, k), 0),
         }
     }
@@ -181,6 +182,7 @@ impl Backend for ScanBackend<'_> {
     fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
         let choice = match self.variant {
             SeqVariant::V7SortedPrefix => BackendChoice::ScanSorted,
+            SeqVariant::V8BitParallel => BackendChoice::ScanBitParallel,
             _ => BackendChoice::ScanFlat,
         };
         let base = static_cost(snapshot, choice, query_len, k);
@@ -370,6 +372,54 @@ impl Backend for SortedScanBackend<'_> {
 
     fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
         static_cost(snapshot, BackendChoice::ScanSorted, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        BackendDiag {
+            name: self.name(),
+            structure: None,
+            filters: vec!["length"],
+            plan: None,
+        }
+    }
+}
+
+/// The V8 bit-parallel sweep behind the trait: the sorted arena of V7,
+/// but with the DP column packed into Myers words and checkpointed at
+/// 64-cell block granularity, so resuming from the running LCP floor
+/// reuses whole words instead of scalar rows. DP-cell counts flow
+/// through [`Backend::search_counting`] in the same row-equivalent
+/// units V7 reports, keeping diagnostics comparable across rungs.
+pub struct BitParallelScanBackend<'a> {
+    scan: SequentialScan<'a>,
+}
+
+impl<'a> BitParallelScanBackend<'a> {
+    /// Wraps a scan; the sorted view is built by [`Backend::prepare`].
+    pub fn new(scan: SequentialScan<'a>) -> Self {
+        Self { scan }
+    }
+}
+
+impl Backend for BitParallelScanBackend<'_> {
+    fn name(&self) -> String {
+        "scan[bit-parallel]".into()
+    }
+
+    fn prepare(&self) {
+        self.scan.prepare(SeqVariant::V8BitParallel);
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        self.scan.v8_search(query, k).0
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        self.scan.v8_search(query, k)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        static_cost(snapshot, BackendChoice::ScanBitParallel, query_len, k)
     }
 
     fn diag(&self) -> BackendDiag {
@@ -724,9 +774,10 @@ impl<'a> AutoBackend<'a> {
     /// profiles and sub-quadratic build cost (the BK-tree's build —
     /// one full distance per insert — rules it out at scale, and the
     /// bucketed scan duplicates the flat scan's profile).
-    pub const DEFAULT_CANDIDATES: [BackendChoice; 4] = [
+    pub const DEFAULT_CANDIDATES: [BackendChoice; 5] = [
         BackendChoice::ScanFlat,
         BackendChoice::ScanSorted,
+        BackendChoice::ScanBitParallel,
         BackendChoice::Radix,
         BackendChoice::Qgram,
     ];
@@ -849,6 +900,9 @@ impl<'a> AutoBackend<'a> {
                     BackendChoice::ScanSorted => {
                         Box::new(SortedScanBackend::new(SequentialScan::new(self.dataset)))
                     }
+                    BackendChoice::ScanBitParallel => Box::new(BitParallelScanBackend::new(
+                        SequentialScan::new(self.dataset),
+                    )),
                     BackendChoice::Trie => Box::new(TrieBackend::build(self.dataset, false)),
                     BackendChoice::Radix => {
                         Box::new(RadixBackend::build(self.dataset, false, Strategy::Sequential))
@@ -984,6 +1038,7 @@ mod tests {
             Box::new(ScanBackend::new(SequentialScan::new(&ds), SeqVariant::V4Flat)),
             Box::new(FilteredScanBackend::new(&ds, Strategy::Sequential)),
             Box::new(SortedScanBackend::new(SequentialScan::new(&ds))),
+            Box::new(BitParallelScanBackend::new(SequentialScan::new(&ds))),
             Box::new(TrieBackend::build(&ds, true)),
             Box::new(TrieBackend::build(&ds, false)),
             Box::new(RadixBackend::build(&ds, false, Strategy::Sequential)),

@@ -350,6 +350,7 @@ mod tests {
             EngineKind::Scan(SeqVariant::V4Flat),
             EngineKind::Scan(SeqVariant::V6Pool { threads: 2 }),
             EngineKind::Scan(SeqVariant::V7SortedPrefix),
+            EngineKind::Scan(SeqVariant::V8BitParallel),
             EngineKind::ScanCustom {
                 kernel: KernelKind::Banded,
                 strategy: Strategy::WorkQueue { threads: 2 },

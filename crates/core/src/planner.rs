@@ -38,6 +38,9 @@ pub enum BackendChoice {
     ScanFlat,
     /// Sorted-prefix scan (V7): LCP-resumable DP over the sorted arena.
     ScanSorted,
+    /// Bit-parallel sweep (V8): Myers blocks over the sorted arena,
+    /// resumed at the LCP floor; cost is per word, independent of `k`.
+    ScanBitParallel,
     /// Uncompressed prefix tree with modern pruning.
     Trie,
     /// Compressed (radix) tree with modern pruning.
@@ -53,9 +56,10 @@ pub enum BackendChoice {
 impl BackendChoice {
     /// Every choice, in a fixed order (ties in the cost model resolve
     /// to the earlier entry).
-    pub const ALL: [BackendChoice; 7] = [
+    pub const ALL: [BackendChoice; 8] = [
         BackendChoice::ScanFlat,
         BackendChoice::ScanSorted,
+        BackendChoice::ScanBitParallel,
         BackendChoice::Trie,
         BackendChoice::Radix,
         BackendChoice::Qgram,
@@ -71,6 +75,7 @@ impl BackendChoice {
         match self {
             BackendChoice::ScanFlat => "scan-flat",
             BackendChoice::ScanSorted => "scan-sorted",
+            BackendChoice::ScanBitParallel => "scan-bitparallel",
             BackendChoice::Trie => "trie",
             BackendChoice::Radix => "radix",
             BackendChoice::Qgram => "qgram",
@@ -224,6 +229,19 @@ pub fn static_cost(
         BackendChoice::ScanFlat => n * PROBE + cand * verify,
         BackendChoice::Buckets => n * PROBE * 0.5 + cand * verify,
         BackendChoice::ScanSorted => n * (PROBE + 2.0) + cand * verify * (1.0 - shared),
+        BackendChoice::ScanBitParallel => {
+            // Myers word sweep over the sorted arena: the same one-time
+            // sort share as ScanSorted, then each surviving candidate
+            // costs one block-column advance per unshared byte. A word
+            // advance is branch-free straight-line ALU — about one
+            // scalar cell of wall clock despite representing 64 cells —
+            // and, unlike every banded arm, the per-byte cost does not
+            // grow with `k`: this is the arm that wins long strings and
+            // high thresholds, where `band` blows the others up.
+            const WORD_EQ: f64 = 1.0;
+            let blocks = (q / 64.0).ceil().max(1.0);
+            n * (PROBE + 2.0) + cand * (1.0 - shared) * q.max(1.0) * blocks * WORD_EQ
+        }
         BackendChoice::Radix => {
             cand * prune * ((1.0 - shared) * verify + HOP_RADIX)
         }
@@ -537,6 +555,29 @@ mod tests {
         );
         // And the relative margin flips across datasets.
         assert!(city_radix / city_scan > dna_radix / dna_scan);
+    }
+
+    #[test]
+    fn bitparallel_arm_wins_long_strings_at_high_k() {
+        // V8's hint is per word and independent of the band, so on DNA
+        // reads at the top threshold it must undercut every arm whose
+        // verification grows with k — giving `auto` a new best arm on
+        // long strings, per the roadmap target.
+        let dna = StatsSnapshot::compute(&presets::dna(2000).dataset);
+        let v8 = static_cost(&dna, BackendChoice::ScanBitParallel, 104, 16);
+        for other in [
+            BackendChoice::ScanFlat,
+            BackendChoice::ScanSorted,
+            BackendChoice::Radix,
+            BackendChoice::Qgram,
+        ] {
+            let cost = static_cost(&dna, other, 104, 16);
+            assert!(
+                v8 < cost,
+                "dna k=16: bit-parallel {v8} should beat {} {cost}",
+                other.name()
+            );
+        }
     }
 
     #[test]

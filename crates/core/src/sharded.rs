@@ -27,7 +27,7 @@ use simsearch_data::{
 use simsearch_filters::{FilterChain, FrequencyFilter, LengthFilter};
 use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, Trie};
 use simsearch_parallel::{auto_strategy, run_queries, Strategy};
-use simsearch_scan::{v7_search_view, SequentialScan};
+use simsearch_scan::{v7_search_view, v8_search_view, SequentialScan};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -167,6 +167,8 @@ enum ShardArm {
     ScanFlat(FilterChain),
     /// V7 sorted-prefix scan over an owned sorted view.
     ScanSorted(SortedView),
+    /// V8 bit-parallel sweep over an owned sorted view.
+    ScanBitParallel(SortedView),
     /// Uncompressed prefix tree (modern pruning).
     Trie(Trie),
     /// Compressed (radix) tree (modern pruning).
@@ -196,6 +198,9 @@ impl ShardArm {
                 )
             }
             BackendChoice::ScanSorted => ShardArm::ScanSorted(SortedView::build(dataset)),
+            BackendChoice::ScanBitParallel => {
+                ShardArm::ScanBitParallel(SortedView::build(dataset))
+            }
             BackendChoice::Trie => ShardArm::Trie(simsearch_index::trie::build(dataset)),
             BackendChoice::Radix => ShardArm::Radix(simsearch_index::radix::build(dataset)),
             BackendChoice::Qgram => ShardArm::Qgram(QgramIndex::build(dataset, 2)),
@@ -214,6 +219,7 @@ impl ShardArm {
                 0,
             ),
             ShardArm::ScanSorted(sv) => v7_search_view(sv, query, k),
+            ShardArm::ScanBitParallel(sv) => v8_search_view(sv, query, k),
             ShardArm::Trie(t) => (t.search(query, k), 0),
             ShardArm::Radix(r) => (r.search(query, k), 0),
             ShardArm::Qgram(q) => (q.search(dataset, query, k), 0),

@@ -17,6 +17,7 @@
 //! | [`myers`], [`myers_block`] | bit-parallel (≤64 / blocked) | extension; kernel ablation |
 //! | [`incremental`] | row-stack DP with band | trie descent (§4.1) |
 //! | [`row_stack`] | resumable row-stack (LCP reuse, counting) | sorted-prefix scan (rung V7) |
+//! | [`myers_stack`] | resumable blocked bit-parallel (LCP reuse at word granularity) | bit-parallel sweep (rung V8) |
 //! | [`prefix_bound`] | length-interval bounds | trie pruning (§4.1, eqs. (9)/(10)) |
 //! | [`hamming`], [`damerau`] | alternative measures | PETER parity / typo modelling |
 //! | [`alignment`] | edit-script traceback | library feature |
@@ -42,6 +43,7 @@ pub mod incremental;
 pub mod matrix;
 pub mod myers;
 pub mod myers_block;
+pub mod myers_stack;
 pub mod packed;
 pub mod prefix_bound;
 pub mod row_stack;
@@ -55,7 +57,8 @@ pub use full::{levenshtein, levenshtein_full_with, levenshtein_naive_alloc};
 pub use incremental::IncrementalDp;
 pub use matrix::DpMatrix;
 pub use myers::Myers64;
-pub use myers_block::{MyersAny, MyersBlock};
+pub use myers_block::{MyersAny, MyersBlock, PatternError};
+pub use myers_stack::MyersStackKernel;
 pub use row_stack::{RowStackKernel, RowStackMode};
 pub use semi_global::{substring_distance, substring_within, SubstringMatch};
 

@@ -9,6 +9,8 @@
 //! candidates. Patterns longer than 64 bytes use the blocked variant in
 //! [`crate::myers_block`].
 
+use crate::myers_block::{score_is_dead, PatternError};
+
 /// A query compiled for bit-parallel distance computation
 /// (pattern length ≤ 64).
 #[derive(Clone)]
@@ -22,21 +24,34 @@ pub struct Myers64 {
 }
 
 impl Myers64 {
-    /// Compiles `pattern`. Returns `None` if it is empty or longer than
+    /// Compiles `pattern`, reporting a structured reason on refusal:
+    /// [`PatternError::Empty`], or [`PatternError::TooLong`] beyond
     /// 64 bytes (use [`crate::myers_block::MyersBlock`] instead).
-    pub fn new(pattern: &[u8]) -> Option<Self> {
-        if pattern.is_empty() || pattern.len() > 64 {
-            return None;
+    pub fn compile(pattern: &[u8]) -> Result<Self, PatternError> {
+        if pattern.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        if pattern.len() > 64 {
+            return Err(PatternError::TooLong {
+                len: pattern.len(),
+                max: 64,
+            });
         }
         let mut peq = [0u64; 256];
         for (i, &c) in pattern.iter().enumerate() {
             peq[c as usize] |= 1 << i;
         }
-        Some(Self {
+        Ok(Self {
             peq,
             m: pattern.len() as u32,
             last: 1 << (pattern.len() - 1),
         })
+    }
+
+    /// Compiles `pattern`. Returns `None` if it is empty or longer than
+    /// 64 bytes ([`Myers64::compile`] reports the reason).
+    pub fn new(pattern: &[u8]) -> Option<Self> {
+        Self::compile(pattern).ok()
     }
 
     /// Pattern length.
@@ -103,8 +118,7 @@ impl Myers64 {
             let mh = mh << 1;
             pv = mh | !(xv | ph);
             mv = ph & xv;
-            let remaining = (n - 1 - j) as u32;
-            if score > k + remaining {
+            if score_is_dead(score as i64, k, n - 1 - j) {
                 return None;
             }
         }

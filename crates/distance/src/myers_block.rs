@@ -9,6 +9,49 @@
 
 const W: usize = 64;
 
+/// Why a pattern cannot be compiled into a bit-parallel engine.
+///
+/// The structured counterpart of the `Option`-returning constructors:
+/// callers that want to report *why* compilation was refused (or pick a
+/// fallback per reason) use the `compile` constructors instead of `new`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern is empty — `ed(pattern, text)` degenerates to
+    /// `|text|`, which needs no DP at all; callers special-case it.
+    Empty,
+    /// The pattern exceeds the engine's capacity (single-word
+    /// [`crate::myers::Myers64`] only; the blocked engine is unbounded).
+    TooLong {
+        /// Actual pattern length in bytes.
+        len: usize,
+        /// The engine's capacity in bytes.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "empty pattern has no bit-parallel form"),
+            PatternError::TooLong { len, max } => {
+                write!(f, "pattern of {len} bytes exceeds the {max}-byte engine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// The early-exit bound shared by every bit-parallel engine (single-word
+/// `within`, blocked `run`, and the resumable stack kernel): the score at
+/// the last pattern row changes by at most one per text byte, so once it
+/// exceeds `k` by more than the number of unread bytes it can never
+/// descend back to `k`.
+#[inline]
+pub(crate) fn score_is_dead(score: i64, k: u32, remaining: usize) -> bool {
+    score > k as i64 + remaining as i64
+}
+
 /// A query compiled for blocked bit-parallel distance computation.
 #[derive(Clone)]
 pub struct MyersBlock {
@@ -23,17 +66,19 @@ pub struct MyersBlock {
 }
 
 /// Per-block vertical state.
-#[derive(Clone, Copy)]
-struct BlockState {
-    pv: u64,
-    mv: u64,
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BlockState {
+    pub(crate) pv: u64,
+    pub(crate) mv: u64,
 }
 
 impl MyersBlock {
-    /// Compiles `pattern`. Returns `None` if it is empty.
-    pub fn new(pattern: &[u8]) -> Option<Self> {
+    /// Compiles `pattern`, reporting a structured reason on refusal
+    /// (only [`PatternError::Empty`] — the blocked engine has no upper
+    /// length limit).
+    pub fn compile(pattern: &[u8]) -> Result<Self, PatternError> {
         if pattern.is_empty() {
-            return None;
+            return Err(PatternError::Empty);
         }
         let m = pattern.len();
         let blocks = m.div_ceil(W);
@@ -41,12 +86,18 @@ impl MyersBlock {
         for (i, &c) in pattern.iter().enumerate() {
             peq[(i / W) * 256 + c as usize] |= 1 << (i % W);
         }
-        Some(Self {
+        Ok(Self {
             peq,
             blocks,
             m,
             last: 1 << ((m - 1) % W),
         })
+    }
+
+    /// Compiles `pattern`. Returns `None` if it is empty
+    /// ([`MyersBlock::compile`] reports the reason).
+    pub fn new(pattern: &[u8]) -> Option<Self> {
+        Self::compile(pattern).ok()
     }
 
     /// Pattern length.
@@ -93,8 +144,7 @@ impl MyersBlock {
                 hin = adv.hout;
             }
             if let Some(k) = k {
-                let remaining = (n - 1 - j) as i64;
-                if score > k as i64 + remaining {
+                if score_is_dead(score, k, n - 1 - j) {
                     return None;
                 }
             }
@@ -108,19 +158,19 @@ impl MyersBlock {
 }
 
 /// Result of advancing one block by one text character.
-struct Advance {
+pub(crate) struct Advance {
     /// Horizontal delta leaving the block's last row (carried into the
     /// next block's `hin`).
-    hout: i32,
+    pub(crate) hout: i32,
     /// New vertical-positive state.
-    pv: u64,
+    pub(crate) pv: u64,
     /// New vertical-negative state.
-    mv: u64,
+    pub(crate) mv: u64,
     /// Horizontal-positive deltas *before* the shift (bit `i` = column
     /// delta at pattern row `i`); used for score tracking.
-    ph_pre: u64,
+    pub(crate) ph_pre: u64,
     /// Horizontal-negative deltas before the shift.
-    mh_pre: u64,
+    pub(crate) mh_pre: u64,
 }
 
 /// Advances one 64-bit block by one text character.
@@ -129,27 +179,21 @@ struct Advance {
 /// block's first row and leaving at its last row. Formulation follows
 /// Hyyrö 2003 (as used by edlib).
 #[inline]
-fn advance_block(pv: u64, mv: u64, mut eq: u64, hin: i32) -> Advance {
+pub(crate) fn advance_block(pv: u64, mv: u64, mut eq: u64, hin: i32) -> Advance {
+    // Branchless throughout: `hin` is −1, 0 or +1, so its sign bit and
+    // positivity become the carried-in bits directly, and `hout` is the
+    // difference of the two top delta bits. The data-dependent branches
+    // this replaces are unpredictable (they follow the DP values), which
+    // makes them expensive in the per-byte hot loop.
+    let hin_neg = (hin >> 31) as u64 & 1;
     let xv = eq | mv;
-    if hin < 0 {
-        eq |= 1;
-    }
+    eq |= hin_neg;
     let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
     let ph_pre = mv | !(xh | pv);
     let mh_pre = pv & xh;
-    let mut hout: i32 = 0;
-    if ph_pre & (1 << (W - 1)) != 0 {
-        hout = 1;
-    } else if mh_pre & (1 << (W - 1)) != 0 {
-        hout = -1;
-    }
-    let mut ph = ph_pre << 1;
-    let mut mh = mh_pre << 1;
-    if hin > 0 {
-        ph |= 1;
-    } else if hin < 0 {
-        mh |= 1;
-    }
+    let hout = (ph_pre >> (W - 1)) as i32 - (mh_pre >> (W - 1)) as i32;
+    let ph = (ph_pre << 1) | u64::from(hin > 0);
+    let mh = (mh_pre << 1) | hin_neg;
     Advance {
         hout,
         pv: mh | !(xv | ph),
@@ -180,14 +224,22 @@ pub enum MyersAny {
 }
 
 impl MyersAny {
-    /// Compiles `pattern`. Returns `None` only for an empty pattern
-    /// (for which the distance is trivially `|text|`).
-    pub fn new(pattern: &[u8]) -> Option<Self> {
+    /// Compiles `pattern`, reporting a structured reason on refusal.
+    /// Only [`PatternError::Empty`] can occur: the word engine's length
+    /// limit routes to the blocked engine instead of failing.
+    pub fn compile(pattern: &[u8]) -> Result<Self, PatternError> {
         if pattern.len() <= 64 {
-            crate::myers::Myers64::new(pattern).map(MyersAny::Word)
+            crate::myers::Myers64::compile(pattern).map(MyersAny::Word)
         } else {
-            MyersBlock::new(pattern).map(MyersAny::Block)
+            MyersBlock::compile(pattern).map(MyersAny::Block)
         }
+    }
+
+    /// Compiles `pattern`. Returns `None` only for an empty pattern
+    /// (for which the distance is trivially `|text|`;
+    /// [`MyersAny::compile`] reports the reason).
+    pub fn new(pattern: &[u8]) -> Option<Self> {
+        Self::compile(pattern).ok()
     }
 
     /// Computes `ed(pattern, text)` exactly.
@@ -269,5 +321,21 @@ mod tests {
     fn length_filter_fires() {
         let m = MyersBlock::new(&[b'A'; 100]).unwrap();
         assert_eq!(m.within(&[b'A'; 80], 10), None);
+    }
+
+    #[test]
+    fn compile_reports_structured_reasons() {
+        assert_eq!(MyersBlock::compile(b"").unwrap_err(), PatternError::Empty);
+        assert_eq!(MyersAny::compile(b"").unwrap_err(), PatternError::Empty);
+        assert!(MyersBlock::compile(&[b'A'; 10_000]).is_ok());
+        // The word engine's capacity surfaces as TooLong when used
+        // directly, but MyersAny hides it by falling back to blocks.
+        assert_eq!(
+            crate::myers::Myers64::compile(&[b'A'; 65]).unwrap_err(),
+            PatternError::TooLong { len: 65, max: 64 }
+        );
+        assert!(MyersAny::compile(&[b'A'; 65]).is_ok());
+        let msg = PatternError::TooLong { len: 65, max: 64 }.to_string();
+        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
     }
 }

@@ -9,7 +9,8 @@ use simsearch_distance::{
     full::{levenshtein, levenshtein_naive_alloc},
     hamming::hamming,
     incremental::IncrementalDp,
-    myers_block::MyersAny,
+    myers_block::{MyersAny, MyersBlock},
+    myers_stack::MyersStackKernel,
     packed::{ed_within_packed_with, query_codes},
     two_row::levenshtein_two_row,
     BoundedKernel, KernelKind,
@@ -186,6 +187,77 @@ fn cross_kernel_oracle_mutated_pairs() {
             gen::u32_in(0..6),
         ),
         |((q, c, _budget), k)| assert_all_kernels_agree(q, c, *k),
+    );
+}
+
+// ---- block-resume correctness (rung V8) ----
+//
+// The resumable bit-parallel stack kernel, resumed at the LCP floor
+// between candidates that share a random prefix, must answer exactly
+// like a fresh `MyersBlock::within` — on both workload alphabets.
+
+fn myers_stack_resume_oracle(
+    query: &[u8],
+    prefix: &[u8],
+    s1: &[u8],
+    s2: &[u8],
+    k: u32,
+) -> simsearch_testkit::TestResult {
+    let mut c1 = prefix.to_vec();
+    c1.extend_from_slice(s1);
+    let mut c2 = prefix.to_vec();
+    c2.extend_from_slice(s2);
+    let shared = c1.iter().zip(&c2).take_while(|(a, b)| a == b).count();
+    let mut dp = MyersStackKernel::new(query, k);
+    if query.is_empty() {
+        // No bit-parallel form to compare against; hold the kernel to
+        // the degenerate truth (distance = candidate length) instead.
+        for c in [&c1, &c2] {
+            let truth = c.len() as u32;
+            prop_assert_eq!(dp.resume(c, 0), (truth <= k).then_some(truth));
+        }
+        return Ok(());
+    }
+    let fresh = MyersBlock::new(query).expect("non-empty");
+    prop_assert_eq!(dp.resume(&c1, 0), fresh.within(&c1, k), "first candidate");
+    prop_assert_eq!(
+        dp.resume(&c2, shared),
+        fresh.within(&c2, k),
+        "resumed at the LCP floor"
+    );
+    // A third pass over c1 resumed at the same floor (the stack now
+    // holds c2's column) must still agree.
+    prop_assert_eq!(dp.resume(&c1, shared), fresh.within(&c1, k), "back to c1");
+    Ok(())
+}
+
+#[test]
+fn myers_stack_resume_equals_fresh_within_city() {
+    check(
+        "myers_stack_resume_equals_fresh_within_city",
+        Config::cases(400).seed(0xC17E_57AC),
+        &gen::zip3(
+            gen::zip(gen::city_string(0..30), gen::city_string(0..20)),
+            gen::zip(gen::city_string(0..15), gen::city_string(0..15)),
+            gen::u32_in(0..8),
+        ),
+        |((q, prefix), (s1, s2), k)| myers_stack_resume_oracle(q, prefix, s1, s2, *k),
+    );
+}
+
+#[test]
+fn myers_stack_resume_equals_fresh_within_dna() {
+    // Queries and shared prefixes long enough to cross the 64-byte
+    // block boundary, so the resume truncates multi-word checkpoints.
+    check(
+        "myers_stack_resume_equals_fresh_within_dna",
+        Config::cases(400).seed(0xD7A_57AC),
+        &gen::zip3(
+            gen::zip(gen::dna_string(0..150), gen::dna_string(0..100)),
+            gen::zip(gen::dna_string(0..60), gen::dna_string(0..60)),
+            gen::u32_in(0..20),
+        ),
+        |((q, prefix), (s1, s2), k)| myers_stack_resume_oracle(q, prefix, s1, s2, *k),
     );
 }
 

@@ -2,8 +2,11 @@
 //!
 //! The paper's sequential-scan side (§3): the six-rung optimization
 //! ladder that turns a naive full-matrix scan into the solution that
-//! beats the index on short strings, plus the V7 sorted-prefix
-//! extension (LCP-resumable DP over a lexicographically sorted arena).
+//! beats the index on short strings, plus two extensions: the V7
+//! sorted-prefix scan (LCP-resumable row-stack DP over a
+//! lexicographically sorted arena) and the V8 bit-parallel sweep (the
+//! same sorted arena, with the DP column packed into Myers words and
+//! checkpointed at 64-cell block granularity).
 //!
 //! * [`variant::SeqVariant`] — the rungs, labelled as in Tables III/VII;
 //! * [`scanner::SequentialScan`] — one engine executing any rung, plus
@@ -22,6 +25,9 @@ pub mod substring;
 pub mod variant;
 
 pub use measure::{measure_scan, Measure};
-pub use scanner::{flat_search_where, v7_scan_view_range, v7_search_view, SequentialScan};
+pub use scanner::{
+    flat_search_where, v7_scan_view_range, v7_search_view, v8_scan_view_range, v8_search_view,
+    SequentialScan,
+};
 pub use substring::{substring_scan, substring_scan_myers, SubstringHit};
 pub use variant::SeqVariant;

@@ -10,7 +10,8 @@ use crate::variant::SeqVariant;
 use simsearch_data::{Dataset, Match, MatchSet, SortedView, Workload};
 use simsearch_distance::{
     ed_within_banded_with, ed_within_early_abort, ed_within_early_abort_with,
-    levenshtein_naive_alloc, BoundedKernel, KernelKind, RowStackKernel, RowStackMode,
+    levenshtein_naive_alloc, BoundedKernel, KernelKind, MyersStackKernel, RowStackKernel,
+    RowStackMode,
 };
 use simsearch_filters::FilterChain;
 use simsearch_parallel::{chunk_ranges, run_queries, Strategy};
@@ -51,14 +52,14 @@ impl<'a> SequentialScan<'a> {
     }
 
     /// Eagerly builds whatever auxiliary structure `variant` needs
-    /// (owned copies for V1–V3, the sorted view for V7), so the cost is
-    /// excluded from query timing. Idempotent.
+    /// (owned copies for V1–V3, the sorted view for V7/V8), so the cost
+    /// is excluded from query timing. Idempotent.
     pub fn prepare(&self, variant: SeqVariant) {
         match variant {
             SeqVariant::V1Base | SeqVariant::V2FastEd | SeqVariant::V3Borrowed => {
                 self.owned();
             }
-            SeqVariant::V7SortedPrefix => {
+            SeqVariant::V7SortedPrefix | SeqVariant::V8BitParallel => {
                 self.sorted_view();
             }
             _ => {}
@@ -88,6 +89,7 @@ impl<'a> SequentialScan<'a> {
                 self.flat_search(query, k)
             }
             SeqVariant::V7SortedPrefix => self.v7_search(query, k).0,
+            SeqVariant::V8BitParallel => self.v8_search(query, k).0,
         }
     }
 
@@ -167,6 +169,46 @@ impl<'a> SequentialScan<'a> {
         range: Range<usize>,
     ) -> Vec<Match> {
         v7_scan_view_range(self.sorted_view(), dp, query, k, range)
+    }
+
+    /// Executes a workload under rung V8 with an explicit executor —
+    /// query-level parallelism; every query compiles its own Peq table
+    /// and block stack, so all strategies are trivially race-free.
+    pub fn run_v8(&self, strategy: Strategy, workload: &Workload) -> Vec<MatchSet> {
+        self.prepare(SeqVariant::V8BitParallel);
+        run_queries(strategy, workload.len(), |i| {
+            let q = &workload.queries[i];
+            self.v8_search(&q.text, q.threshold).0
+        })
+    }
+
+    /// Rung V8 for one query: sweep the sorted view once with the
+    /// blocked bit-parallel stack kernel, resuming whole Myers words at
+    /// the running LCP minimum. Returns the matches and the number of DP
+    /// cells the advanced words represent (for diagnostics).
+    pub fn v8_search(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        v8_search_view(self.sorted_view(), query, k)
+    }
+
+    /// Rung V8 with intra-query data parallelism: the sorted view is cut
+    /// into `chunks` contiguous ranges ([`chunk_ranges`]) and each range
+    /// is swept with its own Peq table and block stack — DP state
+    /// restarts (shared prefix 0) at every chunk boundary, so any
+    /// executor is correct.
+    pub fn v8_search_parallel(
+        &self,
+        query: &[u8],
+        k: u32,
+        strategy: Strategy,
+        chunks: usize,
+    ) -> MatchSet {
+        let sv = self.sorted_view();
+        let ranges = chunk_ranges(sv.len(), chunks.max(1));
+        let parts = run_queries(strategy, ranges.len(), |i| {
+            let mut dp = MyersStackKernel::new(query, k);
+            v8_scan_view_range(sv, &mut dp, query, k, ranges[i].clone())
+        });
+        MatchSet::from_unsorted(parts.into_iter().flatten().collect())
     }
 
     /// Rung 1: owned copies of query and candidate per comparison, naive
@@ -379,6 +421,65 @@ pub fn v7_scan_view_range(
     out
 }
 
+/// Rung V8 for one query over an externally owned [`SortedView`]: one
+/// bit-parallel sweep, resuming Myers blocks at the running LCP minimum.
+/// Returns the matches and the number of DP cells the advanced words
+/// represent (`|query|` per candidate byte processed — the same unit V7
+/// reports, so diagnostics stay comparable).
+///
+/// This is the reusable core behind [`SequentialScan::v8_search`],
+/// exposed so callers that own their view (per-shard backends, tools)
+/// can run the bit-parallel sweep without borrowing a scanner.
+pub fn v8_search_view(sv: &SortedView, query: &[u8], k: u32) -> (MatchSet, u64) {
+    let mut dp = MyersStackKernel::new(query, k);
+    let out = v8_scan_view_range(sv, &mut dp, query, k, 0..sv.len());
+    (MatchSet::from_unsorted(out), dp.cells_computed())
+}
+
+/// The V8 inner loop over one contiguous range of sorted positions in
+/// `sv`.
+///
+/// The length filter streams the view's dense structure-of-arrays
+/// lengths column ([`SortedView::lengths`]) so runs of filtered-out
+/// records cost one packed cache line per 16 candidates, and `stack_lcp`
+/// carries the minimum LCP seen since the last record the kernel
+/// actually processed — records skipped by the length filter still
+/// constrain how much of the block stack the next record may reuse (the
+/// same LCP range-minimum discipline as the scalar V7 loop).
+pub fn v8_scan_view_range(
+    sv: &SortedView,
+    dp: &mut MyersStackKernel,
+    query: &[u8],
+    k: u32,
+    range: Range<usize>,
+) -> Vec<Match> {
+    let mut out = Vec::new();
+    let start = range.start;
+    let end = range.end;
+    let lens = &sv.lengths()[range.clone()];
+    let qlen = query.len();
+    // The first record in a range restarts from the empty checkpoint.
+    let mut stack_lcp = 0usize;
+    for (i, pos) in range.enumerate() {
+        if pos > start {
+            stack_lcp = stack_lcp.min(sv.lcp(pos));
+        }
+        if (lens[i] as usize).abs_diff(qlen) > k as usize {
+            continue;
+        }
+        // Lookahead bound: no later record in this range can resume
+        // deeper than the next record's LCP (the running minimum only
+        // shrinks), so the kernel checkpoints only that many columns
+        // and runs the candidate's tail unstacked.
+        let keep_limit = if pos + 1 < end { sv.lcp(pos + 1) } else { 0 };
+        if let Some(d) = dp.resume_bounded(sv.get(pos), stack_lcp, keep_limit) {
+            out.push(Match::new(sv.original_id(pos), d));
+        }
+        stack_lcp = usize::MAX;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +583,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn v8_agrees_under_every_executor_and_chunking() {
+        let ds = dataset();
+        let scan = SequentialScan::new(&ds);
+        let workload = Workload {
+            queries: vec![
+                QueryRecord::new("Berlin", 2),
+                QueryRecord::new("Ulm", 1),
+                QueryRecord::new("", 1),
+                QueryRecord::new("zzz", 3),
+            ],
+        };
+        let baseline = scan.run(SeqVariant::V1Base, &workload);
+        for strategy in [
+            Strategy::Sequential,
+            Strategy::ThreadPerQuery,
+            Strategy::FixedPool { threads: 3 },
+            Strategy::WorkQueue { threads: 3 },
+            Strategy::Adaptive { max_threads: 3 },
+        ] {
+            assert_eq!(scan.run_v8(strategy, &workload), baseline, "{}", strategy.name());
+            for chunks in [1, 2, 7, 64] {
+                for (q, expected) in workload.queries.iter().zip(&baseline) {
+                    assert_eq!(
+                        &scan.v8_search_parallel(&q.text, q.threshold, strategy, chunks),
+                        expected,
+                        "{} chunks={chunks}",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v8_reuses_words_across_shared_prefixes() {
+        // Records with long shared prefixes: block resume must advance
+        // fewer words than restarting every record at the empty stack.
+        let ds = Dataset::from_records([
+            "prefix_aaa", "prefix_aab", "prefix_abb", "prefix_bbb", "prefix_bbc",
+        ]);
+        let scan = SequentialScan::new(&ds);
+        let sv = scan.sorted_view();
+        let mut reuse = MyersStackKernel::new(b"prefix_abc", 3);
+        v8_scan_view_range(sv, &mut reuse, b"prefix_abc", 3, 0..sv.len());
+        let mut scratch_words = 0;
+        for pos in 0..sv.len() {
+            let mut dp = MyersStackKernel::new(b"prefix_abc", 3);
+            v8_scan_view_range(sv, &mut dp, b"prefix_abc", 3, pos..pos + 1);
+            scratch_words += dp.words_advanced();
+        }
+        assert!(
+            reuse.words_advanced() < scratch_words,
+            "reuse {} vs scratch {scratch_words}",
+            reuse.words_advanced()
+        );
+        assert!(reuse.words_reused() > 0);
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum SeqVariant {
     /// resumable row-stack DP pops to `lcp[i]` between records instead
     /// of recomputing from row zero.
     V7SortedPrefix,
+    /// Rung 8 (extension): bit-parallel sweep. V7's sorted arena and LCP
+    /// resume, but the DP column is packed into ⌈m/64⌉ Myers words — the
+    /// query's Peq masks are compiled once, the dense lengths column
+    /// drives the filter, and the stack checkpoints whole 64-cell blocks
+    /// instead of scalar rows.
+    V8BitParallel,
 }
 
 impl SeqVariant {
@@ -48,9 +54,10 @@ impl SeqVariant {
         ]
     }
 
-    /// The paper's six rungs plus the V7 sorted-prefix extension, for
-    /// suites that sweep everything this crate can run.
-    pub fn ladder_extended(pool_threads: usize) -> [SeqVariant; 7] {
+    /// The paper's six rungs plus the V7 sorted-prefix and V8
+    /// bit-parallel extensions, for suites that sweep everything this
+    /// crate can run.
+    pub fn ladder_extended(pool_threads: usize) -> [SeqVariant; 8] {
         [
             SeqVariant::V1Base,
             SeqVariant::V2FastEd,
@@ -61,6 +68,7 @@ impl SeqVariant {
                 threads: pool_threads,
             },
             SeqVariant::V7SortedPrefix,
+            SeqVariant::V8BitParallel,
         ]
     }
 
@@ -77,6 +85,7 @@ impl SeqVariant {
                 format!("6) Management of parallelism ({threads} threads)")
             }
             SeqVariant::V7SortedPrefix => "x) Sorted-prefix scan (LCP reuse)".into(),
+            SeqVariant::V8BitParallel => "x) Bit-parallel sweep (Myers blocks + LCP reuse)".into(),
         }
     }
 }
@@ -94,12 +103,14 @@ mod tests {
     }
 
     #[test]
-    fn extended_ladder_appends_v7() {
+    fn extended_ladder_appends_v7_and_v8() {
         let l = SeqVariant::ladder_extended(8);
-        assert_eq!(l.len(), 7);
+        assert_eq!(l.len(), 8);
         assert_eq!(&l[..6], &SeqVariant::ladder(8));
         assert_eq!(l[6], SeqVariant::V7SortedPrefix);
+        assert_eq!(l[7], SeqVariant::V8BitParallel);
         assert!(SeqVariant::V7SortedPrefix.label().starts_with("x)"));
+        assert!(SeqVariant::V8BitParallel.label().starts_with("x)"));
     }
 
     #[test]

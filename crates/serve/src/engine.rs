@@ -222,6 +222,7 @@ mod tests {
         let kinds = [
             EngineKind::Scan(SeqVariant::V4Flat),
             EngineKind::Scan(SeqVariant::V7SortedPrefix),
+            EngineKind::Scan(SeqVariant::V8BitParallel),
             EngineKind::Index(IdxVariant::I2Compressed),
             EngineKind::Auto { threads: 1 },
         ];
@@ -246,6 +247,9 @@ mod tests {
         let engine = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V7SortedPrefix));
         let (_, cells) = engine.search(b"Berlin", 2);
         assert!(cells > 0, "the V7 kernel counts its DP cells");
+        let (_, v8_cells) = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V8BitParallel))
+            .search(b"Berlin", 2);
+        assert!(v8_cells > 0, "the V8 kernel counts its DP cells too");
         let (_, flat_cells) =
             ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat)).search(b"Berlin", 2);
         assert_eq!(flat_cells, 0, "uncounted kernels report zero");

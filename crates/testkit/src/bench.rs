@@ -156,6 +156,7 @@ impl Harness {
             name: name.to_string(),
             workload: None,
             plan_decisions: Vec::new(),
+            counters: Vec::new(),
             results: Vec::new(),
         }
     }
@@ -185,6 +186,7 @@ pub struct Group<'a> {
     name: String,
     workload: Option<WorkloadMeta>,
     plan_decisions: Vec<(String, u64)>,
+    counters: Vec<(String, u64)>,
     results: Vec<BenchResult>,
 }
 
@@ -213,6 +215,17 @@ impl Group<'_> {
     /// unaffected.
     pub fn set_plan_decisions(&mut self, counts: &[(&str, u64)]) {
         self.plan_decisions = counts
+            .iter()
+            .map(|(name, count)| (name.to_string(), *count))
+            .collect();
+    }
+
+    /// Attaches arbitrary named work counters (DP cells, words advanced,
+    /// words reused — whatever the ablation accounts) to the JSON output
+    /// as a `counters` object. Absent unless set, like the workload
+    /// metadata, so existing readers are unaffected.
+    pub fn set_counters(&mut self, counts: &[(&str, u64)]) {
+        self.counters = counts
             .iter()
             .map(|(name, count)| (name.to_string(), *count))
             .collect();
@@ -301,6 +314,14 @@ impl Group<'_> {
                 "  \"plan_decisions\": {{{}}},\n",
                 counts.join(", ")
             ));
+        }
+        if !self.counters.is_empty() {
+            let counts: Vec<String> = self
+                .counters
+                .iter()
+                .map(|(name, count)| format!("\"{}\": {count}", escape(name)))
+                .collect();
+            out.push_str(&format!("  \"counters\": {{{}}},\n", counts.join(", ")));
         }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
