@@ -41,11 +41,19 @@ cargo test -q --offline --test live_compaction
 # × thread count on both alphabets.
 cargo test -q --offline --test v8_oracle
 
+# Partition-join gate: PASS-JOIN and MinJoin must return the nested-loop
+# join's pair list pair-for-pair — on shrunk random corpora over both
+# alphabets, on fixed city/DNA presets under every executor × thread
+# count, and on the degenerate inputs (empty, singleton, all-identical,
+# k beyond the longest record).
+cargo test -q --offline --test join_oracle
+
 # Canonical benchmark snapshots (published by `cargo bench` via
 # testkit's publish_snapshot) must stay committed at the repo root.
 for snapshot in BENCH_fig6_city_best.json BENCH_fig7_dna_best.json \
     BENCH_ablation_lcp_reuse_city.json BENCH_ablation_lcp_reuse_dna.json \
-    BENCH_ablation_bitparallel_city.json BENCH_ablation_bitparallel_dna.json; do
+    BENCH_ablation_bitparallel_city.json BENCH_ablation_bitparallel_dna.json \
+    BENCH_ablation_join_city.json; do
     test -f "$snapshot"
 done
 
@@ -71,6 +79,14 @@ port=$(cat "$smoke_dir/port")
 "$SIMSEARCH" client --port "$port" --send 'QUERY 2 Berlin' | grep -q '^OK '
 "$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS' \
     | grep -q 'simsearch-bench-v2'
+# JOIN streams on a frozen daemon: the header advertises the pair
+# count, at least one pair chunk follows (seed-7 city data has near
+# duplicates at k=1), and STATS carries the join counters.
+join_out=$("$SIMSEARCH" client --port "$port" --send 'JOIN 1')
+echo "$join_out" | grep -q '^OK join [1-9]'
+echo "$join_out" | grep -q '^OK pairs '
+"$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS' \
+    | grep -q '"join_pairs_emitted": [1-9]'
 "$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
 i=0
 while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do

@@ -113,9 +113,11 @@ pub struct JoinArgs {
     pub k: u32,
     /// Output file; stdout when absent.
     pub output: Option<PathBuf>,
-    /// Join algorithm: "sorted" (default), "index" or "nested".
+    /// Join algorithm: "sorted" (default), "index", "nested", "pass"
+    /// (partition-based PASS-JOIN) or "minjoin" (content-defined
+    /// partitions).
     pub algo: String,
-    /// Pool threads (sorted join only).
+    /// Pool threads (sorted, pass and minjoin).
     pub threads: usize,
 }
 
@@ -216,7 +218,7 @@ USAGE:
                      [--queries FILE] [--query-count N]
   simsearch stats --data FILE
   simsearch join --data FILE --k N [--output FILE]
-                 [--algo sorted|index|nested] [--threads N]
+                 [--algo sorted|index|nested|pass|minjoin] [--threads N]
   simsearch verify --results FILE --expected FILE
   simsearch serve --data FILE [--backend NAME] [--threads N] [--port P]
                   [--port-file FILE] [--batch-size N] [--max-delay-ms N]
@@ -238,8 +240,8 @@ content hash (`--shard-by hash`) — each shard plans independently, and
 queries fan out across shards with a k-way result merge.
 
 The serve daemon speaks a line protocol on loopback TCP:
-  QUERY <k> <text> | TOPK <n> <text> | INSERT <text> | DELETE <id>
-  | STATS | HEALTH | SHUTDOWN
+  QUERY <k> <text> | TOPK <n> <text> | JOIN <k> [pass|minjoin]
+  | INSERT <text> | DELETE <id> | STATS | HEALTH | SHUTDOWN
 With --port 0 (the default) it binds an ephemeral port and prints the
 actually-bound address on stdout before accepting connections.
 
@@ -405,7 +407,7 @@ fn parse_join(rest: &[String]) -> Result<JoinArgs, String> {
             "--output" => output = Some(PathBuf::from(value(&mut it, "--output")?)),
             "--algo" => {
                 let v = value(&mut it, "--algo")?;
-                if !["sorted", "index", "nested"].contains(&v.as_str()) {
+                if !["sorted", "index", "nested", "pass", "minjoin"].contains(&v.as_str()) {
                     return Err(format!("unknown join algorithm '{v}'"));
                 }
                 algo = v.clone();
@@ -662,6 +664,13 @@ mod tests {
                 assert_eq!(j.threads, 1);
             }
             other => panic!("wrong parse: {other:?}"),
+        }
+        for algo in ["sorted", "nested", "pass", "minjoin"] {
+            let cmd = parse(&v(&["join", "--data", "d", "--k", "1", "--algo", algo])).unwrap();
+            match cmd {
+                Command::Join(j) => assert_eq!(j.algo, algo),
+                other => panic!("wrong parse: {other:?}"),
+            }
         }
         let cmd = parse(&v(&["verify", "--results", "a", "--expected", "b"])).unwrap();
         assert!(matches!(cmd, Command::Verify { .. }));

@@ -298,6 +298,28 @@ fn run_client(a: ClientArgs) -> Result<(), String> {
             }
         }
         println!("{line}");
+        // A `JOIN` reply is a stream: the `OK join <total>` header is
+        // followed by `OK pairs` chunk frames. Drain and print them all
+        // so the next request's reply isn't misread as a chunk.
+        if let Some(total) = line
+            .strip_prefix("OK join ")
+            .and_then(|t| t.parse::<u64>().ok())
+        {
+            let mut streamed: u64 = 0;
+            while streamed < total {
+                let chunk = client
+                    .recv_raw()
+                    .map_err(|e| format!("draining join stream for {frame:?}: {e}"))?;
+                let chunk = String::from_utf8_lossy(&chunk).into_owned();
+                let count = chunk
+                    .strip_prefix("OK pairs ")
+                    .and_then(|rest| rest.split(' ').next())
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .ok_or_else(|| format!("unexpected frame in join stream: {chunk:?}"))?;
+                streamed += count;
+                println!("{chunk}");
+            }
+        }
     }
     Ok(())
 }
@@ -327,19 +349,19 @@ fn run_generate(g: GenerateArgs) -> Result<(), String> {
 
 fn run_join(j: JoinArgs) -> Result<(), String> {
     use simsearch_core::join::{index_join, nested_loop_join, parallel_sorted_join};
+    use simsearch_core::{parallel_min_join, parallel_pass_join};
     let dataset = io::read_dataset(&j.data).map_err(|e| format!("reading {:?}: {e}", j.data))?;
+    let strategy = if j.threads > 1 {
+        Strategy::FixedPool { threads: j.threads }
+    } else {
+        Strategy::Sequential
+    };
     let (pairs, wall) = time(|| match j.algo.as_str() {
         "nested" => nested_loop_join(&dataset, j.k),
         "index" => index_join(&dataset, j.k),
-        _ => parallel_sorted_join(
-            &dataset,
-            j.k,
-            if j.threads > 1 {
-                Strategy::FixedPool { threads: j.threads }
-            } else {
-                Strategy::Sequential
-            },
-        ),
+        "pass" => parallel_pass_join(&dataset, j.k, strategy),
+        "minjoin" => parallel_min_join(&dataset, j.k, strategy),
+        _ => parallel_sorted_join(&dataset, j.k, strategy),
     });
     eprintln!(
         "{} join, k = {}: {} pairs in {:.3}s",

@@ -32,7 +32,7 @@ pub struct JoinPair {
     pub distance: u32,
 }
 
-fn normalize(mut pairs: Vec<JoinPair>) -> Vec<JoinPair> {
+pub(crate) fn normalize(mut pairs: Vec<JoinPair>) -> Vec<JoinPair> {
     pairs.sort_unstable();
     pairs.dedup();
     pairs
@@ -209,7 +209,7 @@ pub fn cross_nested_loop_join(left: &Dataset, right: &Dataset, k: u32) -> Vec<Cr
 }
 
 /// Record ids sorted by (length, id).
-fn length_order(dataset: &Dataset) -> Vec<RecordId> {
+pub(crate) fn length_order(dataset: &Dataset) -> Vec<RecordId> {
     let mut order: Vec<RecordId> = (0..dataset.len() as u32).collect();
     order.sort_unstable_by_key(|&i| (dataset.record_len(i), i));
     order

@@ -22,6 +22,9 @@
 //! * [`presets`] — the standard synthetic datasets and workloads;
 //! * [`join`] — the similarity self-join (the venue's other competition
 //!   track), scan- and index-based;
+//! * [`passjoin`] — the sub-quadratic join tier: exact PASS-JOIN over
+//!   an inverted segment index, plus MinJoin's content-defined
+//!   partitioning for long records;
 //! * [`topk`] — nearest-neighbour search by iterative deepening;
 //! * [`lsm`] — live ingest: [`lsm::LiveEngine`] puts an append-only
 //!   memtable and tombstone set in front of immutable V7 segments, so
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod experiment;
 pub mod join;
 pub mod lsm;
+pub mod passjoin;
 pub mod planner;
 pub mod presets;
 pub mod report;
@@ -54,6 +58,10 @@ pub use sharded::{
 };
 pub use planner::{BackendChoice, CostEstimate, Observation, PlanDecision, Planner, QueryClass};
 pub use join::{CrossPair, JoinPair};
+pub use passjoin::{
+    even_partitions, min_join, min_join_partitions, min_join_with_stats, parallel_min_join,
+    parallel_pass_join, pass_join, pass_join_with_stats, JoinStats, MinJoinConfig,
+};
 pub use topk::{search_top_k, search_top_k_with};
 pub use experiment::{
     measure_extrapolated, measure_per_threshold, measure_prefixes, Measurement, QUERY_COUNTS,

@@ -30,7 +30,7 @@ use simsearch_parallel::{chunk_ranges, SubmissionQueue};
 
 use crate::engine::ServedEngine;
 use crate::metrics::Metrics;
-use crate::protocol::{matches_response, Response};
+use crate::protocol::{matches_response, JoinAlgo, Response, JOIN_CHUNK_PAIRS};
 
 /// Tuning for the scheduler and the engine workers.
 #[derive(Debug, Clone)]
@@ -89,6 +89,14 @@ pub(crate) enum Work {
     Delete {
         /// The global record id.
         id: u32,
+    },
+    /// Self-join the whole dataset within distance `k`, streaming the
+    /// result pairs (frozen engines only).
+    Join {
+        /// Join distance threshold.
+        k: u32,
+        /// Which partition algorithm serves the join.
+        algo: JoinAlgo,
     },
 }
 
@@ -159,7 +167,15 @@ pub(crate) fn worker_loop(
 ) {
     while let Some(chunk) = exec.pop() {
         for pending in chunk.items {
-            let response = execute_one(pending.work, &pending.text, pending.admitted, engine, cfg, metrics);
+            let response = execute_one(
+                pending.work,
+                &pending.text,
+                pending.admitted,
+                &pending.reply,
+                engine,
+                cfg,
+                metrics,
+            );
             metrics
                 .latency_ns
                 .observe(pending.admitted.elapsed().as_nanos() as u64);
@@ -184,6 +200,7 @@ fn execute_one(
     work: Work,
     text: &[u8],
     admitted: Instant,
+    reply: &mpsc::Sender<Response>,
     engine: &ServedEngine<'_>,
     cfg: &BatchConfig,
     metrics: &Metrics,
@@ -214,6 +231,46 @@ fn execute_one(
         Work::Delete { id } => match engine.delete(id) {
             Some(existed) => (Response::Deleted { existed }, 0),
             None => (read_only(), 0),
+        },
+        Work::Join { k, algo } => match engine.join(k, algo) {
+            Some((pairs, stats)) => {
+                metrics.joins.inc();
+                metrics.join_pairs_emitted.add(stats.pairs_emitted);
+                metrics
+                    .join_candidates_verified
+                    .add(stats.candidates_verified);
+                metrics.join_seg_buckets.set(stats.seg_buckets as usize);
+                metrics.join_seg_postings.set(stats.seg_postings as usize);
+                // Stream the reply: header plus all-but-the-last chunk
+                // go straight out through the pending's channel (it is
+                // unbounded, so this never blocks a worker); the final
+                // frame returns through the normal path so latency and
+                // ok/error accounting see exactly one response per
+                // request.
+                if pairs.is_empty() {
+                    (Response::JoinHeader { total: 0 }, 0)
+                } else {
+                    let _ = reply.send(Response::JoinHeader {
+                        total: pairs.len() as u64,
+                    });
+                    let mut chunks = pairs.chunks(JOIN_CHUNK_PAIRS).peekable();
+                    let mut last = Vec::new();
+                    while let Some(chunk) = chunks.next() {
+                        if chunks.peek().is_some() {
+                            let _ = reply.send(Response::JoinPairs(chunk.to_vec()));
+                        } else {
+                            last = chunk.to_vec();
+                        }
+                    }
+                    (Response::JoinPairs(last), 0)
+                }
+            }
+            None => (
+                Response::Error(
+                    "JOIN requires a frozen dataset (not servable on a --live engine)".into(),
+                ),
+                0,
+            ),
         },
     };
     metrics.dp_cells.add(cells);
@@ -300,6 +357,57 @@ mod tests {
             rx.recv_timeout(Duration::from_secs(5)).unwrap(),
             Response::Timeout
         );
+    }
+
+    #[test]
+    fn join_work_streams_header_then_chunks() {
+        let cfg = BatchConfig {
+            threads: 1,
+            ..BatchConfig::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        // k=2 catches Berlin~Bern and Bern~Bonn in the harness corpus.
+        let p = Pending {
+            work: Work::Join {
+                k: 2,
+                algo: JoinAlgo::Pass,
+            },
+            text: Vec::new(),
+            admitted: Instant::now(),
+            reply: tx,
+        };
+        harness(&cfg, vec![p]);
+        let total = match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Response::JoinHeader { total } => total,
+            other => panic!("expected join header, got {other:?}"),
+        };
+        assert!(total >= 2, "total={total}");
+        let mut streamed = 0u64;
+        while streamed < total {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Response::JoinPairs(chunk) => streamed += chunk.len() as u64,
+                other => panic!("expected pairs, got {other:?}"),
+            }
+        }
+        assert_eq!(streamed, total);
+
+        // An empty result is the header alone.
+        let (tx, rx) = mpsc::channel();
+        let p = Pending {
+            work: Work::Join {
+                k: 0,
+                algo: JoinAlgo::MinJoin,
+            },
+            text: Vec::new(),
+            admitted: Instant::now(),
+            reply: tx,
+        };
+        harness(&cfg, vec![p]);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Response::JoinHeader { total: 0 }
+        );
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
     }
 
     #[test]

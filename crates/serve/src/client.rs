@@ -5,10 +5,11 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use simsearch_core::JoinPair;
 use simsearch_data::Match;
 
 use crate::protocol::{
-    encode_request, parse_response, Request, Response, MAX_LINE_BYTES,
+    encode_request, parse_response, JoinAlgo, Request, Response, MAX_LINE_BYTES,
 };
 
 /// A connected `simsearchd` client.
@@ -53,6 +54,13 @@ impl Client {
         self.writer.write_all(frame)?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        self.recv_raw()
+    }
+
+    /// Reads one reply frame without sending anything — `JOIN` replies
+    /// span several frames, so callers draining a stream read the
+    /// continuation frames with this.
+    pub fn recv_raw(&mut self) -> std::io::Result<Vec<u8>> {
         let mut line = Vec::new();
         let n = self
             .reader
@@ -69,6 +77,12 @@ impl Client {
             line.pop();
         }
         Ok(line)
+    }
+
+    /// Reads and parses one reply frame.
+    fn recv(&mut self) -> std::io::Result<Response> {
+        let reply = self.recv_raw()?;
+        parse_response(&reply).map_err(|e| bad_data(format!("bad reply frame: {e}")))
     }
 
     /// Sends a request and parses the reply.
@@ -94,6 +108,24 @@ impl Client {
             Response::Matches(matches) => Ok(matches),
             other => Err(bad_data(format!("expected matches, got {other:?}"))),
         }
+    }
+
+    /// `JOIN <k> <algo>`, unwrapped to the full pair list: reads the
+    /// `OK join <total>` header, then drains `OK pairs` chunk frames
+    /// until `total` pairs have arrived.
+    pub fn join(&mut self, k: u32, algo: JoinAlgo) -> std::io::Result<Vec<JoinPair>> {
+        let total = match self.request(&Request::Join { k, algo })? {
+            Response::JoinHeader { total } => total,
+            other => return Err(bad_data(format!("expected join header, got {other:?}"))),
+        };
+        let mut pairs: Vec<JoinPair> = Vec::new();
+        while (pairs.len() as u64) < total {
+            match self.recv()? {
+                Response::JoinPairs(chunk) => pairs.extend(chunk),
+                other => return Err(bad_data(format!("expected pair chunk, got {other:?}"))),
+            }
+        }
+        Ok(pairs)
     }
 
     /// `INSERT <text>`, unwrapped to the assigned record id.

@@ -12,9 +12,11 @@
 //! through [`ServedEngine::plan_counts`].
 
 use crate::metrics::Metrics;
+use crate::protocol::JoinAlgo;
 use simsearch_core::{
-    build_backend, AutoBackend, Backend, BackendDiag, EngineKind, LiveEngine, LsmConfig,
-    ShardedBackend,
+    build_backend, min_join_with_stats, pass_join_with_stats, AutoBackend, Backend, BackendDiag,
+    EngineKind, JoinPair, JoinStats, LiveEngine, LsmConfig, MinJoinConfig, ShardedBackend,
+    Strategy,
 };
 use simsearch_data::{Dataset, Match, MatchSet, StatsSnapshot};
 use std::sync::Arc;
@@ -26,6 +28,10 @@ pub(crate) struct ServedEngine<'a> {
     /// surface (`INSERT`/`DELETE`, compaction) reaches the same engine
     /// the read path queries. `None` for every frozen engine.
     live: Option<Arc<LiveEngine>>,
+    /// The frozen seed dataset — `JOIN` runs over this. Live engines
+    /// refuse `JOIN` (the dataset shifts under the join), so the field
+    /// staying at the seed is never observable there.
+    dataset: &'a Dataset,
     name: String,
     records: usize,
 }
@@ -98,6 +104,7 @@ impl<'a> ServedEngine<'a> {
         Self {
             backend,
             live,
+            dataset,
             name: kind.name(),
             records: dataset.len(),
         }
@@ -117,6 +124,26 @@ impl<'a> ServedEngine<'a> {
     /// engines, `Some(existed)` otherwise.
     pub fn delete(&self, id: u32) -> Option<bool> {
         self.live.as_ref().map(|l| l.delete(id))
+    }
+
+    /// Self-joins the frozen dataset within distance `k`; `None` on
+    /// live engines, whose dataset can shift mid-join. Runs
+    /// sequentially — like the search kernels, a served join draws its
+    /// concurrency from the batch workers rather than nesting a pool
+    /// per request.
+    pub fn join(&self, k: u32, algo: JoinAlgo) -> Option<(Vec<JoinPair>, JoinStats)> {
+        if self.live.is_some() {
+            return None;
+        }
+        Some(match algo {
+            JoinAlgo::Pass => pass_join_with_stats(self.dataset, k, Strategy::Sequential),
+            JoinAlgo::MinJoin => min_join_with_stats(
+                self.dataset,
+                k,
+                Strategy::Sequential,
+                MinJoinConfig::default(),
+            ),
+        })
     }
 
     /// Runs one compaction step on a live engine when one is due.
@@ -312,6 +339,20 @@ mod tests {
         let frozen_metrics = Metrics::new();
         frozen.publish_live(&frozen_metrics);
         assert_eq!(frozen_metrics.segments.get(), 0);
+    }
+
+    #[test]
+    fn frozen_engines_join_and_live_engines_refuse() {
+        let ds = dataset();
+        let frozen = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        let reference = simsearch_core::join::nested_loop_join(&ds, 2);
+        for algo in [JoinAlgo::Pass, JoinAlgo::MinJoin] {
+            let (pairs, stats) = frozen.join(2, algo).expect("frozen engines join");
+            assert_eq!(pairs, reference, "{algo:?}");
+            assert_eq!(stats.pairs_emitted, pairs.len() as u64);
+        }
+        let live = ServedEngine::build(&ds, EngineKind::Live { memtable_cap: 4 });
+        assert!(live.join(1, JoinAlgo::Pass).is_none());
     }
 
     #[test]

@@ -274,6 +274,19 @@ pub struct Metrics {
     pub inserts: Counter,
     /// Live engines: total `DELETE`s that hit a live record (mirrored).
     pub deletes: Counter,
+    /// `JOIN` requests served with a pair stream.
+    pub joins: Counter,
+    /// Join result pairs streamed to clients, cumulative.
+    pub join_pairs_emitted: Counter,
+    /// Join candidate pairs handed to the verification kernel,
+    /// cumulative.
+    pub join_candidates_verified: Counter,
+    /// Segment-index shape of the most recent join: distinct
+    /// (length, position, bytes) buckets.
+    pub join_seg_buckets: Gauge,
+    /// Segment-index shape of the most recent join: postings
+    /// (one per record per segment).
+    pub join_seg_postings: Gauge,
 }
 
 impl Metrics {
@@ -313,6 +326,9 @@ impl Metrics {
              \"connections\": {}, \"uptime_ms\": {}, \
              \"memtable_len\": {}, \"segments\": {}, \"tombstones\": {}, \
              \"compactions\": {}, \"inserts\": {}, \"deletes\": {}, \
+             \"joins\": {}, \"join_pairs_emitted\": {}, \
+             \"join_candidates_verified\": {}, \"join_seg_buckets\": {}, \
+             \"join_seg_postings\": {}, \
              \"plan_decisions\": {{{}}}, \"shard_matches\": {{{}}}}}}}",
             crate::STATS_SCHEMA,
             json_escape(dataset),
@@ -336,6 +352,11 @@ impl Metrics {
             self.compactions.get(),
             self.inserts.get(),
             self.deletes.get(),
+            self.joins.get(),
+            self.join_pairs_emitted.get(),
+            self.join_candidates_verified.get(),
+            self.join_seg_buckets.get(),
+            self.join_seg_postings.get(),
             self.plan_decisions
                 .snapshot()
                 .iter()
@@ -501,6 +522,36 @@ mod tests {
         assert!(json.contains("\"segments\": 2"), "{json}");
         assert!(json.contains("\"compactions\": 4"), "{json}");
         assert!(json.contains("\"inserts\": 17"), "{json}");
+    }
+
+    #[test]
+    fn stats_json_always_carries_join_keys() {
+        // Present (zeroed) even when no JOIN ever ran, so the CI smoke
+        // can grep unconditionally.
+        let m = Metrics::new();
+        let json = m.stats_json("scan[v7]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        for needle in [
+            "\"joins\": 0",
+            "\"join_pairs_emitted\": 0",
+            "\"join_candidates_verified\": 0",
+            "\"join_seg_buckets\": 0",
+            "\"join_seg_postings\": 0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        m.joins.inc();
+        m.join_pairs_emitted.add(42);
+        m.join_candidates_verified.add(99);
+        m.join_seg_buckets.set(7);
+        m.join_seg_postings.set(16);
+        let json = m.stats_json("scan[v7]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"joins\": 1"), "{json}");
+        assert!(json.contains("\"join_pairs_emitted\": 42"), "{json}");
+        assert!(json.contains("\"join_candidates_verified\": 99"), "{json}");
+        assert!(json.contains("\"join_seg_buckets\": 7"), "{json}");
+        assert!(json.contains("\"join_seg_postings\": 16"), "{json}");
     }
 
     #[test]

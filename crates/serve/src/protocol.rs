@@ -6,12 +6,14 @@
 //! ```text
 //! request  = "QUERY" SP integer SP text      ; all records within k
 //!          / "TOPK"  SP integer SP text      ; the count nearest records
+//!          / "JOIN" SP integer [SP algo]     ; self-join, stream all pairs
 //!          / "INSERT" SP text                ; append a record (live mode)
 //!          / "DELETE" SP integer             ; tombstone a record (live mode)
 //!          / "STATS"                         ; metrics snapshot (JSON)
 //!          / "HEALTH"                        ; liveness probe
 //!          / "SHUTDOWN"                      ; drain and exit
 //! text     = *OCTET                          ; no LF, no CR
+//! algo     = "pass" / "minjoin"              ; default "pass"
 //!
 //! response = "OK" SP payload
 //!          / "BUSY"                          ; admission queue full
@@ -20,10 +22,19 @@
 //! payload  = "healthy" / "bye" / matches / json
 //!          / "id=" integer                   ; INSERT: the assigned record id
 //!          / "deleted" / "absent"            ; DELETE: whether the id was live
+//!          / "join" SP integer               ; JOIN stream header: total pairs
+//!          / "pairs" SP pairlist             ; JOIN stream chunk
 //! matches  = integer [SP match *("," match)] ; count, then id:distance
 //! match    = integer ":" integer
-//! json     = "{" …single-line JSON… "}"
+//! pairlist = integer [SP pair *("," pair)]   ; count, then left:right:distance
+//! pair     = integer ":" integer ":" integer
 //! ```
+//!
+//! `JOIN` is the one verb whose reply spans several frames: a header
+//! `OK join <total>` followed by `OK pairs …` chunks (each under
+//! [`MAX_LINE_BYTES`]) until `total` pairs have been streamed — there
+//! is no trailer, the client counts. A non-header first frame (`BUSY`,
+//! `TIMEOUT`, `ERR`) terminates the exchange as usual.
 //!
 //! `INSERT`/`DELETE` are only *servable* when the daemon runs a live
 //! engine (`--live`); a read-only daemon still parses them (the parser
@@ -35,11 +46,47 @@
 //! property). Frames longer than [`MAX_LINE_BYTES`] are rejected before
 //! any allocation proportional to their length.
 
+use simsearch_core::JoinPair;
 use simsearch_data::{Match, MatchSet};
 
 /// Upper bound on one frame, terminator excluded. Connections reject
 /// longer lines (and close, since framing is lost beyond this point).
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Pairs per `OK pairs` chunk frame: the worst-case triple is 33 bytes
+/// (three 10-digit u32s plus separators), so 1,000 pairs stay well
+/// under [`MAX_LINE_BYTES`].
+pub const JOIN_CHUNK_PAIRS: usize = 1_000;
+
+/// Which partition join serves a `JOIN` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgo {
+    /// Exact PASS-JOIN over the even-partition segment index (the
+    /// default).
+    #[default]
+    Pass,
+    /// MinJoin: content-defined partitions for long records, exact
+    /// length-window fallback for short ones.
+    MinJoin,
+}
+
+impl JoinAlgo {
+    /// The wire token (`JOIN <k> <token>`).
+    pub fn token(self) -> &'static str {
+        match self {
+            JoinAlgo::Pass => "pass",
+            JoinAlgo::MinJoin => "minjoin",
+        }
+    }
+
+    fn parse(token: &[u8]) -> Option<Self> {
+        match token {
+            b"pass" => Some(JoinAlgo::Pass),
+            b"minjoin" => Some(JoinAlgo::MinJoin),
+            _ => None,
+        }
+    }
+}
 
 /// A client→server frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +104,14 @@ pub enum Request {
         count: u32,
         /// Query string.
         text: Vec<u8>,
+    },
+    /// `JOIN <k> [algo]`: every record pair within edit distance `k`,
+    /// streamed as a header frame plus pair chunks.
+    Join {
+        /// Join distance threshold.
+        k: u32,
+        /// Partition algorithm serving the join.
+        algo: JoinAlgo,
     },
     /// `INSERT <text>`: append a record to a live engine; the reply
     /// carries the assigned global id.
@@ -97,6 +152,14 @@ pub enum Response {
         /// `true` when the id was live (and is now tombstoned).
         existed: bool,
     },
+    /// `OK join <total>`: header of a `JOIN` reply stream — `total`
+    /// pairs follow in `OK pairs` chunk frames.
+    JoinHeader {
+        /// How many pairs the stream carries in total.
+        total: u64,
+    },
+    /// `OK pairs <n> l:r:d,…`: one chunk of a `JOIN` reply stream.
+    JoinPairs(Vec<JoinPair>),
     /// `OK {…}`: reply to `STATS` (single-line JSON).
     Stats(String),
     /// `OK bye`: reply to `SHUTDOWN`; the server drains and exits.
@@ -120,6 +183,8 @@ pub enum ProtocolError {
     MissingFields(&'static str),
     /// The verb requires one argument that is missing.
     MissingArg(&'static str, &'static str),
+    /// The `JOIN` algorithm token is not recognized.
+    UnknownAlgo(String),
     /// The frame contains a CR or LF where none is allowed.
     BadByte,
 }
@@ -133,7 +198,7 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::UnknownVerb(v) => write!(
                 f,
-                "unknown verb '{v}' (expected QUERY, TOPK, INSERT, DELETE, STATS, HEALTH, SHUTDOWN)"
+                "unknown verb '{v}' (expected QUERY, TOPK, JOIN, INSERT, DELETE, STATS, HEALTH, SHUTDOWN)"
             ),
             ProtocolError::BadInteger(s) => write!(f, "bad integer '{s}'"),
             ProtocolError::MissingFields(verb) => {
@@ -141,6 +206,9 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::MissingArg(verb, expected) => {
                 write!(f, "{verb} requires '{expected}'")
+            }
+            ProtocolError::UnknownAlgo(a) => {
+                write!(f, "unknown join algorithm '{a}' (expected pass or minjoin)")
             }
             ProtocolError::BadByte => write!(f, "frame contains CR/LF"),
         }
@@ -204,6 +272,25 @@ pub fn parse_request(line: &[u8]) -> Result<Request, ProtocolError> {
             text: text.to_vec(),
         });
     }
+    if let Some(rest) = line.strip_prefix(b"JOIN ") {
+        // `JOIN <k>` is self-delimiting (unlike QUERY, whose text may
+        // be empty), so the algo token is genuinely optional.
+        let (num, algo) = match rest.iter().position(|&b| b == b' ') {
+            Some(sep) => {
+                let (num, token) = rest.split_at(sep);
+                let algo = JoinAlgo::parse(&token[1..]).ok_or_else(|| {
+                    ProtocolError::UnknownAlgo(String::from_utf8_lossy(&token[1..]).into_owned())
+                })?;
+                (num, algo)
+            }
+            None => (rest, JoinAlgo::default()),
+        };
+        let k = std::str::from_utf8(num)
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| ProtocolError::BadInteger(String::from_utf8_lossy(num).into_owned()))?;
+        return Ok(Request::Join { k, algo });
+    }
     if let Some(text) = line.strip_prefix(b"INSERT ") {
         // The whole remainder is the record — it may be empty and may
         // contain spaces, exactly like query text.
@@ -223,6 +310,7 @@ pub fn parse_request(line: &[u8]) -> Result<Request, ProtocolError> {
     match line {
         b"INSERT" => return Err(ProtocolError::MissingArg("INSERT", "<text>")),
         b"DELETE" => return Err(ProtocolError::MissingArg("DELETE", "<id>")),
+        b"JOIN" => return Err(ProtocolError::MissingArg("JOIN", "<k> [pass|minjoin]")),
         _ => {}
     }
     let verb = line.split(|&b| b == b' ').next().unwrap_or(line);
@@ -258,6 +346,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             out.extend_from_slice(text);
             out
         }
+        Request::Join { k, algo } => format!("JOIN {k} {}", algo.token()).into_bytes(),
         Request::Delete { id } => format!("DELETE {id}").into_bytes(),
         Request::Stats => b"STATS".to_vec(),
         Request::Health => b"HEALTH".to_vec(),
@@ -282,6 +371,15 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         Response::Inserted(id) => format!("OK id={id}").into_bytes(),
         Response::Deleted { existed: true } => b"OK deleted".to_vec(),
         Response::Deleted { existed: false } => b"OK absent".to_vec(),
+        Response::JoinHeader { total } => format!("OK join {total}").into_bytes(),
+        Response::JoinPairs(pairs) => {
+            let mut out = format!("OK pairs {}", pairs.len());
+            for (i, p) in pairs.iter().enumerate() {
+                out.push(if i == 0 { ' ' } else { ',' });
+                out.push_str(&format!("{}:{}:{}", p.left, p.right, p.distance));
+            }
+            out.into_bytes()
+        }
         Response::Stats(json) => format!("OK {json}").into_bytes(),
         Response::Bye => b"OK bye".to_vec(),
         Response::Error(msg) => {
@@ -317,6 +415,20 @@ pub fn parse_response(line: &[u8]) -> Result<Response, ProtocolError> {
                     ProtocolError::BadInteger(String::from_utf8_lossy(id).into_owned())
                 })?;
             return Ok(Response::Inserted(id));
+        }
+        // The join frames must be dispatched before the match-list
+        // fallback, which would try (and fail) to split their triples.
+        if let Some(total) = payload.strip_prefix(b"join ") {
+            let total = std::str::from_utf8(total)
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    ProtocolError::BadInteger(String::from_utf8_lossy(total).into_owned())
+                })?;
+            return Ok(Response::JoinHeader { total });
+        }
+        if let Some(list) = payload.strip_prefix(b"pairs ") {
+            return parse_pairs(list);
         }
         if payload.first() == Some(&b'{') {
             let json = std::str::from_utf8(payload)
@@ -365,6 +477,44 @@ fn parse_matches(payload: &[u8]) -> Result<Response, ProtocolError> {
     Ok(Response::Matches(matches))
 }
 
+fn parse_pairs(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ProtocolError::BadInteger("non-UTF-8 pair list".into()))?;
+    let (count_str, list) = match text.split_once(' ') {
+        Some((c, l)) => (c, Some(l)),
+        None => (text, None),
+    };
+    let count: usize = count_str
+        .parse()
+        .map_err(|_| ProtocolError::BadInteger(count_str.to_string()))?;
+    let mut pairs = Vec::new();
+    if let Some(list) = list {
+        for item in list.split(',') {
+            let mut fields = item.split(':');
+            let (l, r, d) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(l), Some(r), Some(d), None) => (l, r, d),
+                _ => return Err(ProtocolError::BadInteger(item.to_string())),
+            };
+            let parse = |s: &str| {
+                s.parse::<u32>()
+                    .map_err(|_| ProtocolError::BadInteger(s.to_string()))
+            };
+            pairs.push(JoinPair {
+                left: parse(l)?,
+                right: parse(r)?,
+                distance: parse(d)?,
+            });
+        }
+    }
+    if pairs.len() != count {
+        return Err(ProtocolError::BadInteger(format!(
+            "count {count} != {} pairs",
+            pairs.len()
+        )));
+    }
+    Ok(Response::JoinPairs(pairs))
+}
+
 /// Encodes a [`MatchSet`] as the canonical `OK …` reply.
 pub fn matches_response(matches: &MatchSet) -> Response {
     Response::Matches(matches.iter().copied().collect())
@@ -399,6 +549,14 @@ mod tests {
             Request::Insert { text: Vec::new() }, // empty record is legal
             Request::Delete { id: 0 },
             Request::Delete { id: u32::MAX },
+            Request::Join {
+                k: 1,
+                algo: JoinAlgo::Pass,
+            },
+            Request::Join {
+                k: u32::MAX,
+                algo: JoinAlgo::MinJoin,
+            },
             Request::Stats,
             Request::Health,
             Request::Shutdown,
@@ -424,6 +582,21 @@ mod tests {
             Response::Deleted { existed: false },
             Response::Stats("{\"schema\": \"simsearch-bench-v2\"}".into()),
             Response::Error("bad integer 'x'".into()),
+            Response::JoinHeader { total: 0 },
+            Response::JoinHeader { total: u64::MAX },
+            Response::JoinPairs(vec![]),
+            Response::JoinPairs(vec![
+                JoinPair {
+                    left: 0,
+                    right: 7,
+                    distance: 1,
+                },
+                JoinPair {
+                    left: u32::MAX - 1,
+                    right: u32::MAX,
+                    distance: 0,
+                },
+            ]),
         ];
         for r in cases {
             let encoded = encode_response(&r);
@@ -452,6 +625,14 @@ mod tests {
             b"DELETE 99999999999999999999",  // u32 overflow
             b"DELETE 1 2",                   // trailing junk
             b"insert a",
+            b"JOIN",                         // bare verb
+            b"JOIN x",                       // non-numeric k
+            b"JOIN -1",
+            b"JOIN 99999999999999999999",    // u32 overflow
+            b"JOIN 1 quantum",               // unknown algorithm
+            b"JOIN 1 pass extra",            // trailing junk
+            b"JOIN 1 PASS",                  // tokens are case-sensitive
+            b"join 1",
         ];
         for frame in bad {
             assert!(
@@ -479,6 +660,39 @@ mod tests {
     }
 
     #[test]
+    fn join_requests_parse_with_and_without_algo() {
+        assert_eq!(
+            parse_request(b"JOIN 2"),
+            Ok(Request::Join {
+                k: 2,
+                algo: JoinAlgo::Pass,
+            })
+        );
+        assert_eq!(
+            parse_request(b"JOIN 0 minjoin"),
+            Ok(Request::Join {
+                k: 0,
+                algo: JoinAlgo::MinJoin,
+            })
+        );
+        let err = parse_request(b"JOIN 1 quantum").unwrap_err();
+        assert_eq!(err, ProtocolError::UnknownAlgo("quantum".into()));
+        assert!(err.to_string().contains("minjoin"));
+    }
+
+    #[test]
+    fn pair_list_count_and_shape_must_agree() {
+        assert!(parse_response(b"OK pairs 2 1:2:0").is_err());
+        assert!(parse_response(b"OK pairs 0").is_ok());
+        assert!(parse_response(b"OK pairs 1 1:2:0").is_ok());
+        assert!(parse_response(b"OK pairs 1 1:2").is_err()); // pair, not match
+        assert!(parse_response(b"OK pairs 1 1:2:0:9").is_err());
+        assert!(parse_response(b"OK pairs 1 1:x:0").is_err());
+        assert!(parse_response(b"OK join x").is_err());
+        assert!(parse_response(b"OK join").is_err()); // falls through to matches: bad count
+    }
+
+    #[test]
     fn error_display_is_actionable() {
         let err = parse_request(b"NOPE").unwrap_err();
         assert!(err.to_string().contains("NOPE"));
@@ -489,6 +703,10 @@ mod tests {
         assert!(err.to_string().contains("<text>"));
         let err = parse_request(b"DELETE").unwrap_err();
         assert_eq!(err, ProtocolError::MissingArg("DELETE", "<id>"));
+        let err = parse_request(b"NOPE").unwrap_err();
+        assert!(err.to_string().contains("JOIN"));
+        let err = parse_request(b"JOIN").unwrap_err();
+        assert_eq!(err, ProtocolError::MissingArg("JOIN", "<k> [pass|minjoin]"));
     }
 
     #[test]

@@ -383,6 +383,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(Request::Delete { id }) => {
                 enqueue_and_wait(shared, Work::Delete { id }, Vec::new())
             }
+            // JOIN replies span several frames; stream them as they
+            // arrive instead of collecting one Response.
+            Ok(Request::Join { k, algo }) => {
+                if enqueue_join_and_stream(shared, k, algo, &mut writer).is_err() {
+                    return; // client hung up
+                }
+                continue;
+            }
         };
         if write_frame(&mut writer, &response).is_err() {
             return; // client hung up
@@ -413,5 +421,63 @@ fn enqueue_and_wait(shared: &Shared, work: Work, text: Vec<u8>) -> Response {
             Response::Busy
         }
         Err(PushError::Closed(_)) => Response::Error("server shutting down".into()),
+    }
+}
+
+/// `JOIN` through the same admission queue, but the reply is a stream:
+/// the worker sends `OK join <total>` followed by `OK pairs` chunks
+/// over the pending's channel, and this forwards each frame to the
+/// socket as it lands. Any non-header first frame (`BUSY`, `TIMEOUT`,
+/// `ERR`) is terminal, exactly like a single-frame reply.
+fn enqueue_join_and_stream(
+    shared: &Shared,
+    k: u32,
+    algo: crate::protocol::JoinAlgo,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    let (reply, receiver) = mpsc::channel();
+    let pending = Pending {
+        work: Work::Join { k, algo },
+        text: Vec::new(),
+        admitted: Instant::now(),
+        reply,
+    };
+    match shared.admission.push(pending) {
+        Ok(()) => {
+            shared.metrics.requests_admitted.inc();
+            let mut expected: Option<u64> = None;
+            let mut streamed = 0u64;
+            loop {
+                let frame = match receiver.recv_timeout(shared.reply_timeout) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        return write_frame(writer, &Response::Error("reply channel broken".into()))
+                    }
+                };
+                let done = match &frame {
+                    Response::JoinHeader { total } => {
+                        expected = Some(*total);
+                        *total == 0
+                    }
+                    Response::JoinPairs(pairs) => {
+                        streamed += pairs.len() as u64;
+                        expected.is_some_and(|total| streamed >= total)
+                    }
+                    // BUSY / TIMEOUT / ERR: single-frame refusal.
+                    _ => true,
+                };
+                write_frame(writer, &frame)?;
+                if done {
+                    return Ok(());
+                }
+            }
+        }
+        Err(PushError::Full(_)) => {
+            shared.metrics.rejected_busy.inc();
+            write_frame(writer, &Response::Busy)
+        }
+        Err(PushError::Closed(_)) => {
+            write_frame(writer, &Response::Error("server shutting down".into()))
+        }
     }
 }

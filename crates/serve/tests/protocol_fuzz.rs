@@ -323,6 +323,175 @@ fn queries_stay_byte_identical_under_concurrent_mutation() {
 }
 
 #[test]
+fn join_requests_round_trip() {
+    // JOIN carries any u32 threshold and one of the two algorithm
+    // tokens; encode→parse must be the identity, like every verb.
+    let cases = gen::zip(gen::u32_in(0..u32::MAX), gen::u32_in(0..2));
+    check(
+        "join_requests_round_trip",
+        Config::default(),
+        &cases,
+        |(k, which): &(u32, u32)| -> TestResult {
+            let algo = if *which == 0 {
+                simsearch_serve::JoinAlgo::Pass
+            } else {
+                simsearch_serve::JoinAlgo::MinJoin
+            };
+            let request = Request::Join { k: *k, algo };
+            prop_assert_eq!(parse_request(&encode_request(&request)), Ok(request));
+            Ok(())
+        },
+    );
+}
+
+/// Drains one full `JOIN` reply stream as raw frames: the `OK join`
+/// header plus every `OK pairs` chunk until the advertised total.
+fn drain_join_stream(client: &mut simsearch_serve::Client, frame: &[u8]) -> Vec<Vec<u8>> {
+    let header = client.send_raw(frame).expect("join header");
+    let text = String::from_utf8_lossy(&header).into_owned();
+    let total: u64 = text
+        .strip_prefix("OK join ")
+        .unwrap_or_else(|| panic!("not a join header: {text:?}"))
+        .parse()
+        .expect("numeric total");
+    let mut frames = vec![header];
+    let mut streamed = 0u64;
+    while streamed < total {
+        let chunk = client.recv_raw().expect("pair chunk");
+        let text = String::from_utf8_lossy(&chunk).into_owned();
+        let count: u64 = text
+            .strip_prefix("OK pairs ")
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("not a pair chunk: {text:?}"))
+            .parse()
+            .expect("numeric chunk count");
+        streamed += count;
+        frames.push(chunk);
+    }
+    frames
+}
+
+/// Malformed JOIN frames over a live socket: every one gets a single
+/// `ERR` line — never a dangling stream — and well-formed joins keep
+/// working on the same connection afterwards.
+#[test]
+fn malformed_join_frames_get_err_replies() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern", "Bonn", "Born", "Ulm"]),
+        EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        ServerConfig::default(),
+    );
+    let mut client = server.client();
+    for frame in [
+        &b"JOIN"[..],          // bare verb: missing argument
+        b"JOIN x",             // non-numeric threshold
+        b"JOIN -1",            // signs are not part of the grammar
+        b"JOIN 99999999999999999999", // u32 overflow
+        b"JOIN 1 quantum",     // unknown algorithm
+        b"JOIN 1 PASS",        // algorithm tokens are case-sensitive
+        b"JOIN 1 pass extra",  // trailing junk after the algorithm
+        b"join 1",             // verbs are case-sensitive
+        b"JOINx",              // no separating space
+    ] {
+        let reply = client.send_raw(frame).expect("a reply");
+        assert!(
+            reply.starts_with(b"ERR "),
+            "{:?} got {:?}",
+            String::from_utf8_lossy(frame),
+            String::from_utf8_lossy(&reply)
+        );
+    }
+    // The connection survived all of it: a real join streams, and both
+    // spellings (defaulted and explicit algorithm) agree.
+    let pairs = client.join(2, simsearch_serve::JoinAlgo::Pass).expect("join");
+    assert!(!pairs.is_empty(), "Bern/Bonn/Born are within distance 2");
+    let frames = drain_join_stream(&mut client, b"JOIN 2");
+    assert!(frames[0].starts_with(b"OK join "), "defaulted algo streams too");
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}
+
+/// JOIN on a `--live` daemon is refused with a single `ERR` frame that
+/// names the fix — never a header the client would wait behind — and
+/// the refusal stays byte-identical while churn runs on the engine.
+#[test]
+fn live_daemons_refuse_join_with_a_stable_error() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern"]),
+        EngineKind::Live { memtable_cap: 4 },
+        ServerConfig::default(),
+    );
+    let mut client = server.client();
+    let baseline = client.send_raw(b"JOIN 1 pass").expect("a reply");
+    assert!(
+        baseline.starts_with(b"ERR ") && baseline.windows(6).any(|w| w == b"frozen"),
+        "got {:?}",
+        String::from_utf8_lossy(&baseline)
+    );
+    // Churn the engine between refusals: the reply must not depend on
+    // engine state. Filler records are one repeated letter, 40 bytes.
+    for i in 0..26u8 {
+        let filler = [b'a' + i; 40];
+        let id = client.insert(&filler).expect("churn insert");
+        assert_eq!(
+            client.send_raw(b"JOIN 1 pass").expect("a reply"),
+            baseline,
+            "refusal diverged after insert #{i}"
+        );
+        assert!(client.delete(id).expect("churn delete"));
+    }
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}
+
+/// Concurrent JOIN streams on a frozen daemon: while one client drains
+/// join streams in a loop, another client's streams stay byte-identical
+/// frame-for-frame — ordering inside a stream is per-connection and
+/// never interleaves across connections.
+#[test]
+fn join_streams_stay_byte_identical_under_concurrent_joins() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern", "Bonn", "Born", "Ulm", "Ulmen"]),
+        EngineKind::Scan(SeqVariant::V7SortedPrefix),
+        ServerConfig::default(),
+    );
+    let expected = drain_join_stream(&mut server.client(), b"JOIN 2 pass");
+    assert!(expected.len() >= 2, "header plus at least one chunk");
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let rival = {
+        let stop = std::sync::Arc::clone(&stop);
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut c = simsearch_serve::Client::connect_retry(
+                addr,
+                std::time::Duration::from_secs(5),
+            )
+            .expect("rival client");
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let pairs = c.join(2, simsearch_serve::JoinAlgo::MinJoin).expect("rival join");
+                assert!(!pairs.is_empty());
+            }
+        })
+    };
+
+    let mut client = server.client();
+    for round in 0..60 {
+        assert_eq!(
+            drain_join_stream(&mut client, b"JOIN 2 pass"),
+            expected,
+            "round {round}: join stream diverged under concurrent joins"
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    rival.join().expect("rival client thread");
+
+    assert!(server.metrics().joins.get() >= 61, "every stream was counted");
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}
+
+#[test]
 fn empty_and_whitespace_frames_get_err_replies() {
     let server = Loopback::spawn(
         Dataset::from_records(["Berlin"]),
