@@ -29,11 +29,15 @@ cargo test -q --offline --test shard_oracle
 # Live-ingest gates: any interleaving of INSERT/DELETE/QUERY/TOPK/
 # COMPACT must answer exactly like a fresh V1 scan over the surviving
 # records (shrinking to a minimal interleaving on failure), under every
-# executor × thread count; and every compaction step — flush, tiered
-# merge, tombstone elision — must be an atomic re-layout that queries
-# racing it can never observe half-done.
+# executor × thread count — for the unsharded engine AND every sharded
+# live composite (1/2/4 hash-routed shards); and every compaction step —
+# flush, tiered merge, tombstone elision — must be an atomic re-layout
+# that queries racing it (including per-shard compactors running
+# concurrently) can never observe half-done. The mutation router's laws
+# (purity, dense disjoint ids, delete-finds-inserter) gate separately.
 cargo test -q --offline --test live_oracle
 cargo test -q --offline --test live_compaction
+cargo test -q --offline -p simsearch-testkit --test router_props
 
 # V8 bit-parallel gate: the Myers-block sweep (as an engine, as a
 # planner arm under static and calibrated routing, and pinned per
@@ -228,3 +232,49 @@ if kill -0 "$serve_pid" 2>/dev/null; then
     exit 1
 fi
 wait "$serve_pid"
+
+# Sharded-live serve smoke: --live composes with --shards — 4 hash-
+# routed LiveEngine shards behind one daemon. INSERT routes to one
+# shard and is immediately visible to cross-shard QUERY, DELETE finds
+# the inserting shard, and STATS carries per-shard LSM gauges
+# ("s<i>.memtable_len" keys) alongside the aggregates, still as valid
+# JSON per the in-house validator.
+rm -f "$smoke_dir/port"
+"$SIMSEARCH" serve --data "$smoke_dir/city.data" --live --shards 4 \
+    --memtable-cap 64 --port 0 --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+"$SIMSEARCH" client --port "$port" --send 'INSERT zz#live-smoke-9' | grep -qx 'OK id=2000'
+"$SIMSEARCH" client --port "$port" --send 'QUERY 0 zz#live-smoke-9' | grep -qx 'OK 1 2000:0'
+"$SIMSEARCH" client --port "$port" --send 'DELETE 2000' | grep -qx 'OK deleted'
+"$SIMSEARCH" client --port "$port" --send 'DELETE 2000' | grep -qx 'OK absent'
+"$SIMSEARCH" client --port "$port" --send 'QUERY 0 zz#live-smoke-9' | grep -qx 'OK 0'
+stats=$("$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS')
+echo "$stats" | grep -q '"s0\.memtable_len"'
+echo "$stats" | grep -q '"s3\.memtable_len"'
+echo "$stats" | grep -q '"memtable_len"'
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd (sharded live) failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"
+
+# A len partitioner cannot route live inserts: the daemon must refuse
+# to boot, with a message naming the fix, before binding a port.
+if "$SIMSEARCH" serve --data "$smoke_dir/city.data" --live --shards 2 \
+    --shard-by len --port 0 2>"$smoke_dir/reject.err"; then
+    echo "simsearchd accepted --live --shards --shard-by len" >&2
+    exit 1
+fi
+grep -q 'shard-by hash' "$smoke_dir/reject.err"

@@ -84,10 +84,11 @@ pub struct ServeArgs {
     /// Shard partitioner (`--shard-by len|hash`).
     pub shard_by: ShardBy,
     /// Serve a live (mutable) engine: the dataset seeds an LSM engine
-    /// and the daemon accepts `INSERT`/`DELETE`. Incompatible with
-    /// `--shards` ≥ 2 and overrides the engine selector.
+    /// and the daemon accepts `INSERT`/`DELETE`. Overrides the engine
+    /// selector. With `--shards` ≥ 2 every shard is its own LSM engine
+    /// (hash-routed mutations; requires `--shard-by hash`).
     pub live: bool,
-    /// Memtable flush threshold for `--live` (records).
+    /// Per-(shard-)memtable flush threshold for `--live` (records).
     pub memtable_cap: usize,
 }
 
@@ -247,7 +248,12 @@ actually-bound address on stdout before accepting connections.
 
 With --live the dataset seeds a mutable LSM engine (memtable + sorted
 segments) and the daemon accepts INSERT/DELETE; --memtable-cap sets the
-flush threshold (default 1024). Without --live those verbs answer ERR.
+per-(shard-)memtable flush threshold (default 1024). Without --live
+those verbs answer ERR. --live composes with --shards N: every shard is
+its own LSM engine, inserts route by content hash from one global id
+space, deletes route to the owning shard, and shards flush/compact
+independently. Sharded live ingest requires --shard-by hash (length
+bands shift as the dataset grows, so `len` cannot route inserts).
 ";
 
 /// Parses an argument vector (without the program name).
@@ -444,6 +450,7 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
     let mut deadline_ms = 10_000u64;
     let mut shards = 0usize;
     let mut shard_by = ShardBy::Len;
+    let mut shard_by_explicit = false;
     let mut live = false;
     let mut memtable_cap = 1024usize;
     let int = |v: &str, flag: &str| -> Result<u64, String> {
@@ -488,7 +495,10 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
                 deadline_ms = int(value(&mut it, "--deadline-ms")?, "--deadline-ms")?
             }
             "--shards" => shards = int(value(&mut it, "--shards")?, "--shards")? as usize,
-            "--shard-by" => shard_by = shard_by_value(value(&mut it, "--shard-by")?)?,
+            "--shard-by" => {
+                shard_by = shard_by_value(value(&mut it, "--shard-by")?)?;
+                shard_by_explicit = true;
+            }
             "--live" => live = true,
             "--memtable-cap" => {
                 memtable_cap = int(value(&mut it, "--memtable-cap")?, "--memtable-cap")? as usize;
@@ -500,7 +510,16 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
         }
     }
     if live && shards >= 2 {
-        return Err("--live is incompatible with --shards (the live engine is unsharded)".into());
+        if shard_by_explicit && shard_by == ShardBy::Len {
+            return Err(
+                "--shard-by len cannot route live inserts (length bands shift as the dataset \
+                 grows); use --shard-by hash with --live --shards"
+                    .into(),
+            );
+        }
+        // Bare `--live --shards N` gets the only partitioner that can
+        // route mutations; the `len` default only applies to frozen shards.
+        shard_by = ShardBy::Hash;
     }
     Ok(ServeArgs {
         data: data.ok_or("serve requires --data")?,
@@ -711,13 +730,42 @@ mod tests {
         // --live without --memtable-cap keeps the default.
         let cmd = parse(&v(&["serve", "--data", "d.txt", "--live"])).unwrap();
         assert!(matches!(cmd, Command::Serve(s) if s.live && s.memtable_cap == 1024));
-        // The live engine is unsharded; a sharded live daemon is a
-        // contradiction and must be rejected at parse time.
-        assert!(parse(&v(&["serve", "--data", "d", "--live", "--shards", "2"])).is_err());
-        // shards 0/1 mean "unsharded" and stay compatible.
-        assert!(parse(&v(&["serve", "--data", "d", "--live", "--shards", "1"])).is_ok());
         assert!(parse(&v(&["serve", "--data", "d", "--memtable-cap", "0"])).is_err());
         assert!(parse(&v(&["serve", "--data", "d", "--memtable-cap", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_sharded_live() {
+        // A bare sharded live daemon defaults the partitioner to hash —
+        // the only one that can route mutations.
+        let cmd = parse(&v(&["serve", "--data", "d", "--live", "--shards", "4"])).unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert!(s.live);
+                assert_eq!(s.shards, 4);
+                assert_eq!(s.shard_by, ShardBy::Hash, "live shards default to hash routing");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Saying hash explicitly is fine too.
+        let cmd = parse(&v(&[
+            "serve", "--data", "d", "--live", "--shards", "2", "--shard-by", "hash",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Serve(s) if s.live && s.shards == 2));
+        // An explicit len partitioner cannot route inserts: fail fast with
+        // a message that names the fix.
+        let err = parse(&v(&[
+            "serve", "--data", "d", "--live", "--shards", "2", "--shard-by", "len",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--shard-by hash"), "actionable message, got: {err}");
+        // shards 0/1 mean "unsharded": the len default survives untouched.
+        let cmd = parse(&v(&["serve", "--data", "d", "--live", "--shards", "1"])).unwrap();
+        assert!(matches!(cmd, Command::Serve(s) if s.shard_by == ShardBy::Len));
+        // Frozen sharding (no --live) keeps its len default.
+        let cmd = parse(&v(&["serve", "--data", "d", "--shards", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Serve(s) if s.shard_by == ShardBy::Len));
     }
 
     #[test]

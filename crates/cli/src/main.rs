@@ -247,9 +247,16 @@ fn run_serve(a: ServeArgs) -> Result<(), String> {
     // Sharded serving: per-shard calibrated planners, sequential
     // per-query fan-out (batch workers supply the concurrency).
     // Live serving: the dataset seeds a mutable LSM engine and the
-    // daemon accepts INSERT/DELETE (parse_serve rejects --live with
-    // --shards, so these never collide).
-    let kind = if a.live {
+    // daemon accepts INSERT/DELETE. Both together compose: hash-routed
+    // LiveEngine shards with per-shard flush and compaction.
+    let kind = if a.live && a.shards >= 2 {
+        EngineKind::ShardedLive {
+            shards: a.shards,
+            by: a.shard_by,
+            threads: 1,
+            memtable_cap: a.memtable_cap,
+        }
+    } else if a.live {
         EngineKind::Live {
             memtable_cap: a.memtable_cap,
         }

@@ -145,6 +145,66 @@ pub trait Backend: Send + Sync {
     }
 }
 
+/// Shared handles are backends too: an `Arc<T>` forwards every method
+/// (including the provided ones, so `T`'s overrides are never shadowed
+/// by the trait defaults). This is what lets a live engine be owned
+/// simultaneously by the serving layer's mutation path and a sharded
+/// composite's read fan-out without a bespoke wrapper per consumer.
+impl<T: Backend + ?Sized> Backend for std::sync::Arc<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn prepare(&self) {
+        (**self).prepare()
+    }
+
+    fn search(&self, query: &[u8], k: u32) -> MatchSet {
+        (**self).search(query, k)
+    }
+
+    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        (**self).search_counting(query, k)
+    }
+
+    fn search_top_k_with(
+        &self,
+        query: &[u8],
+        count: usize,
+        max_radius: u32,
+    ) -> (Vec<Match>, u64) {
+        (**self).search_top_k_with(query, count, max_radius)
+    }
+
+    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
+        (**self).cost_hint(snapshot, query_len, k)
+    }
+
+    fn diag(&self) -> BackendDiag {
+        (**self).diag()
+    }
+
+    fn plan_counts(&self) -> Option<Vec<(&'static str, u64)>> {
+        (**self).plan_counts()
+    }
+
+    fn shard_stats(&self) -> Option<Vec<crate::sharded::ShardStats>> {
+        (**self).shard_stats()
+    }
+
+    fn preferred_strategy(&self) -> Strategy {
+        (**self).preferred_strategy()
+    }
+
+    fn run_workload(&self, workload: &Workload) -> Vec<MatchSet> {
+        (**self).run_workload(workload)
+    }
+
+    fn run_with_strategy(&self, workload: &Workload, strategy: Strategy) -> Vec<MatchSet> {
+        (**self).run_with_strategy(workload, strategy)
+    }
+}
+
 /// A rung of the paper's sequential-scan ladder behind the trait.
 pub struct ScanBackend<'a> {
     scan: SequentialScan<'a>,

@@ -130,15 +130,61 @@ pub enum EngineKind {
     },
     /// Live ingest: an LSM-shaped [`LiveEngine`](crate::lsm::LiveEngine)
     /// (append-only memtable + tombstones in front of immutable V7
-    /// segments) seeded from the dataset. The only mutable engine —
-    /// the serving layer's `--live` mode.
+    /// segments) seeded from the dataset. Mutable — the serving
+    /// layer's `--live` mode.
     Live {
         /// Memtable flush threshold (records).
+        memtable_cap: usize,
+    },
+    /// Sharded live ingest: [`ShardedBackend::live`] — every shard a
+    /// [`LiveEngine`](crate::lsm::LiveEngine), inserts routed by
+    /// content hash from one global id space, deletes routed to the
+    /// owning shard. The serving layer's `--live --shards N` mode.
+    /// Validate with [`EngineKind::validate`] before building: the
+    /// `len` partitioner with ≥ 2 shards and a zero memtable cap are
+    /// both rejected.
+    ShardedLive {
+        /// Number of shards (clamped to ≥ 1).
+        shards: usize,
+        /// How records are assigned to shards (`hash` required at ≥ 2
+        /// shards).
+        by: ShardBy,
+        /// Worker threads for fan-out and workload execution.
+        threads: usize,
+        /// Per-shard memtable flush threshold (records).
         memtable_cap: usize,
     },
 }
 
 impl EngineKind {
+    /// Checks constraints that [`build_backend`] would otherwise panic
+    /// on — currently only [`EngineKind::ShardedLive`] has any (the
+    /// `len` partitioner with ≥ 2 shards, a zero memtable cap, > 256
+    /// shards). Callers that build from untrusted input (the CLI, the
+    /// serving layer's `spawn`) surface the message as a usage error.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            EngineKind::ShardedLive {
+                shards,
+                by,
+                threads,
+                memtable_cap,
+            } => {
+                // Probe-build on an empty dataset: `ShardedBackend::live`
+                // owns the real rules; this just runs them early.
+                crate::sharded::ShardedBackend::live(
+                    &Dataset::new(),
+                    shards,
+                    by,
+                    threads,
+                    crate::lsm::LsmConfig { memtable_cap },
+                )
+                .map(|_| ())
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Human-readable name for reports.
     pub fn name(&self) -> String {
         match self {
@@ -160,6 +206,15 @@ impl EngineKind {
                 threads,
             } => format!("sharded[s={shards}/{}/threads={threads}]", by.name()),
             EngineKind::Live { memtable_cap } => format!("live[lsm/cap={memtable_cap}]"),
+            EngineKind::ShardedLive {
+                shards,
+                by,
+                threads,
+                memtable_cap,
+            } => format!(
+                "sharded-live[s={shards}/{}/cap={memtable_cap}/threads={threads}]",
+                by.name()
+            ),
         }
     }
 }
@@ -205,6 +260,23 @@ pub fn build_backend<'a>(dataset: &'a Dataset, kind: EngineKind) -> Box<dyn Back
             dataset,
             crate::lsm::LsmConfig { memtable_cap },
         )),
+        EngineKind::ShardedLive {
+            shards,
+            by,
+            threads,
+            memtable_cap,
+        } => Box::new(
+            // Panics on an invalid combination; run `EngineKind::validate`
+            // first when the kind comes from untrusted input.
+            ShardedBackend::live(
+                dataset,
+                shards,
+                by,
+                threads,
+                crate::lsm::LsmConfig { memtable_cap },
+            )
+            .expect("invalid ShardedLive configuration (EngineKind::validate catches this)"),
+        ),
     }
 }
 
@@ -400,6 +472,18 @@ mod tests {
                 threads: 2,
             },
             EngineKind::Live { memtable_cap: 4 },
+            EngineKind::ShardedLive {
+                shards: 1,
+                by: crate::sharded::ShardBy::Len,
+                threads: 1,
+                memtable_cap: 4,
+            },
+            EngineKind::ShardedLive {
+                shards: 4,
+                by: crate::sharded::ShardBy::Hash,
+                threads: 2,
+                memtable_cap: 4,
+            },
         ]
     }
 
@@ -547,6 +631,40 @@ mod tests {
             workload.len() as u64
         );
         assert!(auto.diag().plan.is_some());
+    }
+
+    #[test]
+    fn sharded_live_validation_fails_fast_on_bad_configurations() {
+        let bad_len = EngineKind::ShardedLive {
+            shards: 2,
+            by: crate::sharded::ShardBy::Len,
+            threads: 1,
+            memtable_cap: 4,
+        };
+        let err = bad_len.validate().unwrap_err();
+        assert!(err.contains("--shard-by hash"), "actionable: {err}");
+        let bad_cap = EngineKind::ShardedLive {
+            shards: 2,
+            by: crate::sharded::ShardBy::Hash,
+            threads: 1,
+            memtable_cap: 0,
+        };
+        assert!(bad_cap.validate().unwrap_err().contains("--memtable-cap"));
+        let good = EngineKind::ShardedLive {
+            shards: 4,
+            by: crate::sharded::ShardBy::Hash,
+            threads: 2,
+            memtable_cap: 64,
+        };
+        assert!(good.validate().is_ok());
+        // A single live shard routes trivially, so `len` is accepted.
+        let single = EngineKind::ShardedLive {
+            shards: 1,
+            by: crate::sharded::ShardBy::Len,
+            threads: 1,
+            memtable_cap: 64,
+        };
+        assert!(single.validate().is_ok());
     }
 
     #[test]

@@ -51,10 +51,10 @@ pub use backend::{
     RadixBackend, SortedScanBackend,
 };
 pub use engine::{build_backend, EngineKind, IdxVariant, SearchEngine};
-pub use lsm::{LiveEngine, LiveStats, LsmConfig};
+pub use lsm::{LiveEngine, LiveStats, LsmConfig, MutableBackend};
 pub use sharded::{
-    merge_match_sets, partition_ids, remap_to_global, ShardAutoBackend, ShardBy, ShardStats,
-    ShardedBackend,
+    merge_match_sets, partition_ids, remap_to_global, route_record, ShardAutoBackend, ShardBy,
+    ShardStats, ShardedBackend,
 };
 pub use planner::{BackendChoice, CostEstimate, Observation, PlanDecision, Planner, QueryClass};
 pub use join::{CrossPair, JoinPair};

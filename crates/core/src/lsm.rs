@@ -60,6 +60,50 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+/// The mutation seam: what a serving layer (or a sharded composite)
+/// needs from an engine that accepts writes, over and above [`Backend`].
+///
+/// [`LiveEngine`] is the primitive implementation; a
+/// [`crate::sharded::ShardedBackend`] built with live shards implements
+/// it too, routing each mutation to the owning shard. Consumers hold an
+/// `Arc<dyn MutableBackend>` and stay agnostic of the shard count.
+pub trait MutableBackend: Backend {
+    /// Appends one record and returns its global id. Ids are assigned
+    /// from one dense, monotone, never-reused space — across every
+    /// shard when the implementation is a composite.
+    fn insert(&self, record: &[u8]) -> RecordId;
+
+    /// Tombstones `id`. Returns `true` when the id named a live record,
+    /// `false` when it was absent or already deleted.
+    fn delete(&self, id: RecordId) -> bool;
+
+    /// Runs one compaction step somewhere if one is due; returns
+    /// whether any work happened. Composites try each shard in turn —
+    /// shards compact independently, there is no global compaction
+    /// lock.
+    fn maybe_compact(&self) -> bool;
+
+    /// Runs [`MutableBackend::maybe_compact`] until no step is due
+    /// anywhere; returns the number of steps taken.
+    fn compact_to_quiescence(&self) -> u64 {
+        let mut steps = 0;
+        while MutableBackend::maybe_compact(self) {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Aggregate LSM statistics (summed across shards for composites).
+    fn live_stats(&self) -> LiveStats;
+
+    /// Per-shard LSM statistics, in shard order; `None` for unsharded
+    /// engines. When `Some`, the entries sum field-wise to
+    /// [`MutableBackend::live_stats`].
+    fn live_shard_stats(&self) -> Option<Vec<LiveStats>> {
+        None
+    }
+}
+
 /// Tuning for [`LiveEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LsmConfig {
@@ -136,7 +180,7 @@ struct LiveInner {
 }
 
 /// A point-in-time summary of the engine, for `STATS` and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LiveStats {
     /// Memtable slots (live + tombstoned-but-unflushed).
     pub memtable_len: usize,
@@ -155,6 +199,21 @@ pub struct LiveStats {
     pub deletes: u64,
     /// Compaction steps completed (flushes + merges).
     pub compactions: u64,
+}
+
+impl LiveStats {
+    /// Field-wise accumulation, for summing per-shard stats into a
+    /// composite aggregate.
+    pub fn accumulate(&mut self, other: &LiveStats) {
+        self.memtable_len += other.memtable_len;
+        self.segments += other.segments;
+        self.segment_records += other.segment_records;
+        self.tombstones += other.tombstones;
+        self.live_records += other.live_records;
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.compactions += other.compactions;
+    }
 }
 
 /// The live-ingest engine: memtable + tombstones in front of immutable
@@ -195,16 +254,41 @@ impl LiveEngine {
     /// `i`, and the whole load is flushed into one prepared segment so
     /// serving starts on the V7 path rather than a giant memtable.
     pub fn from_dataset(dataset: &Dataset, cfg: LsmConfig) -> Self {
+        let globals: Vec<RecordId> = (0..dataset.len() as u32).collect();
+        let next_id = dataset.len() as u32;
+        Self::seeded(dataset.clone(), globals, next_id, cfg)
+    }
+
+    /// Seeds an engine holding an arbitrary slice of a larger id space:
+    /// `data` record `i` gets global id `globals[i]` (strictly
+    /// increasing), and fresh inserts continue from `next_id`. This is
+    /// how a sharded composite loads each shard with its partition of
+    /// the seed dataset while keeping one global id space.
+    pub fn seeded(
+        data: Dataset,
+        globals: Vec<RecordId>,
+        next_id: RecordId,
+        cfg: LsmConfig,
+    ) -> Self {
+        assert_eq!(data.len(), globals.len(), "one global id per record");
+        assert!(
+            globals.windows(2).all(|w| w[0] < w[1]),
+            "seed globals must be strictly increasing"
+        );
+        assert!(
+            globals.last().is_none_or(|&g| g < next_id),
+            "next_id must be past every seeded id"
+        );
+        let seeded = globals.len() as u64;
         let engine = Self::new(cfg);
         {
             let mut inner = engine.inner.write().expect("lsm lock");
-            let globals: Vec<RecordId> = (0..dataset.len() as u32).collect();
-            inner.next_id = dataset.len() as u32;
-            if let Some(segment) = Segment::build(dataset.clone(), globals) {
+            inner.next_id = next_id;
+            if let Some(segment) = Segment::build(data, globals) {
                 inner.segments.push(segment);
             }
         }
-        engine.inserts.store(dataset.len() as u64, Ordering::Relaxed);
+        engine.inserts.store(seeded, Ordering::Relaxed);
         engine
     }
 
@@ -218,12 +302,31 @@ impl LiveEngine {
     pub fn insert(&self, record: &[u8]) -> RecordId {
         let mut inner = self.inner.write().expect("lsm lock");
         let id = inner.next_id;
+        Self::append_locked(&mut inner, &self.inserts, record, id);
+        id
+    }
+
+    /// Appends one record under an externally assigned global id, for
+    /// composites that allocate ids centrally and route records to
+    /// shards. `id` must be at least this engine's next id (gaps are
+    /// fine — they belong to other shards); the memtable id table stays
+    /// strictly increasing, so every read-path invariant is preserved.
+    pub fn insert_with_id(&self, record: &[u8], id: RecordId) {
+        let mut inner = self.inner.write().expect("lsm lock");
+        assert!(
+            id >= inner.next_id,
+            "externally assigned id {id} reuses this shard's id space (next={})",
+            inner.next_id
+        );
+        Self::append_locked(&mut inner, &self.inserts, record, id);
+    }
+
+    fn append_locked(inner: &mut LiveInner, inserts: &AtomicU64, record: &[u8], id: RecordId) {
         assert!(id < u32::MAX, "global id space exhausted");
-        inner.next_id += 1;
+        inner.next_id = id + 1;
         inner.mem.push(record);
         inner.mem_ids.push(id);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        id
+        inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Tombstones `id`. Returns `true` when the id named a live record,
@@ -495,6 +598,28 @@ impl Backend for LiveEngine {
             filters: vec!["length", "tombstone"],
             plan: None,
         }
+    }
+}
+
+impl MutableBackend for LiveEngine {
+    fn insert(&self, record: &[u8]) -> RecordId {
+        LiveEngine::insert(self, record)
+    }
+
+    fn delete(&self, id: RecordId) -> bool {
+        LiveEngine::delete(self, id)
+    }
+
+    fn maybe_compact(&self) -> bool {
+        LiveEngine::maybe_compact(self)
+    }
+
+    fn compact_to_quiescence(&self) -> u64 {
+        LiveEngine::compact_to_quiescence(self)
+    }
+
+    fn live_stats(&self) -> LiveStats {
+        self.stats()
     }
 }
 

@@ -19,6 +19,7 @@
 //! and the union is a classic k-way merge of disjoint sorted lists.
 
 use crate::backend::{AutoBackend, Backend, BackendDiag, PlanReport};
+use crate::lsm::{LiveEngine, LiveStats, LsmConfig, MutableBackend};
 use crate::planner::{static_cost, BackendChoice, Observation, Planner};
 use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
 use simsearch_data::{
@@ -29,7 +30,7 @@ use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, Trie};
 use simsearch_parallel::{auto_strategy, run_queries, Strategy};
 use simsearch_scan::{v7_search_view, v8_search_view, SequentialScan};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How records are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +71,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The mutation router's shard assignment: a pure function of the
+/// record bytes and the shard count (FNV-1a hash modulo `shards`), so
+/// routing is stable across restarts and identical for the seed load
+/// and every later insert. This is the routing contract the testkit
+/// property suite pins down.
+pub fn route_record(record: &[u8], shards: usize) -> usize {
+    (fnv1a(record) % shards.max(1) as u64) as usize
 }
 
 /// Assigns every record of `dataset` to exactly one of `shards` shards.
@@ -406,21 +416,57 @@ impl Backend for ShardAutoBackend {
     }
 }
 
-/// One shard: an owned backend plus the strictly increasing table
-/// mapping its local ids back to global ids, and lifetime counters for
-/// serving metrics.
+/// How a shard's result ids map back to the global id space.
+enum ShardIds {
+    /// Frozen shard: local id `i` ↔ `table[i]`, the strictly increasing
+    /// table [`partition_ids`] produced.
+    Table(Vec<RecordId>),
+    /// Live shard: the backend already answers in global ids (its
+    /// [`LiveEngine`] was seeded with this shard's slice of the global
+    /// space and every insert carries a centrally allocated id), so the
+    /// remap is the identity.
+    Global,
+}
+
+/// One shard: an owned backend plus the mapping from its local ids back
+/// to global ids, the mutation handle when the shard is live, and
+/// lifetime counters for serving metrics.
 struct Shard {
     backend: Box<dyn Backend>,
-    globals: Vec<RecordId>,
+    ids: ShardIds,
+    /// The shard's engine as a mutation target; `None` for frozen
+    /// shards. Shares the allocation with `backend`.
+    live: Option<Arc<LiveEngine>>,
     queries: AtomicU64,
     matches: AtomicU64,
+}
+
+impl Shard {
+    /// Remaps a shard-local result to global ids. The output is sorted
+    /// by id either way: frozen tables are strictly increasing, and
+    /// live shards answer in global ids already.
+    fn remap(&self, local: &MatchSet) -> MatchSet {
+        match &self.ids {
+            ShardIds::Table(globals) => remap_to_global(local, globals),
+            ShardIds::Global => local.clone(),
+        }
+    }
+
+    /// Records this shard currently holds (live count for live shards).
+    fn records(&self) -> usize {
+        match (&self.ids, &self.live) {
+            (ShardIds::Table(globals), _) => globals.len(),
+            (ShardIds::Global, Some(engine)) => engine.stats().live_records,
+            (ShardIds::Global, None) => 0,
+        }
+    }
 }
 
 /// Per-shard lifetime statistics, surfaced through
 /// [`Backend::shard_stats`] into the serving layer's `STATS` JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
-    /// Records this shard holds.
+    /// Records this shard holds (the live count for live shards).
     pub records: usize,
     /// Queries fanned to this shard so far.
     pub queries: u64,
@@ -428,14 +474,42 @@ pub struct ShardStats {
     pub matches: u64,
     /// `(arm name, queries routed)` for planner-driven shard backends.
     pub plan_counts: Option<Vec<(&'static str, u64)>>,
+    /// LSM gauges when the shard is a live engine; `None` when frozen.
+    pub live: Option<LiveStats>,
+}
+
+/// Central id allocation and delete routing for a live composite.
+///
+/// Inserts take this lock to (a) draw the next id from the one global,
+/// dense, never-reused space and (b) record the owning shard, and they
+/// hold it across the shard append so each shard's memtable stays in
+/// global-id order. Reads and compaction never touch this lock — shard
+/// engines compact behind their own per-shard gates, so there is no
+/// global compaction lock.
+struct MutationRouter {
+    cfg: LsmConfig,
+    state: Mutex<RouterState>,
+}
+
+struct RouterState {
+    /// Next global id to assign (seed records took `0..next_id` first).
+    next_id: RecordId,
+    /// `owner[id]` = index of the shard physically holding `id`.
+    /// Dense — ids are never reused, so this only grows.
+    owner: Vec<u8>,
 }
 
 /// The sharded composite backend: `S` shards, each with its own
-/// [`Backend`], fan-out per query, k-way union of the results.
+/// [`Backend`], fan-out per query, k-way union of the results. Built
+/// with [`ShardedBackend::live`], the shards are [`LiveEngine`]s and
+/// the composite additionally implements [`MutableBackend`], routing
+/// each insert by content hash and each delete to the owning shard.
 pub struct ShardedBackend {
     shards: Vec<Shard>,
     by: ShardBy,
     threads: usize,
+    /// Present only for live composites.
+    router: Option<MutationRouter>,
 }
 
 impl ShardedBackend {
@@ -505,7 +579,8 @@ impl ShardedBackend {
                 let sub = materialize(dataset, &globals);
                 Shard {
                     backend: make(sub),
-                    globals,
+                    ids: ShardIds::Table(globals),
+                    live: None,
                     queries: AtomicU64::new(0),
                     matches: AtomicU64::new(0),
                 }
@@ -515,7 +590,123 @@ impl ShardedBackend {
             shards,
             by,
             threads,
+            router: None,
         }
+    }
+
+    /// Builds a *live* composite: every shard is a [`LiveEngine`]
+    /// seeded with its hash-routed slice of `dataset`, and the returned
+    /// backend implements [`MutableBackend`] — inserts draw ids from
+    /// one global dense space and route by content hash
+    /// ([`route_record`]), deletes route to the recorded owning shard.
+    ///
+    /// Fails fast (instead of degrading deep in the engine) when:
+    /// * `cfg.memtable_cap` is 0 — that would flush on every insert;
+    /// * `by` is [`ShardBy::Len`] with ≥ 2 shards — length bands shift
+    ///   as the dataset grows, so band routing cannot be a stable pure
+    ///   function of the record; use `hash` partitioning with live
+    ///   shards (a single shard accepts either spelling: routing is
+    ///   trivial).
+    pub fn live(
+        dataset: &Dataset,
+        shards: usize,
+        by: ShardBy,
+        threads: usize,
+        cfg: LsmConfig,
+    ) -> Result<Self, String> {
+        if cfg.memtable_cap == 0 {
+            return Err(
+                "--memtable-cap needs a positive integer (0 would flush on every insert)".into(),
+            );
+        }
+        let s = shards.max(1);
+        if by == ShardBy::Len && s >= 2 {
+            return Err(
+                "--shard-by len cannot route live inserts: length bands shift as the \
+                 dataset grows, so a record's band is not a stable function of its bytes; \
+                 use --shard-by hash with --live"
+                    .into(),
+            );
+        }
+        if s > 256 {
+            return Err(format!(
+                "--live supports at most 256 shards (got {s}): the delete router's \
+                 owner map stores one byte per record"
+            ));
+        }
+        // Seed partition: the same pure routing function every later
+        // insert uses, so a restart re-routes identically.
+        let mut parts: Vec<(Dataset, Vec<RecordId>)> =
+            (0..s).map(|_| (Dataset::new(), Vec::new())).collect();
+        let mut owner = Vec::with_capacity(dataset.len());
+        for id in 0..dataset.len() as u32 {
+            let record = dataset.get(id);
+            let target = route_record(record, s);
+            owner.push(target as u8);
+            parts[target].0.push(record);
+            parts[target].1.push(id);
+        }
+        let next_id = dataset.len() as u32;
+        let shards = parts
+            .into_iter()
+            .map(|(data, globals)| {
+                let engine = Arc::new(LiveEngine::seeded(data, globals, next_id, cfg));
+                Shard {
+                    backend: Box::new(Arc::clone(&engine)),
+                    ids: ShardIds::Global,
+                    live: Some(engine),
+                    queries: AtomicU64::new(0),
+                    matches: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            by,
+            threads,
+            router: Some(MutationRouter {
+                cfg,
+                state: Mutex::new(RouterState { next_id, owner }),
+            }),
+        })
+    }
+
+    /// Whether this composite was built with live shards (and therefore
+    /// honours the [`MutableBackend`] surface).
+    pub fn is_live(&self) -> bool {
+        self.router.is_some()
+    }
+
+    /// The shard physically holding `id`, when this is a live composite
+    /// and the id has been assigned. Diagnostic — the delete path uses
+    /// the same map.
+    pub fn owner_of(&self, id: RecordId) -> Option<usize> {
+        let router = self.router.as_ref()?;
+        let state = router.state.lock().expect("router lock");
+        state.owner.get(id as usize).map(|&s| s as usize)
+    }
+
+    fn router(&self) -> &MutationRouter {
+        self.router
+            .as_ref()
+            .expect("mutation on a frozen ShardedBackend (build it with ShardedBackend::live)")
+    }
+
+    fn live_shard(&self, index: usize) -> &LiveEngine {
+        self.shards[index]
+            .live
+            .as_ref()
+            .expect("live composites hold only live shards")
+    }
+
+    /// One compaction step on one shard, for per-shard compactor
+    /// threads: each shard flushes and merges under its own gate, so N
+    /// compactors on N shards never serialise against each other (and
+    /// never block readers — swaps are atomic under the shard's lock).
+    /// Returns whether a step ran. Panics on a frozen composite.
+    pub fn compact_shard(&self, index: usize) -> bool {
+        self.router();
+        self.live_shard(index).maybe_compact()
     }
 
     /// Number of shards.
@@ -543,7 +734,7 @@ impl ShardedBackend {
             let (local, cells) = shard.backend.search_counting(query, k);
             shard.queries.fetch_add(1, Ordering::Relaxed);
             shard.matches.fetch_add(local.len() as u64, Ordering::Relaxed);
-            (remap_to_global(&local, &shard.globals), cells)
+            (shard.remap(&local), cells)
         });
         let cells = parts.iter().map(|(_, c)| c).sum();
         let sets: Vec<MatchSet> = parts.into_iter().map(|(s, _)| s).collect();
@@ -553,7 +744,15 @@ impl ShardedBackend {
 
 impl Backend for ShardedBackend {
     fn name(&self) -> String {
-        format!("sharded[s={}/{}]", self.shards.len(), self.by.name())
+        match &self.router {
+            Some(router) => format!(
+                "sharded-live[s={}/{}/cap={}]",
+                self.shards.len(),
+                self.by.name(),
+                router.cfg.memtable_cap
+            ),
+            None => format!("sharded[s={}/{}]", self.shards.len(), self.by.name()),
+        }
     }
 
     fn prepare(&self) {
@@ -616,10 +815,11 @@ impl Backend for ShardedBackend {
             self.shards
                 .iter()
                 .map(|s| ShardStats {
-                    records: s.globals.len(),
+                    records: s.records(),
                     queries: s.queries.load(Ordering::Relaxed),
                     matches: s.matches.load(Ordering::Relaxed),
                     plan_counts: s.backend.plan_counts(),
+                    live: s.live.as_ref().map(|engine| engine.stats()),
                 })
                 .collect(),
         )
@@ -659,7 +859,7 @@ impl Backend for ShardedBackend {
                 let (local, _) = shard.backend.search_counting(&q.text, q.threshold);
                 shard.queries.fetch_add(1, Ordering::Relaxed);
                 shard.matches.fetch_add(local.len() as u64, Ordering::Relaxed);
-                remap_to_global(&local, &shard.globals)
+                shard.remap(&local)
             });
             return (0..nq)
                 .map(|qi| {
@@ -677,6 +877,68 @@ impl Backend for ShardedBackend {
             let q = &workload.queries[i];
             self.fan_out(&q.text, q.threshold, Strategy::Sequential).0
         })
+    }
+}
+
+/// The mutation surface of a live composite. Every method panics on a
+/// frozen composite (one not built via [`ShardedBackend::live`]) — the
+/// serving layer only reaches for this handle on `--live` engines.
+impl MutableBackend for ShardedBackend {
+    fn insert(&self, record: &[u8]) -> RecordId {
+        let router = self.router();
+        let target = route_record(record, self.shards.len());
+        let mut state = router.state.lock().expect("router lock");
+        let id = state.next_id;
+        assert!(id < u32::MAX, "global id space exhausted");
+        state.next_id = id + 1;
+        state.owner.push(target as u8);
+        // The shard append happens inside the router's critical section
+        // so ids arrive at each shard in increasing order — the shard
+        // memtable's strictly-increasing invariant depends on it.
+        self.live_shard(target).insert_with_id(record, id);
+        id
+    }
+
+    fn delete(&self, id: RecordId) -> bool {
+        let target = {
+            let state = self.router().state.lock().expect("router lock");
+            match state.owner.get(id as usize) {
+                Some(&shard) => shard as usize,
+                // Never-assigned id: no shard can hold it.
+                None => return false,
+            }
+        };
+        // The owner map is append-only and ids are never reused, so the
+        // routing stays valid after the lock drops; the shard itself
+        // decides live-vs-already-deleted under its own lock.
+        self.live_shard(target).delete(id)
+    }
+
+    fn maybe_compact(&self) -> bool {
+        // One independent step per shard — each behind its own
+        // compaction gate, never a composite-wide lock.
+        let mut any = false;
+        for (i, _) in self.shards.iter().enumerate() {
+            any |= self.live_shard(i).maybe_compact();
+        }
+        any
+    }
+
+    fn live_stats(&self) -> LiveStats {
+        let mut total = LiveStats::default();
+        for (i, _) in self.shards.iter().enumerate() {
+            total.accumulate(&self.live_shard(i).stats());
+        }
+        total
+    }
+
+    fn live_shard_stats(&self) -> Option<Vec<LiveStats>> {
+        self.router.as_ref()?;
+        Some(
+            (0..self.shards.len())
+                .map(|i| self.live_shard(i).stats())
+                .collect(),
+        )
     }
 }
 

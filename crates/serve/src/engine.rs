@@ -14,57 +14,27 @@
 use crate::metrics::Metrics;
 use crate::protocol::JoinAlgo;
 use simsearch_core::{
-    build_backend, min_join_with_stats, pass_join_with_stats, AutoBackend, Backend, BackendDiag,
-    EngineKind, JoinPair, JoinStats, LiveEngine, LsmConfig, MinJoinConfig, ShardedBackend,
+    build_backend, min_join_with_stats, pass_join_with_stats, AutoBackend, Backend, EngineKind,
+    JoinPair, JoinStats, LiveEngine, LsmConfig, MinJoinConfig, MutableBackend, ShardedBackend,
     Strategy,
 };
-use simsearch_data::{Dataset, Match, MatchSet, StatsSnapshot};
+use simsearch_data::{Dataset, Match, MatchSet};
 use std::sync::Arc;
 
 /// The engine a running `simsearchd` answers with.
 pub(crate) struct ServedEngine<'a> {
     backend: Box<dyn Backend + 'a>,
-    /// Set when the engine is a live (mutable) engine: the mutation
-    /// surface (`INSERT`/`DELETE`, compaction) reaches the same engine
-    /// the read path queries. `None` for every frozen engine.
-    live: Option<Arc<LiveEngine>>,
+    /// Set when the engine is mutable: the mutation surface
+    /// (`INSERT`/`DELETE`, compaction) reaches the same engine the read
+    /// path queries — an unsharded [`LiveEngine`] or a sharded-live
+    /// composite, behind one trait. `None` for every frozen engine.
+    live: Option<Arc<dyn MutableBackend>>,
     /// The frozen seed dataset — `JOIN` runs over this. Live engines
     /// refuse `JOIN` (the dataset shifts under the join), so the field
     /// staying at the seed is never observable there.
     dataset: &'a Dataset,
     name: String,
     records: usize,
-}
-
-/// [`Backend`] by delegation over a shared [`LiveEngine`]: the served
-/// backend slot wants a `Box<dyn Backend>`, the mutation surface wants
-/// an `Arc` — this handle lets both alias one engine.
-struct LiveHandle(Arc<LiveEngine>);
-
-impl Backend for LiveHandle {
-    fn name(&self) -> String {
-        self.0.name()
-    }
-
-    fn search(&self, query: &[u8], k: u32) -> MatchSet {
-        self.0.search(query, k)
-    }
-
-    fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
-        self.0.search_counting(query, k)
-    }
-
-    fn search_top_k_with(&self, query: &[u8], count: usize, max_radius: u32) -> (Vec<Match>, u64) {
-        self.0.search_top_k_with(query, count, max_radius)
-    }
-
-    fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
-        self.0.cost_hint(snapshot, query_len, k)
-    }
-
-    fn diag(&self) -> BackendDiag {
-        self.0.diag()
-    }
 }
 
 impl<'a> ServedEngine<'a> {
@@ -88,15 +58,32 @@ impl<'a> ServedEngine<'a> {
                 by,
                 threads,
             } => Box::new(ShardedBackend::calibrated(dataset, shards, by, threads)),
-            // The live engine is shared between the read path (this
-            // backend slot) and the mutation surface.
+            // Live engines are shared between the read path (this
+            // backend slot) and the mutation surface — the same `Arc`
+            // serves both, `Backend` on one side and `MutableBackend`
+            // on the other.
             EngineKind::Live { memtable_cap } => {
                 let engine = Arc::new(LiveEngine::from_dataset(
                     dataset,
                     LsmConfig { memtable_cap },
                 ));
-                live = Some(Arc::clone(&engine));
-                Box::new(LiveHandle(engine))
+                live = Some(engine.clone() as Arc<dyn MutableBackend>);
+                Box::new(engine)
+            }
+            EngineKind::ShardedLive {
+                shards,
+                by,
+                threads,
+                memtable_cap,
+            } => {
+                // `spawn` and the CLI validate the kind before reaching
+                // this; a panic here means a caller skipped validation.
+                let composite = Arc::new(
+                    ShardedBackend::live(dataset, shards, by, threads, LsmConfig { memtable_cap })
+                        .expect("EngineKind::validate rejects invalid sharded-live configs"),
+                );
+                live = Some(composite.clone() as Arc<dyn MutableBackend>);
+                Box::new(composite)
             }
             other => build_backend(dataset, other),
         };
@@ -155,16 +142,35 @@ impl<'a> ServedEngine<'a> {
 
     /// Publishes the live engine's structural state into the metrics
     /// registry (no-op for frozen engines). Called beside
-    /// [`ServedEngine::publish_plan`] after every executed chunk.
+    /// [`ServedEngine::publish_plan`] after every executed chunk. The
+    /// aggregate gauges are sums over shards (for sharded-live engines),
+    /// so the per-shard `live_shards` entries sum to them by
+    /// construction.
     pub fn publish_live(&self, metrics: &Metrics) {
         if let Some(live) = &self.live {
-            let stats = live.stats();
+            let stats = live.live_stats();
             metrics.memtable_len.set(stats.memtable_len);
             metrics.segments.set(stats.segments);
             metrics.tombstones.set(stats.tombstones);
             metrics.compactions.set(stats.compactions);
             metrics.inserts.set(stats.inserts);
             metrics.deletes.set(stats.deletes);
+            if let Some(per_shard) = live.live_shard_stats() {
+                let labelled: Vec<(String, u64)> = per_shard
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, s)| {
+                        [
+                            (format!("s{i}.memtable_len"), s.memtable_len as u64),
+                            (format!("s{i}.segments"), s.segments as u64),
+                            (format!("s{i}.tombstones"), s.tombstones as u64),
+                        ]
+                    })
+                    .collect();
+                let refs: Vec<(&str, u64)> =
+                    labelled.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+                metrics.live_shards.publish(&refs);
+            }
         }
     }
 
@@ -384,5 +390,57 @@ mod tests {
         let matches = metrics.shard_matches.snapshot();
         assert_eq!(matches.len(), 3);
         assert!(matches.iter().all(|(n, _)| n.starts_with('s')));
+    }
+
+    #[test]
+    fn sharded_live_engine_mutates_and_publishes_per_shard_gauges() {
+        let ds = dataset();
+        let engine = ServedEngine::build(
+            &ds,
+            EngineKind::ShardedLive {
+                shards: 4,
+                by: simsearch_core::ShardBy::Hash,
+                threads: 1,
+                memtable_cap: 2,
+            },
+        );
+        assert!(engine.is_live());
+        assert!(engine.join(1, JoinAlgo::Pass).is_none(), "live refuses JOIN");
+        // Seeded reads agree with the reference engine.
+        let reference = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        for q in ["Berlin", "Urm", ""] {
+            for k in 0..3 {
+                let (want, _) = reference.search(q.as_bytes(), k);
+                let (got, _) = engine.search(q.as_bytes(), k);
+                assert_eq!(got, want, "q={q} k={k}");
+            }
+        }
+        // Mutations route across shards from one global id space.
+        let id = engine.insert("Bärlin".as_bytes()).unwrap();
+        assert_eq!(id as usize, ds.len(), "ids continue after the seed");
+        let id2 = engine.insert(b"Ulmen").unwrap();
+        assert_eq!(id2, id + 1);
+        assert_eq!(engine.delete(id), Some(true));
+        assert_eq!(engine.delete(id), Some(false));
+        let (got, _) = engine.search(b"Ulmen", 0);
+        assert_eq!(got.ids(), vec![id2]);
+
+        let metrics = Metrics::new();
+        engine.publish_live(&metrics);
+        assert_eq!(metrics.inserts.get(), ds.len() as u64 + 2);
+        assert_eq!(metrics.deletes.get(), 1);
+        let per_shard = metrics.live_shards.snapshot();
+        assert_eq!(per_shard.len(), 4 * 3, "three gauges per shard");
+        // Per-shard gauges sum to the aggregates.
+        let sum = |suffix: &str| -> u64 {
+            per_shard
+                .iter()
+                .filter(|(n, _)| n.ends_with(suffix))
+                .map(|(_, c)| c)
+                .sum()
+        };
+        assert_eq!(sum(".memtable_len"), metrics.memtable_len.get() as u64);
+        assert_eq!(sum(".segments"), metrics.segments.get() as u64);
+        assert_eq!(sum(".tombstones"), metrics.tombstones.get() as u64);
     }
 }

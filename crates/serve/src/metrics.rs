@@ -261,6 +261,11 @@ pub struct Metrics {
     /// Cumulative matches returned per shard (`s{i}` labels; empty for
     /// unsharded engines).
     pub shard_matches: PlanCounters,
+    /// Per-shard LSM gauges for sharded-live engines
+    /// (`s{i}.memtable_len` / `s{i}.segments` / `s{i}.tombstones`
+    /// labels; empty otherwise). The entries sum to the aggregate
+    /// `memtable_len` / `segments` / `tombstones` gauges.
+    pub live_shards: PlanCounters,
     /// Live engines: current memtable length (0 for frozen engines).
     pub memtable_len: Gauge,
     /// Live engines: current immutable segment count.
@@ -329,7 +334,8 @@ impl Metrics {
              \"joins\": {}, \"join_pairs_emitted\": {}, \
              \"join_candidates_verified\": {}, \"join_seg_buckets\": {}, \
              \"join_seg_postings\": {}, \
-             \"plan_decisions\": {{{}}}, \"shard_matches\": {{{}}}}}}}",
+             \"plan_decisions\": {{{}}}, \"shard_matches\": {{{}}}, \
+             \"live_shards\": {{{}}}}}}}",
             crate::STATS_SCHEMA,
             json_escape(dataset),
             self.requests_admitted.get(),
@@ -364,6 +370,12 @@ impl Metrics {
                 .collect::<Vec<_>>()
                 .join(", "),
             self.shard_matches
+                .snapshot()
+                .iter()
+                .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.live_shards
                 .snapshot()
                 .iter()
                 .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
@@ -596,5 +608,33 @@ mod tests {
             json.contains("\"shard_matches\": {\"s0\": 7, \"s1\": 4}"),
             "missing shard_matches counters in {json}"
         );
+    }
+
+    #[test]
+    fn stats_json_renders_per_shard_live_gauges() {
+        let m = Metrics::new();
+        m.live_shards.publish(&[
+            ("s0.memtable_len", 3),
+            ("s0.segments", 1),
+            ("s0.tombstones", 0),
+            ("s1.memtable_len", 2),
+            ("s1.segments", 2),
+            ("s1.tombstones", 1),
+        ]);
+        m.memtable_len.set(5);
+        m.segments.set(3);
+        m.tombstones.set(1);
+        let json = m.stats_json("sharded-live[s=2/hash/cap=64/threads=1]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(
+            json.contains("\"live_shards\": {\"s0.memtable_len\": 3, ")
+                && json.contains("\"s1.tombstones\": 1"),
+            "missing per-shard live gauges in {json}"
+        );
+        // Frozen daemons render the object empty, still valid JSON.
+        let frozen = Metrics::new();
+        let json = frozen.stats_json("scan[v4]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"live_shards\": {}"), "{json}");
     }
 }

@@ -124,6 +124,11 @@ impl Drop for ServerHandle {
 /// thread. The dataset is moved in; the engine is built and prepared
 /// once before the first connection is accepted.
 pub fn spawn(dataset: Dataset, kind: EngineKind, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // Fail before the thread spawns (and before the listener binds):
+    // an invalid kind — e.g. sharded-live with the `len` partitioner —
+    // would otherwise panic on the server thread.
+    kind.validate()
+        .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
     let listener = TcpListener::bind(("127.0.0.1", config.port))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));

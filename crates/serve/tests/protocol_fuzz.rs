@@ -322,6 +322,137 @@ fn queries_stay_byte_identical_under_concurrent_mutation() {
     server.shutdown();
 }
 
+/// The sharded-live daemon under test: 4 hash-routed shards with a
+/// tiny cap, so the fuzz traffic crosses shard boundaries and fires
+/// per-shard flushes.
+fn sharded_live_kind() -> EngineKind {
+    EngineKind::ShardedLive {
+        shards: 4,
+        by: simsearch_core::ShardBy::Hash,
+        threads: 1,
+        memtable_cap: 4,
+    }
+}
+
+/// Malformed mutation frames against a sharded-live daemon: the router
+/// sits between the protocol and the shards, and a bad frame must die
+/// at the parser — one `ERR` per frame, no id burned, no shard touched,
+/// and only the violating connection pays.
+#[test]
+fn sharded_live_isolates_malformed_mutation_frames_per_connection() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern", "Bonn", "Ulm"]),
+        sharded_live_kind(),
+        ServerConfig::default(),
+    );
+    let mut victim = server.client();
+    let mut bystander = server.client();
+    for frame in [
+        &b"INSERT"[..],       // bare verb: missing argument
+        b"DELETE",            // bare verb: missing argument
+        b"DELETE x",          // non-numeric id
+        b"DELETE -1",         // signs are not part of the grammar
+        b"DELETE 0 0",        // trailing junk after the id
+        b"DELETE 99999999999999999999", // u32 overflow
+        b"insert a",          // verbs are case-sensitive
+        b"INSERTx",           // no separating space
+    ] {
+        let reply = victim.send_raw(frame).expect("a reply");
+        assert!(
+            reply.starts_with(b"ERR "),
+            "{:?} got {:?}",
+            String::from_utf8_lossy(frame),
+            String::from_utf8_lossy(&reply)
+        );
+        // The other connection never notices: queries keep answering.
+        let reply = bystander.query(b"Bern", 1).expect("bystander query");
+        assert!(matches!(reply, simsearch_serve::protocol::Response::Matches(_)));
+    }
+    // An oversized INSERT closes only the violating connection…
+    let mut huge = b"INSERT ".to_vec();
+    huge.resize(simsearch_serve::protocol::MAX_LINE_BYTES + 64, b'A');
+    let reply = victim.send_raw(&huge).expect("TooLong still gets a reply");
+    assert!(reply.starts_with(b"ERR "), "got {:?}", String::from_utf8_lossy(&reply));
+    assert!(victim.send_raw(b"HEALTH").is_err(), "violating connection closes");
+    // …and none of the garbage burned a global id: the next insert gets
+    // the id right after the 4-record seed load.
+    assert_eq!(bystander.insert(b"Born").expect("insert"), 4);
+    assert!(bystander.health().expect("health"));
+    server.shutdown();
+}
+
+/// The byte-identical-queries invariant, across shards: churn INSERTs
+/// hash-route onto all 4 shards (rotating first byte) while another
+/// connection's QUERY/TOPK replies must not change by a single byte —
+/// the k-way merged reply is insensitive to concurrent cross-shard
+/// mutation and per-shard flushes.
+#[test]
+fn sharded_queries_stay_byte_identical_under_cross_shard_churn() {
+    let server = Loopback::spawn(
+        Dataset::from_records(["Berlin", "Bern", "Bonn", "Ulm"]),
+        sharded_live_kind(),
+        ServerConfig::default(),
+    );
+    let probes: &[&[u8]] = &[b"QUERY 1 Bern", b"QUERY 2 Ulm", b"TOPK 2 Berlin"];
+    let expected: Vec<Vec<u8>> = {
+        let mut c = server.client();
+        probes
+            .iter()
+            .map(|p| c.send_raw(p).expect("baseline reply"))
+            .collect()
+    };
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churner = {
+        let stop = std::sync::Arc::clone(&stop);
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut c = simsearch_serve::Client::connect_retry(
+                addr,
+                std::time::Duration::from_secs(5),
+            )
+            .expect("churn client");
+            let mut filler = [b'z'; 40];
+            let mut live = std::collections::VecDeque::new();
+            let mut round = 0u8;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // Rotate a byte so the hash router cycles shards.
+                filler[0] = b'a' + (round % 26);
+                round = round.wrapping_add(1);
+                live.push_back(c.insert(&filler).expect("churn insert"));
+                if live.len() > 8 {
+                    let id = live.pop_front().unwrap();
+                    assert!(c.delete(id).expect("churn delete"), "churn ids are live");
+                }
+            }
+        })
+    };
+
+    let mut client = server.client();
+    for round in 0..120 {
+        for (probe, want) in probes.iter().zip(&expected) {
+            let got = client.send_raw(probe).expect("query under churn");
+            assert_eq!(
+                got,
+                *want,
+                "round {round}: {:?} diverged under cross-shard churn",
+                String::from_utf8_lossy(probe)
+            );
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    churner.join().expect("churn client thread");
+
+    // The churn really crossed shards: STATS exposes per-shard gauges
+    // and the insert counter moved.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"s0.memtable_len\""), "stats: {stats}");
+    assert!(stats.contains("\"s3.memtable_len\""), "stats: {stats}");
+    assert!(server.metrics().inserts.get() > 0, "churn reached the engine");
+    assert!(client.health().expect("health"));
+    server.shutdown();
+}
+
 #[test]
 fn join_requests_round_trip() {
     // JOIN carries any u32 threshold and one of the two algorithm

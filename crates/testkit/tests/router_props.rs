@@ -1,0 +1,177 @@
+//! Property tests for the live composite's mutation router
+//! (`simsearch_core::sharded`): the contract that makes sharded ingest
+//! deterministic.
+//!
+//! Three laws:
+//!
+//! 1. **Routing is a pure function of the record bytes** — the same
+//!    record lands on the same shard for any insertion order, any
+//!    interleaving with other records, and across a "restart" (a fresh
+//!    composite fed the same stream). `route_record` is the function;
+//!    the composite must agree with it.
+//! 2. **Global ids are dense and never reused** — the router allocates
+//!    `0, 1, 2, …` across all shards; each shard sees a strictly
+//!    increasing (not necessarily contiguous) subsequence, and the
+//!    per-shard id sets are disjoint.
+//! 3. **Delete routing finds the inserting shard** — `owner_of(id)`
+//!    equals the shard that `route_record` chose at insert time, so a
+//!    `DELETE` touches exactly one shard and always the right one.
+
+use simsearch_core::{route_record, LsmConfig, MutableBackend, ShardBy, ShardedBackend};
+use simsearch_data::Dataset;
+use simsearch_testkit::{check, gen, prop_assert, prop_assert_eq, Config, Gen};
+
+fn records_gen() -> Gen<Vec<Vec<u8>>> {
+    // Collision-rich short strings: duplicates across the stream are
+    // common, which is exactly what the purity law needs to bite.
+    gen::vec_of(gen::city_string(0..8), 0..40)
+}
+
+fn live(shards: usize, cap: usize) -> ShardedBackend {
+    ShardedBackend::live(
+        &Dataset::new(),
+        shards,
+        ShardBy::Hash,
+        1,
+        LsmConfig { memtable_cap: cap },
+    )
+    .expect("valid sharded-live config")
+}
+
+#[test]
+fn routing_is_a_pure_function_of_the_record() {
+    let cases = gen::zip(gen::usize_in(1..9), records_gen());
+    check(
+        "routing_is_pure",
+        Config::cases(256).seed(0x0707_0001),
+        &cases,
+        |(shards, records)| {
+            // Purity of the function itself: same bytes, same shard,
+            // independent of everything else.
+            for r in records {
+                prop_assert_eq!(
+                    route_record(r, *shards),
+                    route_record(r, *shards),
+                    "route_record is deterministic"
+                );
+                prop_assert!(route_record(r, *shards) < *shards, "route stays in range");
+            }
+            // The composite obeys it: owner_of(insert(r)) == route_record(r).
+            let engine = live(*shards, 4);
+            for r in records {
+                let id = engine.insert(r);
+                prop_assert_eq!(
+                    engine.owner_of(id),
+                    Some(route_record(r, *shards)),
+                    "insert landed on the routed shard for {:?}",
+                    String::from_utf8_lossy(r)
+                );
+            }
+            // Restart stability: a *fresh* composite fed the same stream
+            // routes every record identically (same owner map). This is
+            // what lets a reloaded daemon keep serving old DELETEs.
+            let replay = live(*shards, 4);
+            for r in records {
+                replay.insert(r);
+            }
+            for id in 0..records.len() as u32 {
+                prop_assert_eq!(
+                    replay.owner_of(id),
+                    engine.owner_of(id),
+                    "restart routes id {id} to the same shard"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn global_ids_are_dense_disjoint_and_per_shard_increasing() {
+    let cases = gen::zip(gen::usize_in(1..9), records_gen());
+    check(
+        "global_ids_disjoint_increasing",
+        Config::cases(256).seed(0x0707_0002),
+        &cases,
+        |(shards, records)| {
+            let engine = live(*shards, 4);
+            let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); *shards];
+            for (expected, r) in records.iter().enumerate() {
+                let id = engine.insert(r);
+                prop_assert_eq!(id, expected as u32, "global ids are dense: 0, 1, 2, …");
+                per_shard[engine.owner_of(id).expect("freshly assigned")].push(id);
+            }
+            // Each shard's ids strictly increase (the shard memtable
+            // invariant), and the shard sets partition 0..n.
+            let mut seen = vec![false; records.len()];
+            for (s, ids) in per_shard.iter().enumerate() {
+                prop_assert!(
+                    ids.windows(2).all(|w| w[0] < w[1]),
+                    "shard {s} ids strictly increase: {ids:?}"
+                );
+                for &id in ids {
+                    prop_assert!(
+                        !std::mem::replace(&mut seen[id as usize], true),
+                        "id {id} owned by two shards"
+                    );
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "every id has exactly one owner");
+            // The composite's books agree: per-shard insert counters sum
+            // to the stream length.
+            let stats = engine.live_shard_stats().expect("live composite");
+            prop_assert_eq!(
+                stats.iter().map(|s| s.inserts).sum::<u64>(),
+                records.len() as u64,
+                "per-shard insert counters account for the whole stream"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn delete_routing_finds_the_inserting_shard() {
+    let cases = gen::zip(gen::usize_in(1..9), records_gen());
+    check(
+        "delete_routes_to_inserting_shard",
+        Config::cases(256).seed(0x0707_0003),
+        &cases,
+        |(shards, records)| {
+            let engine = live(*shards, 4);
+            let inserted: Vec<(u32, usize)> = records
+                .iter()
+                .map(|r| {
+                    let id = engine.insert(r);
+                    (id, route_record(r, *shards))
+                })
+                .collect();
+            // Delete every other id: the delete must hit exactly the
+            // inserting shard (its delete counter moves, nobody else's).
+            for (id, inserting_shard) in inserted.iter().step_by(2) {
+                let before = engine.live_shard_stats().expect("live composite");
+                prop_assert_eq!(
+                    engine.owner_of(*id),
+                    Some(*inserting_shard),
+                    "owner map remembers the inserting shard"
+                );
+                prop_assert!(engine.delete(*id), "first delete of a live id succeeds");
+                let after = engine.live_shard_stats().expect("live composite");
+                for (s, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+                    let expected = b.deletes + u64::from(s == *inserting_shard);
+                    prop_assert_eq!(
+                        a.deletes,
+                        expected,
+                        "delete of id {id} moved shard {s}'s counter correctly"
+                    );
+                }
+                prop_assert!(!engine.delete(*id), "double delete stays false");
+            }
+            // Deleting an id that was never assigned touches nothing.
+            let absent = records.len() as u32;
+            prop_assert_eq!(engine.owner_of(absent), None, "unassigned id has no owner");
+            prop_assert!(!engine.delete(absent), "deleting an absent id is a no-op");
+            Ok(())
+        },
+    );
+}
