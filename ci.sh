@@ -17,8 +17,20 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Planner-parity gate: `--backend auto` (static and calibrated) must be
 # byte-identical to the V1 oracle scan under every executor × thread
-# count, and the plan-decision counters must account for every query.
+# count, the plan-decision counters must account for every query, and
+# top-k deepening — routed by its own cost curve — must match the
+# exhaustive V1 deepening for every count.
 cargo test -q --offline --test planner_parity
+
+# Replan-oracle gate: live recalibration across a mid-run distribution
+# shift must keep every answer byte-identical to the V1 oracle while
+# plan_epoch advances once per converged phase; a restarted daemon must
+# boot from persisted calibration (epoch > 0) unless the dataset
+# snapshot mismatches, in which case it falls back to the static table.
+# The calibration arithmetic's laws (positivity, boundedness, scale
+# invariance, pooled fallback) gate separately as properties.
+cargo test -q --offline --test replan_oracle
+cargo test -q --offline -p simsearch-testkit --test calibration_props
 
 # Shard-equivalence gate: a sharded backend (every shard count ×
 # partitioner × executor, static and calibrated, threshold and top-k)
@@ -103,11 +115,14 @@ if kill -0 "$serve_pid" 2>/dev/null; then
 fi
 wait "$serve_pid"
 
-# Auto-backend serve smoke: a planner-driven daemon must route queries
-# and report per-backend plan_decisions counters through STATS (still
-# valid JSON per the in-house validator).
+# Auto-backend serve smoke: a planner-driven daemon must route queries,
+# report per-backend plan_decisions counters through STATS (still valid
+# JSON per the in-house validator), accept a background replan tick
+# once the observation grid converges, and persist the calibrated table
+# at shutdown.
 rm -f "$smoke_dir/port"
 "$SIMSEARCH" serve --data "$smoke_dir/city.data" --backend auto --port 0 \
+    --replan-interval-ms 50 --calibration "$smoke_dir/calib.idx" \
     --port-file "$smoke_dir/port" &
 serve_pid=$!
 i=0
@@ -122,6 +137,17 @@ port=$(cat "$smoke_dir/port")
 "$SIMSEARCH" client --port "$port" --send 'QUERY 1 Ulm' | grep -q '^OK '
 "$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS' \
     | grep -q '"plan_decisions": {.*": [1-9]'
+# Fill one observation cell past the replan trust threshold, give the
+# 50ms tick a beat, and STATS must show an accepted swap.
+i=0
+while [ "$i" -lt 16 ]; do
+    i=$((i + 1))
+    "$SIMSEARCH" client --port "$port" --send 'QUERY 2 Berlin' >/dev/null
+done
+sleep 0.3
+stats=$("$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS')
+echo "$stats" | grep -q '"replans": [1-9]'
+echo "$stats" | grep -q '"plan_epoch": [1-9]'
 "$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
 i=0
 while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
@@ -130,6 +156,36 @@ done
 if kill -0 "$serve_pid" 2>/dev/null; then
     kill "$serve_pid"
     echo "simsearchd (auto) failed to drain within 10s" >&2
+    exit 1
+fi
+wait "$serve_pid"
+test -s "$smoke_dir/calib.idx"
+
+# Restarted auto daemon: same dataset + the calibration file just
+# persisted — the measured table is restored before the first request,
+# so STATS shows plan_epoch > 0 from frame one.
+rm -f "$smoke_dir/port"
+"$SIMSEARCH" serve --data "$smoke_dir/city.data" --backend auto --port 0 \
+    --calibration "$smoke_dir/calib.idx" --port-file "$smoke_dir/port" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port" ] && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+test -s "$smoke_dir/port"
+port=$(cat "$smoke_dir/port")
+"$SIMSEARCH" client --port "$port" --send 'QUERY 2 Berlin' | grep -q '^OK '
+stats=$("$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS')
+echo "$stats" | grep -q '"replans": [1-9]'
+echo "$stats" | grep -q '"plan_epoch": [1-9]'
+"$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
+i=0
+while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+    i=$((i + 1)); sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid"
+    echo "simsearchd (auto restart) failed to drain within 10s" >&2
     exit 1
 fi
 wait "$serve_pid"
@@ -254,10 +310,23 @@ port=$(cat "$smoke_dir/port")
 "$SIMSEARCH" client --port "$port" --send 'DELETE 2000' | grep -qx 'OK deleted'
 "$SIMSEARCH" client --port "$port" --send 'DELETE 2000' | grep -qx 'OK absent'
 "$SIMSEARCH" client --port "$port" --send 'QUERY 0 zz#live-smoke-9' | grep -qx 'OK 0'
+# Churn burst: hammer inserts and queries so the per-shard replan ticks
+# run against moving memtables, then require STATS to carry the
+# self-tuning counters (present and zero-initialised even when no
+# shard's preferred arm flips — the keys are unconditional).
+i=0
+while [ "$i" -lt 12 ]; do
+    i=$((i + 1))
+    "$SIMSEARCH" client --port "$port" --send "INSERT zz#churn-$i" >/dev/null
+    "$SIMSEARCH" client --port "$port" --send 'QUERY 1 Berlin' >/dev/null
+done
+sleep 0.2
 stats=$("$SIMSEARCH" client --port "$port" --check-stats-json --send 'STATS')
 echo "$stats" | grep -q '"s0\.memtable_len"'
 echo "$stats" | grep -q '"s3\.memtable_len"'
 echo "$stats" | grep -q '"memtable_len"'
+echo "$stats" | grep -q '"replans": '
+echo "$stats" | grep -q '"plan_epoch": '
 "$SIMSEARCH" client --port "$port" --send 'SHUTDOWN' | grep -qx 'OK bye'
 i=0
 while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 100 ]; do

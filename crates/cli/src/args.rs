@@ -90,6 +90,13 @@ pub struct ServeArgs {
     pub live: bool,
     /// Per-(shard-)memtable flush threshold for `--live` (records).
     pub memtable_cap: usize,
+    /// Self-tuning replan cadence in milliseconds; 0 disables the
+    /// background tick (default 1000).
+    pub replan_interval_ms: u64,
+    /// Persisted-calibration file: restored at startup (ignored when
+    /// the embedded snapshot mismatches the dataset) and rewritten at
+    /// shutdown. Only unsharded `--backend auto` daemons persist.
+    pub calibration: Option<PathBuf>,
 }
 
 /// Arguments of the `client` subcommand.
@@ -226,6 +233,7 @@ USAGE:
                   [--queue-capacity N] [--deadline-ms N]
                   [--shards N] [--shard-by len|hash]
                   [--live] [--memtable-cap N]
+                  [--replan-interval-ms N] [--calibration FILE]
   simsearch client --port P [--host H] --send FRAME [--send FRAME ...]
                    [--check-stats-json]
   simsearch help
@@ -254,6 +262,14 @@ its own LSM engine, inserts route by content hash from one global id
 space, deletes route to the owning shard, and shards flush/compact
 independently. Sharded live ingest requires --shard-by hash (length
 bands shift as the dataset grows, so `len` cannot route inserts).
+
+The daemon self-tunes: every --replan-interval-ms (default 1000; 0
+disables) a background tick re-derives per-(arm, class) cost
+multipliers from the live latency histograms and swaps a fresh decision
+table into the engine; STATS reports `replans` and `plan_epoch`. With
+--calibration FILE an unsharded `--backend auto` daemon restores the
+persisted table at startup (ignored when the dataset changed) and
+rewrites the file at shutdown.
 ";
 
 /// Parses an argument vector (without the program name).
@@ -453,6 +469,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
     let mut shard_by_explicit = false;
     let mut live = false;
     let mut memtable_cap = 1024usize;
+    let mut replan_interval_ms = 1_000u64;
+    let mut calibration = None;
     let int = |v: &str, flag: &str| -> Result<u64, String> {
         v.parse().map_err(|_| format!("{flag} needs an integer"))
     };
@@ -500,6 +518,13 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
                 shard_by_explicit = true;
             }
             "--live" => live = true,
+            "--replan-interval-ms" => {
+                replan_interval_ms =
+                    int(value(&mut it, "--replan-interval-ms")?, "--replan-interval-ms")?
+            }
+            "--calibration" => {
+                calibration = Some(PathBuf::from(value(&mut it, "--calibration")?))
+            }
             "--memtable-cap" => {
                 memtable_cap = int(value(&mut it, "--memtable-cap")?, "--memtable-cap")? as usize;
                 if memtable_cap == 0 {
@@ -535,6 +560,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeArgs, String> {
         shard_by,
         live,
         memtable_cap,
+        replan_interval_ms,
+        calibration,
     })
 }
 
@@ -709,9 +736,32 @@ mod tests {
                 assert!(s.port_file.is_none());
                 assert!(!s.live, "read-only by default");
                 assert_eq!(s.memtable_cap, 1024);
+                assert_eq!(s.replan_interval_ms, 1_000, "self-tuning is on by default");
+                assert!(s.calibration.is_none());
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_replan_flags() {
+        let cmd = parse(&v(&[
+            "serve", "--data", "d", "--backend", "auto",
+            "--replan-interval-ms", "250", "--calibration", "c.idx",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.replan_interval_ms, 250);
+                assert_eq!(s.calibration, Some(PathBuf::from("c.idx")));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // 0 disables the tick; still a valid parse.
+        let cmd = parse(&v(&["serve", "--data", "d", "--replan-interval-ms", "0"])).unwrap();
+        assert!(matches!(cmd, Command::Serve(s) if s.replan_interval_ms == 0));
+        assert!(parse(&v(&["serve", "--data", "d", "--replan-interval-ms", "soon"])).is_err());
+        assert!(parse(&v(&["serve", "--data", "d", "--calibration"])).is_err());
     }
 
     #[test]

@@ -233,6 +233,11 @@ fn run_serve(a: ServeArgs) -> Result<(), String> {
     let config = simsearch_serve::ServerConfig {
         port: a.port,
         dataset_label: label,
+        // 0 disables the self-tuning tick; any other cadence runs it on
+        // a scoped background thread inside the daemon.
+        replan_interval: (a.replan_interval_ms > 0)
+            .then(|| Duration::from_millis(a.replan_interval_ms)),
+        calibration_path: a.calibration.clone(),
         batch: simsearch_serve::BatchConfig {
             threads: a.threads,
             batch_size: a.batch_size,
@@ -468,8 +473,66 @@ fn run_explain(a: ExplainArgs) -> Result<(), String> {
         for (name, count) in engine.plan_counts().unwrap_or_default() {
             println!("  {name:<12} {count}");
         }
+        explain_live_diff(&dataset, &workload, a.threads, &planner);
     }
     Ok(())
+}
+
+/// The live-vs-static half of `explain`: replay the workload through a
+/// planner-driven backend with its observation grid recording, run one
+/// replan tick, and print every query class whose routing the measured
+/// multipliers changed — exactly what a serving daemon's first replan
+/// would do to the static table.
+fn explain_live_diff(dataset: &Dataset, workload: &Workload, threads: usize, statik: &Planner) {
+    let auto = AutoBackend::calibrated(
+        dataset,
+        threads,
+        &workload.prefix(workload.len().min(16)),
+    );
+    for q in &workload.queries {
+        let _ = auto.search_counting(&q.text, q.threshold);
+    }
+    println!();
+    if !auto.replan() {
+        println!(
+            "live vs static plan: {} observed queries are too few to \
+             recalibrate (the daemon would keep the current table)",
+            auto.observations().total()
+        );
+        return;
+    }
+    let live = auto.planner();
+    let changed: Vec<(&PlanDecision, &PlanDecision)> = statik
+        .decisions()
+        .iter()
+        .zip(live.decisions())
+        .filter(|(s, l)| s.chosen != l.chosen)
+        .collect();
+    println!(
+        "live vs static plan after replaying {} queries: {} of {} \
+         classes rerouted",
+        workload.len(),
+        changed.len(),
+        statik.decisions().len()
+    );
+    let len_label = |c: u8| match c {
+        0 => "short",
+        1 => "medium",
+        _ => "long",
+    };
+    for (s, l) in changed {
+        println!(
+            "  {:<6} k={:<2} {} → {}",
+            len_label(s.class.len_class),
+            s.class.k_class,
+            s.chosen.name(),
+            l.chosen.name()
+        );
+    }
+    println!("observed arm latencies backing the live table:");
+    for (name, nanos) in auto.observed_arm_nanos() {
+        println!("  {name:<16} {nanos} ns");
+    }
 }
 
 /// One planner decision table, one row per query class.

@@ -14,7 +14,10 @@
 //! cheapest arm, counting every routing decision so serving metrics
 //! and bench JSON can report `plan_decisions`.
 
-use crate::planner::{static_cost, BackendChoice, Observation, PlanDecision, Planner};
+use crate::planner::{
+    static_cost, BackendChoice, CellSample, Observation, PlanDecision, Planner, QueryClass,
+    MAX_K_CLASS, MIN_CELL_OBSERVATIONS, NUM_LEN_CLASSES,
+};
 use crate::topk;
 use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
 use simsearch_data::{Alphabet, Dataset, Match, MatchSet, StatsSnapshot, Workload};
@@ -24,7 +27,8 @@ use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, SuffixIndex,
 use simsearch_parallel::{auto_strategy, run_queries, Strategy};
 use simsearch_scan::{SeqVariant, SequentialScan};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 /// What a backend reports about itself.
 #[derive(Debug, Clone, PartialEq)]
@@ -812,6 +816,123 @@ impl Backend for BkBackend<'_> {
     }
 }
 
+/// One lock-free accumulation cell: three relaxed atomics that a
+/// replan tick snapshots into a [`CellSample`].
+#[derive(Default)]
+struct AtomicCell {
+    nanos: AtomicU64,
+    predicted: AtomicU64,
+    count: AtomicU64,
+}
+
+impl AtomicCell {
+    fn record(&self, nanos: u64, predicted: f64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        // Each query contributes ≥ 1 predicted unit, which bounds the
+        // derived multiplier by the cell's total nanoseconds.
+        self.predicted
+            .fetch_add(predicted.max(1.0) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CellSample {
+        CellSample {
+            nanos: self.nanos.load(Ordering::Relaxed),
+            predicted: self.predicted.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The live latency registry the self-tuning loop closes over: one
+/// accumulation cell per `(query class, arm)` plus one pooled top-k
+/// cell per arm. Routed backends record `(measured nanos, statically
+/// predicted units)` here on every query; a replan tick snapshots the
+/// grid and hands it to [`Planner::with_class_samples`] to re-derive
+/// the multipliers from serving traffic instead of the one-shot
+/// build-time probe. All counters are relaxed atomics — recording
+/// never blocks the query path, and a tick racing live queries only
+/// folds a query into this tick or the next.
+pub struct ObservationGrid {
+    cells: Vec<[AtomicCell; BackendChoice::COUNT]>,
+    topk: [AtomicCell; BackendChoice::COUNT],
+}
+
+impl Default for ObservationGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObservationGrid {
+    /// An empty grid covering every query class.
+    pub fn new() -> Self {
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        Self {
+            cells: (0..rows)
+                .map(|_| std::array::from_fn(|_| AtomicCell::default()))
+                .collect(),
+            topk: std::array::from_fn(|_| AtomicCell::default()),
+        }
+    }
+
+    /// Records one answered threshold query.
+    pub fn record(
+        &self,
+        class: QueryClass,
+        choice: BackendChoice,
+        nanos: u64,
+        predicted: f64,
+    ) {
+        self.cells[class.table_index()][choice.index()].record(nanos, predicted);
+    }
+
+    /// Records one full top-k deepening run.
+    pub fn record_topk(&self, choice: BackendChoice, nanos: u64, predicted: f64) {
+        self.topk[choice.index()].record(nanos, predicted);
+    }
+
+    /// Snapshot of every class cell, in table order — the shape
+    /// [`Planner::with_class_samples`] consumes.
+    pub fn class_samples(&self) -> Vec<[CellSample; BackendChoice::COUNT]> {
+        self.cells
+            .iter()
+            .map(|row| std::array::from_fn(|i| row[i].snapshot()))
+            .collect()
+    }
+
+    /// Snapshot of the per-arm top-k cells.
+    pub fn topk_samples(&self) -> [CellSample; BackendChoice::COUNT] {
+        std::array::from_fn(|i| self.topk[i].snapshot())
+    }
+
+    /// Total queries recorded (threshold + top-k).
+    pub fn total(&self) -> u64 {
+        let classes: u64 = self
+            .cells
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|c| c.count.load(Ordering::Relaxed))
+            .sum();
+        let topk: u64 = self.topk.iter().map(|c| c.count.load(Ordering::Relaxed)).sum();
+        classes + topk
+    }
+
+    /// Pooled observed nanoseconds per arm (threshold + top-k), in
+    /// [`BackendChoice::ALL`] order — what the serving layer mirrors
+    /// into `STATS` as the per-arm latency registry.
+    pub fn arm_nanos(&self) -> [u64; BackendChoice::COUNT] {
+        std::array::from_fn(|i| {
+            let classes: u64 = self
+                .cells
+                .iter()
+                .map(|row| row[i].nanos.load(Ordering::Relaxed))
+                .sum();
+            classes + self.topk[i].nanos.load(Ordering::Relaxed)
+        })
+    }
+}
+
 /// The planner-driven backend: consults a [`Planner`] per query and
 /// routes to the cheapest arm, counting every decision.
 ///
@@ -821,10 +942,19 @@ impl Backend for BkBackend<'_> {
 /// results (the workspace's cross-variant oracles), so routing is a
 /// pure performance decision — correctness does not depend on the
 /// planner.
+///
+/// The planner is held behind an `RwLock<Arc<..>>` so a background
+/// replan tick can atomically swap in a freshly derived decision table
+/// while queries are in flight: the hot path copies the decision out
+/// under a read lock and never holds it across an arm call. Every
+/// routed query is timed into an [`ObservationGrid`]; [`AutoBackend::replan`]
+/// closes the loop.
 pub struct AutoBackend<'a> {
     dataset: &'a Dataset,
     threads: usize,
-    planner: Planner,
+    planner: RwLock<Arc<Planner>>,
+    plan_epoch: AtomicU64,
+    grid: ObservationGrid,
     arms: [OnceLock<Box<dyn Backend + 'a>>; BackendChoice::COUNT],
     counters: [AtomicU64; BackendChoice::COUNT],
 }
@@ -891,9 +1021,11 @@ impl<'a> AutoBackend<'a> {
         }
         let planner =
             Planner::with_observations(snapshot, &Self::DEFAULT_CANDIDATES, &observations);
-        // Keep the arms the probe already built.
-        let mut auto = uncalibrated;
-        auto.planner = planner;
+        // Keep the arms the probe already built. Build-time calibration
+        // is the epoch-0 baseline, not a replan — the epoch counts
+        // serving-time swaps only.
+        let auto = uncalibrated;
+        *auto.planner.write().expect("planner lock") = Arc::new(planner);
         for counter in &auto.counters {
             counter.store(0, Ordering::Relaxed);
         }
@@ -904,15 +1036,81 @@ impl<'a> AutoBackend<'a> {
         Self {
             dataset,
             threads,
-            planner,
+            planner: RwLock::new(Arc::new(planner)),
+            plan_epoch: AtomicU64::new(0),
+            grid: ObservationGrid::new(),
             arms: std::array::from_fn(|_| OnceLock::new()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    /// The planner (for `explain` and tests).
-    pub fn planner(&self) -> &Planner {
-        &self.planner
+    /// The current planner (for `explain` and tests) — a cheap shared
+    /// handle; a concurrent replan swaps the slot, never mutates the
+    /// table behind an existing handle.
+    pub fn planner(&self) -> Arc<Planner> {
+        self.planner.read().expect("planner lock").clone()
+    }
+
+    /// How many times the decision table has been swapped since build:
+    /// 0 until the first [`AutoBackend::set_planner`] /
+    /// [`AutoBackend::replan`], whether or not the build-time probe
+    /// calibrated the baseline.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The live latency registry this backend records into.
+    pub fn observations(&self) -> &ObservationGrid {
+        &self.grid
+    }
+
+    /// Pooled observed nanoseconds per candidate, in candidate order —
+    /// the serving layer's `STATS` view of the latency registry.
+    pub fn observed_arm_nanos(&self) -> Vec<(&'static str, u64)> {
+        let nanos = self.grid.arm_nanos();
+        self.planner()
+            .candidates()
+            .iter()
+            .map(|&c| (c.name(), nanos[c.index()]))
+            .collect()
+    }
+
+    /// Atomically installs a replacement planner and bumps the plan
+    /// epoch. Refuses (returns `false`) when the candidate set differs
+    /// from the current one: counters, metrics label sets, and the
+    /// lazily built arms are all keyed by the candidate list fixed at
+    /// build time. This is how a restarted daemon installs persisted
+    /// calibration — which is why the epoch starts above 0 after a
+    /// successful restore.
+    pub fn set_planner(&self, planner: Planner) -> bool {
+        let mut slot = self.planner.write().expect("planner lock");
+        if planner.candidates() != slot.candidates() {
+            return false;
+        }
+        *slot = Arc::new(planner);
+        drop(slot);
+        self.plan_epoch.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// One self-tuning tick: re-derives per-(arm, class) multipliers
+    /// from the grid's live observations and swaps the fresh decision
+    /// table in. Returns `false` without swapping when no cell has
+    /// reached [`MIN_CELL_OBSERVATIONS`] yet — a thin grid must not
+    /// overwrite a calibrated baseline with an all-1.0 table.
+    pub fn replan(&self) -> bool {
+        let current = self.planner();
+        let next = Planner::with_class_samples(
+            current.snapshot().clone(),
+            current.candidates(),
+            &self.grid.class_samples(),
+            &self.grid.topk_samples(),
+            MIN_CELL_OBSERVATIONS,
+        );
+        if !next.is_calibrated() {
+            return false;
+        }
+        self.set_planner(next)
     }
 
     /// A small deterministic probe workload drawn from the dataset
@@ -942,7 +1140,7 @@ impl<'a> AutoBackend<'a> {
     /// `(backend name, queries routed)` per candidate, in candidate
     /// order. Counts accumulate over the backend's lifetime.
     pub fn plan_counts(&self) -> Vec<(&'static str, u64)> {
-        self.planner
+        self.planner()
             .candidates()
             .iter()
             .map(|&c| (c.name(), self.counters[c.index()].load(Ordering::Relaxed)))
@@ -988,7 +1186,7 @@ impl Backend for AutoBackend<'_> {
     fn name(&self) -> String {
         format!(
             "auto[{}]",
-            if self.planner.is_calibrated() {
+            if self.planner().is_calibrated() {
                 "calibrated"
             } else {
                 "static"
@@ -999,7 +1197,7 @@ impl Backend for AutoBackend<'_> {
     fn prepare(&self) {
         // Force every arm the decision table can actually pick.
         let mut chosen: Vec<BackendChoice> = self
-            .planner
+            .planner()
             .decisions()
             .iter()
             .map(|d| d.chosen)
@@ -1016,13 +1214,54 @@ impl Backend for AutoBackend<'_> {
     }
 
     fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
-        let decision = self.planner.decide(query.len(), k);
-        self.counters[decision.chosen.index()].fetch_add(1, Ordering::Relaxed);
-        self.arm(decision.chosen).search_counting(query, k)
+        // Copy the decision out under the read lock; never hold the
+        // lock across the arm call, or a replan tick would stall behind
+        // the slowest in-flight query.
+        let (chosen, class, predicted) = {
+            let planner = self.planner.read().expect("planner lock");
+            let chosen = planner.decide(query.len(), k).chosen;
+            (
+                chosen,
+                QueryClass::of(planner.snapshot(), query.len(), k),
+                static_cost(planner.snapshot(), chosen, query.len(), k),
+            )
+        };
+        self.counters[chosen.index()].fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let answer = self.arm(chosen).search_counting(query, k);
+        self.grid
+            .record(class, chosen, started.elapsed().as_nanos() as u64, predicted);
+        answer
+    }
+
+    fn search_top_k_with(
+        &self,
+        query: &[u8],
+        count: usize,
+        max_radius: u32,
+    ) -> (Vec<Match>, u64) {
+        // Top-k routes on its own curve: the whole deepening run goes
+        // to the arm whose *summed* schedule cost is smallest, instead
+        // of re-deciding per radius on the threshold table (whose
+        // multipliers describe single probes, not re-entrant series).
+        let (chosen, predicted) = {
+            let planner = self.planner.read().expect("planner lock");
+            let chosen = planner.decide_topk(query.len(), count, max_radius).chosen;
+            (
+                chosen,
+                planner.topk_static_units(chosen, query.len(), count, max_radius),
+            )
+        };
+        self.counters[chosen.index()].fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let answer = self.arm(chosen).search_top_k_with(query, count, max_radius);
+        self.grid
+            .record_topk(chosen, started.elapsed().as_nanos() as u64, predicted);
+        answer
     }
 
     fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
-        self.planner
+        self.planner()
             .candidates()
             .iter()
             .map(|&c| static_cost(snapshot, c, query_len, k))
@@ -1030,15 +1269,16 @@ impl Backend for AutoBackend<'_> {
     }
 
     fn diag(&self) -> BackendDiag {
+        let planner = self.planner();
         BackendDiag {
             name: self.name(),
             structure: None,
             filters: vec!["length", "frequency"],
             plan: Some(PlanReport {
-                snapshot: self.planner.snapshot().clone(),
-                decisions: self.planner.decisions().to_vec(),
+                snapshot: planner.snapshot().clone(),
+                decisions: planner.decisions().to_vec(),
                 counts: self.plan_counts(),
-                calibrated: self.planner.is_calibrated(),
+                calibrated: planner.is_calibrated(),
             }),
         }
     }
@@ -1152,6 +1392,50 @@ mod tests {
         let (b, _) = scan.search_top_k_with(b"Berlim", 3, 8);
         assert_eq!(a, b);
         assert_eq!(a[0].id, 0);
+    }
+
+    #[test]
+    fn replan_needs_a_minimum_of_observations_then_swaps() {
+        let ds = dataset();
+        let w = workload();
+        let expected = oracle(&ds, &w);
+        let auto = AutoBackend::new(&ds, 1);
+        assert!(!auto.replan(), "an empty grid must not swap the table");
+        assert_eq!(auto.plan_epoch(), 0);
+        // Fill the routed cells past the gate, then close the loop.
+        for _ in 0..MIN_CELL_OBSERVATIONS {
+            assert_eq!(auto.run_workload(&w), expected);
+        }
+        assert!(auto.replan(), "a filled grid replans");
+        assert_eq!(auto.plan_epoch(), 1);
+        assert!(auto.planner().is_calibrated());
+        assert_eq!(auto.run_workload(&w), expected, "replanned routing stays exact");
+        let nanos: u64 = auto.observed_arm_nanos().iter().map(|(_, n)| n).sum();
+        assert!(nanos > 0, "routed queries are timed into the grid");
+    }
+
+    #[test]
+    fn set_planner_refuses_a_different_candidate_set() {
+        let ds = dataset();
+        let auto = AutoBackend::new(&ds, 1);
+        let snap = auto.planner().snapshot().clone();
+        let foreign = Planner::new(snap.clone(), &BackendChoice::ALL);
+        assert!(!auto.set_planner(foreign), "candidate sets are fixed at build");
+        assert_eq!(auto.plan_epoch(), 0);
+        let same = Planner::new(snap, &AutoBackend::DEFAULT_CANDIDATES);
+        assert!(auto.set_planner(same));
+        assert_eq!(auto.plan_epoch(), 1);
+    }
+
+    #[test]
+    fn auto_topk_records_into_the_topk_cells() {
+        let ds = dataset();
+        let auto = AutoBackend::new(&ds, 1);
+        let (top, _) = auto.search_top_k_with(b"Berlim", 3, 8);
+        assert_eq!(top[0].id, 0);
+        let samples = auto.observations().topk_samples();
+        let total: u64 = samples.iter().map(|c| c.count).sum();
+        assert_eq!(total, 1, "one deepening run = one top-k observation");
     }
 
     #[test]

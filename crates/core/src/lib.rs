@@ -10,6 +10,9 @@
 //! * [`planner`] — the adaptive [`planner::Planner`]: cost hints from
 //!   dataset statistics, one explainable [`planner::PlanDecision`] per
 //!   query class;
+//! * [`calibration`] — persistence bridge for measured cost models:
+//!   a calibrated [`planner::Planner`] round-trips through the index
+//!   dump's calibration section, invalidated on dataset drift;
 //! * [`engine`] — [`engine::SearchEngine`] builds and runs any solution:
 //!   each scan rung (§3), each index rung (§4), and the extension
 //!   engines (frequency-annotated radix tree, q-gram index, length
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod calibration;
 pub mod engine;
 pub mod experiment;
 pub mod join;
@@ -47,16 +51,22 @@ pub mod topk;
 pub mod verify;
 
 pub use backend::{
-    AutoBackend, Backend, BackendDiag, FilteredScanBackend, PlanReport, QgramBackend,
-    RadixBackend, SortedScanBackend,
+    AutoBackend, Backend, BackendDiag, FilteredScanBackend, ObservationGrid, PlanReport,
+    QgramBackend, RadixBackend, SortedScanBackend,
+};
+pub use calibration::{
+    load_calibration, planner_from_record, planner_to_record, save_calibration,
 };
 pub use engine::{build_backend, EngineKind, IdxVariant, SearchEngine};
-pub use lsm::{LiveEngine, LiveStats, LsmConfig, MutableBackend};
+pub use lsm::{LiveEngine, LiveStats, LsmConfig, MutableBackend, SegmentArm};
 pub use sharded::{
     merge_match_sets, partition_ids, remap_to_global, route_record, ShardAutoBackend, ShardBy,
     ShardStats, ShardedBackend,
 };
-pub use planner::{BackendChoice, CostEstimate, Observation, PlanDecision, Planner, QueryClass};
+pub use planner::{
+    BackendChoice, CellSample, CostEstimate, Observation, PlanDecision, Planner, QueryClass,
+    TopkDecision, MIN_CELL_OBSERVATIONS,
+};
 pub use join::{CrossPair, JoinPair};
 pub use passjoin::{
     even_partitions, min_join, min_join_partitions, min_join_with_stats, parallel_min_join,

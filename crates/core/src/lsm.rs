@@ -55,9 +55,9 @@ use crate::backend::{Backend, BackendDiag};
 use crate::planner::{static_cost, BackendChoice};
 use crate::sharded::{merge_match_sets, remap_to_global};
 use simsearch_data::{Dataset, MatchSet, RecordId, SortedView, StatsSnapshot};
-use simsearch_scan::{flat_search_where, v7_search_view};
+use simsearch_scan::{flat_search_where, v7_search_view, v8_search_view};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// The mutation seam: what a serving layer (or a sharded composite)
@@ -119,6 +119,46 @@ impl Default for LsmConfig {
     }
 }
 
+/// The kernel a live engine's segments answer with. Both arms read the
+/// same prepared [`SortedView`] and return byte-identical results (the
+/// `v8_oracle` gate), so switching is a pure performance decision —
+/// which is what lets [`LiveEngine::replan`] re-pick the arm from the
+/// engine's own gauges while queries are in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentArm {
+    /// V7 LCP-resumable row-stack DP — the default; its banded
+    /// early-abort wins short strings and low thresholds.
+    Sorted,
+    /// V8 Myers bit-parallel sweep — per-word cost independent of `k`;
+    /// wins once segments dominate and records are long.
+    BitParallel,
+}
+
+impl SegmentArm {
+    /// Stable short name (`STATS`, `explain`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentArm::Sorted => "scan-sorted",
+            SegmentArm::BitParallel => "scan-bitparallel",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        if v == 1 {
+            SegmentArm::BitParallel
+        } else {
+            SegmentArm::Sorted
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            SegmentArm::Sorted => 0,
+            SegmentArm::BitParallel => 1,
+        }
+    }
+}
+
 /// One immutable sorted segment: a prepared V7 [`SortedView`] plus the
 /// strictly-increasing table mapping its local ids to global ids.
 struct Segment {
@@ -155,10 +195,14 @@ impl Segment {
         usize::BITS - 1 - self.globals.len().leading_zeros()
     }
 
-    /// V7 search remapped to global ids (tombstones are the caller's
-    /// concern — they filter *after* remapping).
-    fn search(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
-        let (local, cells) = v7_search_view(&self.view, query, k);
+    /// Search with the engine's current arm, remapped to global ids
+    /// (tombstones are the caller's concern — they filter *after*
+    /// remapping).
+    fn search(&self, arm: SegmentArm, query: &[u8], k: u32) -> (MatchSet, u64) {
+        let (local, cells) = match arm {
+            SegmentArm::Sorted => v7_search_view(&self.view, query, k),
+            SegmentArm::BitParallel => v8_search_view(&self.view, query, k),
+        };
         (remap_to_global(&local, &self.globals), cells)
     }
 }
@@ -226,6 +270,11 @@ pub struct LiveEngine {
     cfg: LsmConfig,
     /// Serialises compaction's plan→build→swap sequence.
     compact_gate: Mutex<()>,
+    /// The segment kernel ([`SegmentArm`] as a byte), swapped by
+    /// [`LiveEngine::replan`]; reads are one relaxed load per query.
+    plan: AtomicU8,
+    /// Arm swaps since build.
+    plan_epoch: AtomicU64,
     compactions: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
@@ -244,6 +293,8 @@ impl LiveEngine {
             }),
             cfg,
             compact_gate: Mutex::new(()),
+            plan: AtomicU8::new(SegmentArm::Sorted.as_u8()),
+            plan_epoch: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
@@ -355,6 +406,7 @@ impl LiveEngine {
     /// lock is held across the whole union, so the result reflects one
     /// atomic `(memtable, segments, tombstones)` snapshot.
     fn search_snapshot(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
+        let arm = self.segment_arm();
         let inner = self.inner.read().expect("lsm lock");
         let mut parts = Vec::with_capacity(inner.segments.len() + 1);
         // Memtable first: tombstones mask slots before the kernel runs.
@@ -364,7 +416,7 @@ impl LiveEngine {
         parts.push(remap_to_global(&mem_local, &inner.mem_ids));
         let mut cells = 0u64;
         for segment in &inner.segments {
-            let (remapped, segment_cells) = segment.search(query, k);
+            let (remapped, segment_cells) = segment.search(arm, query, k);
             cells += segment_cells;
             // Segments hold tombstoned records until compaction elides
             // them; filter after remapping to global ids.
@@ -562,6 +614,71 @@ impl LiveEngine {
         }
         steps
     }
+
+    /// The kernel segments currently answer with.
+    pub fn segment_arm(&self) -> SegmentArm {
+        SegmentArm::from_u8(self.plan.load(Ordering::Relaxed))
+    }
+
+    /// Arm swaps since build (0 until the first effective replan).
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch.load(Ordering::Relaxed)
+    }
+
+    /// One self-tuning tick against this engine's *own* gauges: re-picks
+    /// the segment kernel from the current memtable/segment shape and
+    /// swaps it atomically (a relaxed byte store — in-flight queries
+    /// finish on the arm they loaded). Returns whether the arm changed.
+    ///
+    /// The rule mirrors the planner's V7-vs-V8 crossover, scoped to one
+    /// shard's gauges: the bit-parallel sweep is preferred only when
+    /// the segments dominate the read path (a freshly-flushed or
+    /// compacted shard) *and* the per-word sweep undercuts the banded
+    /// DP at the shard's own mean record length — a memtable-heavy
+    /// neighbour keeps V7 under its flat-scan-dominated mix. Deletes
+    /// shift `live_records` and compactions shift the segment/memtable
+    /// split, so the decision genuinely drifts with churn.
+    pub fn replan(&self) -> bool {
+        let (memtable_len, segment_records, segment_bytes) = {
+            let inner = self.inner.read().expect("lsm lock");
+            let records: usize = inner.segments.iter().map(|s| s.globals.len()).sum();
+            let bytes: usize = inner.segments.iter().map(|s| s.data.arena_len()).sum();
+            (inner.mem_ids.len(), records, bytes)
+        };
+        let next = Self::preferred_arm(memtable_len, segment_records, segment_bytes);
+        let previous = self.plan.swap(next.as_u8(), Ordering::Relaxed);
+        let changed = previous != next.as_u8();
+        if changed {
+            self.plan_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        changed
+    }
+
+    /// The deterministic arm rule behind [`LiveEngine::replan`] —
+    /// a pure function of the gauges, so tests can pin the crossover.
+    fn preferred_arm(
+        memtable_len: usize,
+        segment_records: usize,
+        segment_bytes: usize,
+    ) -> SegmentArm {
+        // Segments must dominate the read path before a segment-kernel
+        // switch can pay for itself (hysteresis against flapping on a
+        // half-filled memtable).
+        if segment_records == 0 || segment_records < 4 * memtable_len {
+            return SegmentArm::Sorted;
+        }
+        // The Myers sweep advances 64-cell words; it amortises its
+        // block setup only once a typical record spans at least one
+        // full word — exactly the long-string regime where the banded
+        // DP's row count grows with `k` (the V8 figures: 4.3× on
+        // 104-char DNA reads, a wash on 10-char city names).
+        let mean = segment_bytes / segment_records;
+        if mean >= 64 {
+            SegmentArm::BitParallel
+        } else {
+            SegmentArm::Sorted
+        }
+    }
 }
 
 impl Backend for LiveEngine {
@@ -746,6 +863,53 @@ mod tests {
         assert_eq!(stats.tombstones, 0);
         assert_eq!(stats.segment_records, 1);
         assert_eq!(engine.search(b"bb", 1).ids(), vec![3]);
+    }
+
+    #[test]
+    fn replan_prefers_bitparallel_only_when_segments_dominate_long_records() {
+        // Long DNA-like records, all flushed: segments dominate and the
+        // per-word sweep undercuts the banded DP — the arm flips once
+        // (epoch 1) and answers stay oracle-identical.
+        let long: Vec<Vec<u8>> = (0..6)
+            .map(|i| {
+                (0..200u32)
+                    .map(|j| b"ACGT"[((i * 7 + j) % 4) as usize])
+                    .collect()
+            })
+            .collect();
+        let engine = LiveEngine::new(LsmConfig { memtable_cap: 6 });
+        let mut survivors = Vec::new();
+        for r in &long {
+            let id = engine.insert(r);
+            survivors.push((id, r.clone()));
+        }
+        assert!(engine.maybe_compact(), "flush all six");
+        assert_eq!(engine.segment_arm(), SegmentArm::Sorted, "default arm");
+        assert!(engine.replan(), "flushed long records flip to V8");
+        assert_eq!(engine.segment_arm(), SegmentArm::BitParallel);
+        assert_eq!(engine.plan_epoch(), 1);
+        assert!(!engine.replan(), "stable gauges, no second flip");
+        let q = &long[0][..150];
+        for k in [0, 4, 16] {
+            assert_eq!(engine.search(q, k), oracle(&survivors, q, k), "k={k}");
+        }
+
+        // A memtable-heavy engine with the same records stays on V7.
+        let heavy = LiveEngine::new(LsmConfig { memtable_cap: 1024 });
+        for r in &long {
+            heavy.insert(r);
+        }
+        assert!(!heavy.replan(), "memtable-heavy shard keeps the flat mix");
+        assert_eq!(heavy.segment_arm(), SegmentArm::Sorted);
+
+        // Short city-like records never flip even when fully flushed.
+        let city = LiveEngine::new(LsmConfig { memtable_cap: 4 });
+        for w in [&b"Berlin"[..], b"Bern", b"Bonn", b"Ulm"] {
+            city.insert(w);
+        }
+        assert!(city.maybe_compact());
+        assert!(!city.replan(), "short records stay on the banded DP");
+        assert_eq!(city.plan_epoch(), 0);
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub const MAX_K_CLASS: u32 = 16;
 /// Number of query-length classes (short / medium / long vs. the mean).
 pub const NUM_LEN_CLASSES: usize = 3;
 
+/// Minimum observations a live `(arm, class)` cell needs before its own
+/// ratio is trusted; thinner cells fall back to the arm's pooled ratio
+/// (see [`Planner::with_class_samples`]). Low enough that a replan tick
+/// converges within one serving burst, high enough that a single
+/// outlier query cannot flip a class.
+pub const MIN_CELL_OBSERVATIONS: u64 = 8;
+
 /// The execution backends the planner can choose among. Every variant
 /// maps to one implementation of the `Backend` trait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -290,6 +297,51 @@ pub struct Observation {
     pub nanos: f64,
 }
 
+/// One aggregated live-observation cell: every query an arm answered
+/// for one query class, summed. The serving layer accumulates these in
+/// atomic counters (`ObservationGrid`); a replan tick snapshots them
+/// and hands the grid to [`Planner::with_class_samples`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellSample {
+    /// Total measured wall-clock nanoseconds across the cell's queries.
+    pub nanos: u64,
+    /// Total statically predicted cost units ([`static_cost`], clamped
+    /// to ≥ 1 per query) for exactly those queries.
+    pub predicted: u64,
+    /// Number of queries in the cell.
+    pub count: u64,
+}
+
+impl CellSample {
+    /// Folds another cell into this one (pooling across classes).
+    pub fn merge(&mut self, other: CellSample) {
+        self.nanos = self.nanos.saturating_add(other.nanos);
+        self.predicted = self.predicted.saturating_add(other.predicted);
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    fn ratio(self) -> Option<f64> {
+        (self.predicted > 0).then(|| {
+            (self.nanos as f64 / self.predicted as f64).max(f64::MIN_POSITIVE)
+        })
+    }
+}
+
+/// A top-k routing decision: computed per query (the deepening curve
+/// depends on `count` and `max_radius`, which the 51-row threshold
+/// table does not key on), kept in the same explainable shape as
+/// [`PlanDecision`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkDecision {
+    /// The winning backend.
+    pub chosen: BackendChoice,
+    /// All candidate estimates, ascending by cost (ties broken by
+    /// [`BackendChoice::ALL`] order).
+    pub estimates: Vec<CostEstimate>,
+    /// Whether top-k calibration multipliers were applied.
+    pub calibrated: bool,
+}
+
 /// The planner: a snapshot, a candidate set, per-backend calibration
 /// multipliers (global and per query class), and the precomputed
 /// decision table.
@@ -300,6 +352,10 @@ pub struct Planner {
     /// Per-class multiplier rows, indexed by `QueryClass::table_index`;
     /// classes the probe never covered hold the backend's global ratio.
     class_multipliers: Vec<[f64; BackendChoice::COUNT]>,
+    /// Per-arm multipliers for the top-k deepening curve — its
+    /// re-entrant radius growth has a different shape than any single
+    /// threshold class, so it gets its own correction.
+    topk_multipliers: [f64; BackendChoice::COUNT],
     calibrated: bool,
     table: Vec<PlanDecision>,
 }
@@ -341,6 +397,7 @@ impl Planner {
             snapshot,
             candidates,
             vec![multipliers; rows],
+            [1.0; BackendChoice::COUNT],
             !measured.is_empty(),
         )
     }
@@ -401,14 +458,114 @@ impl Planner {
             snapshot,
             candidates,
             class_multipliers,
+            [1.0; BackendChoice::COUNT],
             !observations.is_empty(),
         )
+    }
+
+    /// Builds a planner re-calibrated from *live* per-(arm, class)
+    /// latency aggregates — the replan tick's constructor. Unlike
+    /// [`Planner::with_observations`] (which trusts every probe query,
+    /// because the build-time probe is controlled), live cells are
+    /// noisy and unevenly filled, so a cell only speaks for itself once
+    /// it holds at least `min_count` queries; thinner cells fall back
+    /// to the arm's pooled ratio across all classes, and arms the
+    /// workload never routed to keep 1.0.
+    ///
+    /// `cells` is indexed `[QueryClass::table_index()][choice.index()]`;
+    /// `topk` holds one pooled cell per arm for the iterative-deepening
+    /// curve (see [`Planner::decide_topk`]).
+    ///
+    /// Every multiplier is positive and finite by construction, and
+    /// bounded by the cell's total nanoseconds (each query contributes
+    /// ≥ 1 predicted unit). Scaling all `nanos` by a common power of
+    /// two scales every multiplier exactly, so the argmin arm of every
+    /// class is invariant under clock-unit changes — the
+    /// `calibration_props` suite holds the planner to this.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty or the row count of `cells` is
+    /// not the table size.
+    pub fn with_class_samples(
+        snapshot: StatsSnapshot,
+        candidates: &[BackendChoice],
+        cells: &[[CellSample; BackendChoice::COUNT]],
+        topk: &[CellSample; BackendChoice::COUNT],
+        min_count: u64,
+    ) -> Self {
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        assert_eq!(cells.len(), rows, "one cell row per query class");
+        let mut pooled = [CellSample::default(); BackendChoice::COUNT];
+        for row in cells {
+            for (acc, &cell) in pooled.iter_mut().zip(row.iter()) {
+                acc.merge(cell);
+            }
+        }
+        let trusted = |cell: CellSample| -> Option<f64> {
+            if cell.count >= min_count.max(1) {
+                cell.ratio()
+            } else {
+                None
+            }
+        };
+        let fallback: Vec<f64> = pooled
+            .iter()
+            .map(|&arm| trusted(arm).unwrap_or(1.0))
+            .collect();
+        let class_multipliers: Vec<[f64; BackendChoice::COUNT]> = cells
+            .iter()
+            .map(|row| {
+                std::array::from_fn(|i| trusted(row[i]).unwrap_or(fallback[i]))
+            })
+            .collect();
+        let topk_multipliers: [f64; BackendChoice::COUNT] =
+            std::array::from_fn(|i| trusted(topk[i]).unwrap_or(fallback[i]));
+        let calibrated = pooled.iter().any(|arm| arm.count >= min_count.max(1))
+            || topk.iter().any(|arm| arm.count >= min_count.max(1));
+        Self::from_rows(
+            snapshot,
+            candidates,
+            class_multipliers,
+            topk_multipliers,
+            calibrated,
+        )
+    }
+
+    /// Rebuilds a planner from persisted multiplier rows (the
+    /// calibration section of the index file). Returns `None` — never
+    /// panics — when the shape or values are off: wrong row count, a
+    /// non-finite or non-positive multiplier, or an empty candidate
+    /// set. Loaders treat `None` as "fall back to the static table".
+    pub fn from_calibrated_rows(
+        snapshot: StatsSnapshot,
+        candidates: &[BackendChoice],
+        class_multipliers: Vec<[f64; BackendChoice::COUNT]>,
+        topk_multipliers: [f64; BackendChoice::COUNT],
+    ) -> Option<Self> {
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        if candidates.is_empty() || class_multipliers.len() != rows {
+            return None;
+        }
+        let ok = |m: f64| m.is_finite() && m > 0.0;
+        if !class_multipliers.iter().flatten().copied().all(ok)
+            || !topk_multipliers.iter().copied().all(ok)
+        {
+            return None;
+        }
+        Some(Self::from_rows(
+            snapshot,
+            candidates,
+            class_multipliers,
+            topk_multipliers,
+            true,
+        ))
     }
 
     fn from_rows(
         snapshot: StatsSnapshot,
         candidates: &[BackendChoice],
         class_multipliers: Vec<[f64; BackendChoice::COUNT]>,
+        topk_multipliers: [f64; BackendChoice::COUNT],
         calibrated: bool,
     ) -> Self {
         assert!(!candidates.is_empty(), "planner needs at least one candidate");
@@ -416,6 +573,7 @@ impl Planner {
             snapshot,
             candidates: candidates.to_vec(),
             class_multipliers,
+            topk_multipliers,
             calibrated,
             table: Vec::new(),
         };
@@ -462,6 +620,106 @@ impl Planner {
     /// lookup, cheap enough for the per-query hot path.
     pub fn decide(&self, query_len: usize, k: u32) -> &PlanDecision {
         &self.table[QueryClass::of(&self.snapshot, query_len, k).table_index()]
+    }
+
+    /// The per-class multiplier rows, in [`QueryClass::all`] order —
+    /// the calibration state the persistence layer serializes.
+    pub fn class_multipliers(&self) -> &[[f64; BackendChoice::COUNT]] {
+        &self.class_multipliers
+    }
+
+    /// The per-arm top-k curve multipliers.
+    pub fn topk_multipliers(&self) -> &[f64; BackendChoice::COUNT] {
+        &self.topk_multipliers
+    }
+
+    /// The radius sequence iterative deepening probes for a given
+    /// `max_radius`: 0, then doubling with a floor of +1, clamped —
+    /// exactly the loop in [`crate::topk::search_top_k_with`]. The cost
+    /// model must sum over this sequence, not a single radius: a top-k
+    /// call re-enters the backend once per scheduled radius.
+    pub fn topk_schedule(max_radius: u32) -> Vec<u32> {
+        let mut schedule = vec![0u32];
+        let mut radius = 0u32;
+        while radius < max_radius {
+            radius = (radius * 2).clamp(radius + 1, max_radius);
+            schedule.push(radius);
+        }
+        schedule
+    }
+
+    /// Estimated cost of a full top-k deepening run on one backend:
+    /// the static hint summed over every scheduled radius up to the
+    /// expected stopping point — the first radius whose length-filter
+    /// survivor count reaches `count` (deepening stops as soon as
+    /// `count` matches exist, and survivors bound matches from above) —
+    /// scaled by the arm's top-k multiplier. Distinct from
+    /// [`Planner::cost`]: a threshold query pays one probe, a top-k
+    /// query pays a re-entrant series whose late, wide radii dominate.
+    pub fn topk_cost(
+        &self,
+        choice: BackendChoice,
+        query_len: usize,
+        count: usize,
+        max_radius: u32,
+    ) -> f64 {
+        self.topk_static_units(choice, query_len, count, max_radius)
+            * self.topk_multipliers[choice.index()]
+    }
+
+    /// The unscaled deepening cost — what [`Planner::topk_cost`] is
+    /// before the arm's multiplier. Routed backends record this as the
+    /// predicted-units side of a top-k observation, so the derived
+    /// multiplier stays a measured-over-predicted ratio.
+    pub fn topk_static_units(
+        &self,
+        choice: BackendChoice,
+        query_len: usize,
+        count: usize,
+        max_radius: u32,
+    ) -> f64 {
+        let mut total = 0.0;
+        for radius in Self::topk_schedule(max_radius) {
+            total += static_cost(&self.snapshot, choice, query_len, radius);
+            let survivors = self.snapshot.length_survivors(query_len, radius);
+            if count > 0 && survivors as usize >= count {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Routes a whole top-k deepening run to one backend — the top-k
+    /// twin of [`Planner::decide`], computed per query because the
+    /// curve depends on `count` and `max_radius`, which the threshold
+    /// table does not key on. May disagree with the threshold-table
+    /// decision for the same query length; the parity suite checks the
+    /// routed arm's answers against the exhaustive oracle either way.
+    pub fn decide_topk(
+        &self,
+        query_len: usize,
+        count: usize,
+        max_radius: u32,
+    ) -> TopkDecision {
+        let mut estimates: Vec<CostEstimate> = self
+            .candidates
+            .iter()
+            .map(|&choice| CostEstimate {
+                choice,
+                cost: self.topk_cost(choice, query_len, count, max_radius),
+            })
+            .collect();
+        estimates.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("cost hints are finite")
+                .then(a.choice.index().cmp(&b.choice.index()))
+        });
+        TopkDecision {
+            chosen: estimates[0].choice,
+            estimates,
+            calibrated: self.calibrated,
+        }
     }
 
     /// Every recorded decision, in [`QueryClass::all`] order.
@@ -669,6 +927,182 @@ mod tests {
         for d in planner.decisions() {
             assert_eq!(d.chosen, BackendChoice::ScanFlat);
         }
+    }
+
+    fn cell(nanos: u64, predicted: u64, count: u64) -> CellSample {
+        CellSample {
+            nanos,
+            predicted,
+            count,
+        }
+    }
+
+    #[test]
+    fn class_samples_respect_the_min_count_gate() {
+        // A thin cell (1 observation) claiming the static winner is
+        // 10^6× slow must NOT flip the class on its own; the same
+        // evidence above the gate must.
+        let snap = snapshot_of(&["aaaa", "aaab", "aabb", "abbb"]);
+        let base = Planner::new(snap.clone(), &BackendChoice::ALL);
+        let winner = base.decide(4, 1).chosen;
+        let class = QueryClass::of(&snap, 4, 1);
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        let mut cells = vec![[CellSample::default(); BackendChoice::COUNT]; rows];
+        let topk = [CellSample::default(); BackendChoice::COUNT];
+        cells[class.table_index()][winner.index()] = cell(1_000_000_000, 1_000, 1);
+        let thin = Planner::with_class_samples(
+            snap.clone(),
+            &BackendChoice::ALL,
+            &cells,
+            &topk,
+            8,
+        );
+        assert_eq!(thin.decide(4, 1).chosen, winner, "thin cell must not flip");
+        cells[class.table_index()][winner.index()] =
+            cell(8_000_000_000, 8_000, 8);
+        let fat = Planner::with_class_samples(
+            snap,
+            &BackendChoice::ALL,
+            &cells,
+            &topk,
+            8,
+        );
+        assert!(fat.is_calibrated());
+        assert_ne!(fat.decide(4, 1).chosen, winner, "fat cell must flip");
+    }
+
+    #[test]
+    fn thin_cells_fall_back_to_the_pooled_arm_ratio() {
+        // The arm has plenty of pooled evidence (spread over classes,
+        // each cell below the gate): the pooled ratio applies
+        // everywhere, including classes with zero observations.
+        let snap = snapshot_of(&["aaaa", "aaab", "aabb", "abbb"]);
+        let base = Planner::new(snap.clone(), &BackendChoice::ALL);
+        let winner = base.decide(4, 1).chosen;
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        let mut cells = vec![[CellSample::default(); BackendChoice::COUNT]; rows];
+        for row in cells.iter_mut().take(4) {
+            row[winner.index()] = cell(2_000_000_000, 2_000, 2);
+        }
+        let planner = Planner::with_class_samples(
+            snap,
+            &BackendChoice::ALL,
+            &cells,
+            &[CellSample::default(); BackendChoice::COUNT],
+            8,
+        );
+        // Pooled: 8 observations at ratio 10^6 — trusted, applied to
+        // every class (each individual cell held only 2).
+        assert!(planner.is_calibrated());
+        for k in [0, 1, 5, 16] {
+            assert_ne!(planner.decide(4, k).chosen, winner);
+        }
+    }
+
+    #[test]
+    fn empty_class_samples_match_the_static_planner() {
+        let snap = snapshot_of(&["kitten", "sitting", "mitten"]);
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        let a = Planner::new(snap.clone(), &BackendChoice::ALL);
+        let b = Planner::with_class_samples(
+            snap,
+            &BackendChoice::ALL,
+            &vec![[CellSample::default(); BackendChoice::COUNT]; rows],
+            &[CellSample::default(); BackendChoice::COUNT],
+            MIN_CELL_OBSERVATIONS,
+        );
+        assert!(!b.is_calibrated());
+        assert_eq!(a.decisions(), b.decisions());
+    }
+
+    #[test]
+    fn topk_schedule_mirrors_the_deepening_loop() {
+        assert_eq!(Planner::topk_schedule(0), vec![0]);
+        assert_eq!(Planner::topk_schedule(1), vec![0, 1]);
+        assert_eq!(Planner::topk_schedule(3), vec![0, 1, 2, 3]);
+        assert_eq!(Planner::topk_schedule(16), vec![0, 1, 2, 4, 8, 16]);
+        assert_eq!(Planner::topk_schedule(20), vec![0, 1, 2, 4, 8, 16, 20]);
+    }
+
+    #[test]
+    fn topk_cost_sums_the_schedule_and_uses_its_own_multipliers() {
+        let snap = snapshot_of(&["Berlin", "Bern", "Bonn", "Ulm"]);
+        let planner = Planner::new(snap.clone(), &BackendChoice::ALL);
+        // Oversized count: no stopping radius, so the cost is exactly
+        // the sum of static hints over the whole schedule.
+        let by_hand: f64 = Planner::topk_schedule(8)
+            .into_iter()
+            .map(|r| static_cost(&snap, BackendChoice::ScanFlat, 6, r))
+            .sum();
+        let modeled = planner.topk_cost(BackendChoice::ScanFlat, 6, 1_000, 8);
+        assert!((by_hand - modeled).abs() < 1e-9);
+        // A top-k-only slowdown must reroute TOPK without touching the
+        // threshold table.
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        let cells = vec![[CellSample::default(); BackendChoice::COUNT]; rows];
+        let static_topk = planner.decide_topk(6, 2, 8).chosen;
+        let mut topk = [CellSample::default(); BackendChoice::COUNT];
+        topk[static_topk.index()] = cell(8_000_000_000, 8_000, 8);
+        let skewed = Planner::with_class_samples(
+            snap,
+            &BackendChoice::ALL,
+            &cells,
+            &topk,
+            8,
+        );
+        assert_ne!(skewed.decide_topk(6, 2, 8).chosen, static_topk);
+        assert_eq!(
+            skewed.decide(6, 2).chosen,
+            planner.decide(6, 2).chosen,
+            "threshold table must not piggyback on the top-k curve"
+        );
+    }
+
+    #[test]
+    fn calibrated_rows_round_trip_and_reject_bad_shapes() {
+        let snap = snapshot_of(&["aaaa", "aaab", "aabb", "abbb"]);
+        let rows = NUM_LEN_CLASSES * (MAX_K_CLASS as usize + 1);
+        let mut cells = vec![[CellSample::default(); BackendChoice::COUNT]; rows];
+        cells[QueryClass::of(&snap, 4, 1).table_index()]
+            [BackendChoice::ScanFlat.index()] = cell(9_000, 9_000, 9);
+        let original = Planner::with_class_samples(
+            snap.clone(),
+            &BackendChoice::ALL,
+            &cells,
+            &[CellSample::default(); BackendChoice::COUNT],
+            8,
+        );
+        let rebuilt = Planner::from_calibrated_rows(
+            snap.clone(),
+            &BackendChoice::ALL,
+            original.class_multipliers().to_vec(),
+            *original.topk_multipliers(),
+        )
+        .expect("valid rows reconstruct");
+        assert_eq!(original.decisions(), rebuilt.decisions());
+        assert!(Planner::from_calibrated_rows(
+            snap.clone(),
+            &BackendChoice::ALL,
+            vec![[1.0; BackendChoice::COUNT]; 3],
+            [1.0; BackendChoice::COUNT],
+        )
+        .is_none());
+        let mut bad = vec![[1.0; BackendChoice::COUNT]; rows];
+        bad[0][0] = f64::NAN;
+        assert!(Planner::from_calibrated_rows(
+            snap.clone(),
+            &BackendChoice::ALL,
+            bad,
+            [1.0; BackendChoice::COUNT],
+        )
+        .is_none());
+        assert!(Planner::from_calibrated_rows(
+            snap,
+            &[],
+            vec![[1.0; BackendChoice::COUNT]; rows],
+            [1.0; BackendChoice::COUNT],
+        )
+        .is_none());
     }
 
     #[test]

@@ -18,9 +18,11 @@
 //! increasing, so a remapped shard-local result is already a sorted run
 //! and the union is a classic k-way merge of disjoint sorted lists.
 
-use crate::backend::{AutoBackend, Backend, BackendDiag, PlanReport};
+use crate::backend::{AutoBackend, Backend, BackendDiag, ObservationGrid, PlanReport};
 use crate::lsm::{LiveEngine, LiveStats, LsmConfig, MutableBackend};
-use crate::planner::{static_cost, BackendChoice, Observation, Planner};
+use crate::planner::{
+    static_cost, BackendChoice, Observation, Planner, QueryClass, MIN_CELL_OBSERVATIONS,
+};
 use simsearch_data::alphabet::{DNA_SYMBOLS, VOWEL_SYMBOLS};
 use simsearch_data::{
     Alphabet, Dataset, Match, MatchSet, RecordId, SortedView, StatsSnapshot, Workload,
@@ -30,7 +32,8 @@ use simsearch_index::{BkTree, LengthBuckets, QgramIndex, RadixTrie, Trie};
 use simsearch_parallel::{auto_strategy, run_queries, Strategy};
 use simsearch_scan::{v7_search_view, v8_search_view, SequentialScan};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 /// How records are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -247,9 +250,17 @@ impl ShardArm {
 /// decision table, same calibration protocol, but every arm is an
 /// owned [`ShardArm`]. Also usable stand-alone with a single fixed
 /// candidate ([`ShardAutoBackend::fixed`]) to pin a shard to one arm.
+/// Like [`AutoBackend`], the planner lives behind an `RwLock<Arc<..>>`
+/// so a replan tick can swap each shard's decision table independently
+/// while its queries are in flight, and every routed probe is timed
+/// into the shard's own [`ObservationGrid`] — a memtable-heavy shard
+/// and a freshly-flushed neighbour accumulate different evidence and
+/// replan to different tables.
 pub struct ShardAutoBackend {
     dataset: Dataset,
-    planner: Planner,
+    planner: RwLock<Arc<Planner>>,
+    plan_epoch: AtomicU64,
+    grid: ObservationGrid,
     arms: [OnceLock<ShardArm>; BackendChoice::COUNT],
     counters: [AtomicU64; BackendChoice::COUNT],
 }
@@ -276,7 +287,7 @@ impl ShardAutoBackend {
     /// two timed per-query passes feeding [`Observation`]s grouped by
     /// query class. An empty probe yields static planning.
     pub fn calibrated(dataset: Dataset, probe: &Workload) -> Self {
-        let mut auto = Self::new(dataset);
+        let auto = Self::new(dataset);
         if probe.queries.is_empty() {
             return auto;
         }
@@ -299,11 +310,13 @@ impl ShardAutoBackend {
                 }
             }
         }
-        auto.planner = Planner::with_observations(
-            auto.planner.snapshot().clone(),
+        let calibrated = Planner::with_observations(
+            auto.planner().snapshot().clone(),
             &AutoBackend::DEFAULT_CANDIDATES,
             &observations,
         );
+        // Build-time calibration is the epoch-0 baseline, not a replan.
+        *auto.planner.write().expect("planner lock") = Arc::new(calibrated);
         for counter in &auto.counters {
             counter.store(0, Ordering::Relaxed);
         }
@@ -313,15 +326,62 @@ impl ShardAutoBackend {
     fn with_planner(dataset: Dataset, planner: Planner) -> Self {
         Self {
             dataset,
-            planner,
+            planner: RwLock::new(Arc::new(planner)),
+            plan_epoch: AtomicU64::new(0),
+            grid: ObservationGrid::new(),
             arms: std::array::from_fn(|_| OnceLock::new()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    /// The shard's own planner (per-shard `explain`).
-    pub fn planner(&self) -> &Planner {
-        &self.planner
+    /// The shard's current planner (per-shard `explain`) — a shared
+    /// handle; replans swap the slot, never mutate behind it.
+    pub fn planner(&self) -> Arc<Planner> {
+        self.planner.read().expect("planner lock").clone()
+    }
+
+    /// Decision-table swaps since build (0 until the first replan).
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The shard's live latency registry.
+    pub fn observations(&self) -> &ObservationGrid {
+        &self.grid
+    }
+
+    /// Atomically installs a replacement planner and bumps the epoch;
+    /// refuses a different candidate set (counters and metrics label
+    /// sets are fixed at build). Same contract as
+    /// [`AutoBackend::set_planner`].
+    pub fn set_planner(&self, planner: Planner) -> bool {
+        let mut slot = self.planner.write().expect("planner lock");
+        if planner.candidates() != slot.candidates() {
+            return false;
+        }
+        *slot = Arc::new(planner);
+        drop(slot);
+        self.plan_epoch.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// One self-tuning tick over *this shard's* observations — the
+    /// per-shard twin of [`AutoBackend::replan`]. Returns `false`
+    /// without swapping when no cell has reached
+    /// [`MIN_CELL_OBSERVATIONS`].
+    pub fn replan(&self) -> bool {
+        let current = self.planner();
+        let next = Planner::with_class_samples(
+            current.snapshot().clone(),
+            current.candidates(),
+            &self.grid.class_samples(),
+            &self.grid.topk_samples(),
+            MIN_CELL_OBSERVATIONS,
+        );
+        if !next.is_calibrated() {
+            return false;
+        }
+        self.set_planner(next)
     }
 
     /// The owned shard dataset.
@@ -334,7 +394,7 @@ impl ShardAutoBackend {
     }
 
     fn counts_vec(&self) -> Vec<(&'static str, u64)> {
-        self.planner
+        self.planner()
             .candidates()
             .iter()
             .map(|&c| (c.name(), self.counters[c.index()].load(Ordering::Relaxed)))
@@ -344,9 +404,10 @@ impl ShardAutoBackend {
 
 impl Backend for ShardAutoBackend {
     fn name(&self) -> String {
-        if let [only] = self.planner.candidates() {
+        let planner = self.planner();
+        if let [only] = planner.candidates() {
             format!("shard[{}]", only.name())
-        } else if self.planner.is_calibrated() {
+        } else if planner.is_calibrated() {
             "shard-auto[calibrated]".into()
         } else {
             "shard-auto[static]".into()
@@ -355,7 +416,7 @@ impl Backend for ShardAutoBackend {
 
     fn prepare(&self) {
         let mut chosen: Vec<BackendChoice> =
-            self.planner.decisions().iter().map(|d| d.chosen).collect();
+            self.planner().decisions().iter().map(|d| d.chosen).collect();
         chosen.sort_by_key(|c| c.index());
         chosen.dedup();
         for choice in chosen {
@@ -368,29 +429,47 @@ impl Backend for ShardAutoBackend {
     }
 
     fn search_counting(&self, query: &[u8], k: u32) -> (MatchSet, u64) {
-        let decision = self.planner.decide(query.len(), k);
-        self.counters[decision.chosen.index()].fetch_add(1, Ordering::Relaxed);
-        // Shard-level length prune: ed(q, x) ≥ ||q| − |x||, so when the
-        // shard's entire length band lies outside |q| ± k no record can
-        // match and the arm probe is skipped. Under `ShardBy::Len` the
-        // bands are narrow, which turns a fan-out into a near-miss for
-        // most shards; under `ShardBy::Hash` the band is the full length
-        // range and this never fires. The routing counter above still
-        // ticks — the planner decided, the length bound answered.
-        let snapshot = self.planner.snapshot();
-        let (ql, k) = (query.len() as u64, u64::from(k));
-        if snapshot.records == 0
-            || ql + k < u64::from(snapshot.min_len)
-            || ql.saturating_sub(k) > u64::from(snapshot.max_len)
-        {
+        // Copy the decision out under the read lock (never held across
+        // the arm probe — a replan swap must not wait on a slow query).
+        let (chosen, class, predicted, pruned) = {
+            let planner = self.planner.read().expect("planner lock");
+            let chosen = planner.decide(query.len(), k).chosen;
+            let snapshot = planner.snapshot();
+            // Shard-level length prune: ed(q, x) ≥ ||q| − |x||, so when
+            // the shard's entire length band lies outside |q| ± k no
+            // record can match and the arm probe is skipped. Under
+            // `ShardBy::Len` the bands are narrow, which turns a
+            // fan-out into a near-miss for most shards; under
+            // `ShardBy::Hash` the band is the full length range and
+            // this never fires. The routing counter below still ticks —
+            // the planner decided, the length bound answered.
+            let (ql, kk) = (query.len() as u64, u64::from(k));
+            let pruned = snapshot.records == 0
+                || ql + kk < u64::from(snapshot.min_len)
+                || ql.saturating_sub(kk) > u64::from(snapshot.max_len);
+            (
+                chosen,
+                QueryClass::of(snapshot, query.len(), k),
+                static_cost(snapshot, chosen, query.len(), k),
+                pruned,
+            )
+        };
+        self.counters[chosen.index()].fetch_add(1, Ordering::Relaxed);
+        if pruned {
+            // The arm never ran, so nothing is recorded: a pruned query
+            // says nothing about the arm's cost curve, and folding its
+            // ~0 ns in would drag the shard's multipliers toward zero.
             return (MatchSet::default(), 0);
         }
-        self.arm(decision.chosen)
-            .search_counting(&self.dataset, query, k as u32)
+        let started = Instant::now();
+        let answer = self.arm(chosen).search_counting(&self.dataset, query, k);
+        self.grid
+            .record(class, chosen, started.elapsed().as_nanos() as u64, predicted);
+        answer
     }
 
     fn cost_hint(&self, snapshot: &StatsSnapshot, query_len: usize, k: u32) -> f64 {
-        self.planner
+        self.planner()
             .candidates()
             .iter()
             .map(|&c| static_cost(snapshot, c, query_len, k))
@@ -398,15 +477,16 @@ impl Backend for ShardAutoBackend {
     }
 
     fn diag(&self) -> BackendDiag {
+        let planner = self.planner();
         BackendDiag {
             name: self.name(),
             structure: None,
             filters: vec!["length", "frequency"],
             plan: Some(PlanReport {
-                snapshot: self.planner.snapshot().clone(),
-                decisions: self.planner.decisions().to_vec(),
+                snapshot: planner.snapshot().clone(),
+                decisions: planner.decisions().to_vec(),
                 counts: self.counts_vec(),
-                calibrated: self.planner.is_calibrated(),
+                calibrated: planner.is_calibrated(),
             }),
         }
     }
@@ -437,6 +517,10 @@ struct Shard {
     /// The shard's engine as a mutation target; `None` for frozen
     /// shards. Shares the allocation with `backend`.
     live: Option<Arc<LiveEngine>>,
+    /// The shard's planner-driven backend as a replan target; `None`
+    /// for live shards (which replan through their [`LiveEngine`]).
+    /// Shares the allocation with `backend`.
+    auto: Option<Arc<ShardAutoBackend>>,
     queries: AtomicU64,
     matches: AtomicU64,
 }
@@ -517,9 +601,7 @@ impl ShardedBackend {
     /// [`ShardAutoBackend`] (deterministic; what
     /// [`crate::engine::build_backend`] uses).
     pub fn build(dataset: &Dataset, shards: usize, by: ShardBy, threads: usize) -> Self {
-        Self::assemble(dataset, shards, by, threads, |sub| {
-            Box::new(ShardAutoBackend::new(sub))
-        })
+        Self::assemble(dataset, shards, by, threads, ShardAutoBackend::new)
     }
 
     /// Like [`ShardedBackend::build`], but each shard calibrates its
@@ -529,7 +611,7 @@ impl ShardedBackend {
     pub fn calibrated(dataset: &Dataset, shards: usize, by: ShardBy, threads: usize) -> Self {
         Self::assemble(dataset, shards, by, threads, |sub| {
             let probe = AutoBackend::default_probe(&sub);
-            Box::new(ShardAutoBackend::calibrated(sub, &probe))
+            ShardAutoBackend::calibrated(sub, &probe)
         })
     }
 
@@ -549,7 +631,7 @@ impl ShardedBackend {
         probe: &Workload,
     ) -> Self {
         Self::assemble(dataset, shards, by, threads, |sub| {
-            Box::new(ShardAutoBackend::calibrated(sub, probe))
+            ShardAutoBackend::calibrated(sub, probe)
         })
     }
 
@@ -562,7 +644,7 @@ impl ShardedBackend {
         choice: BackendChoice,
     ) -> Self {
         Self::assemble(dataset, shards, by, threads, move |sub| {
-            Box::new(ShardAutoBackend::fixed(sub, choice))
+            ShardAutoBackend::fixed(sub, choice)
         })
     }
 
@@ -571,16 +653,21 @@ impl ShardedBackend {
         shards: usize,
         by: ShardBy,
         threads: usize,
-        make: impl Fn(Dataset) -> Box<dyn Backend>,
+        make: impl Fn(Dataset) -> ShardAutoBackend,
     ) -> Self {
         let shards = partition_ids(dataset, shards, by)
             .into_iter()
             .map(|globals| {
                 let sub = materialize(dataset, &globals);
+                // One allocation, two handles: the erased `Box<dyn
+                // Backend>` for the query fan-out and the typed `Arc`
+                // the replan tick reaches each shard's planner through.
+                let auto = Arc::new(make(sub));
                 Shard {
-                    backend: make(sub),
+                    backend: Box::new(Arc::clone(&auto)),
                     ids: ShardIds::Table(globals),
                     live: None,
+                    auto: Some(auto),
                     queries: AtomicU64::new(0),
                     matches: AtomicU64::new(0),
                 }
@@ -655,6 +742,7 @@ impl ShardedBackend {
                     backend: Box::new(Arc::clone(&engine)),
                     ids: ShardIds::Global,
                     live: Some(engine),
+                    auto: None,
                     queries: AtomicU64::new(0),
                     matches: AtomicU64::new(0),
                 }
@@ -707,6 +795,39 @@ impl ShardedBackend {
     pub fn compact_shard(&self, index: usize) -> bool {
         self.router();
         self.live_shard(index).maybe_compact()
+    }
+
+    /// One self-tuning tick across every shard, each against its own
+    /// evidence: frozen shards re-derive their planner from their own
+    /// [`ObservationGrid`], live shards re-read their own `LiveStats`
+    /// gauges and re-pick their segment arm — so a freshly-flushed
+    /// shard can prefer its V7/V8 segments while a memtable-heavy
+    /// neighbour stays on the flat scan. Returns how many shards
+    /// actually changed plan this tick.
+    pub fn replan(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let swapped = match (&shard.auto, &shard.live) {
+                    (Some(auto), _) => auto.replan(),
+                    (None, Some(engine)) => engine.replan(),
+                    (None, None) => false,
+                };
+                usize::from(swapped)
+            })
+            .sum()
+    }
+
+    /// Total decision-table swaps across all shards since build.
+    pub fn plan_epoch(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| match (&shard.auto, &shard.live) {
+                (Some(auto), _) => auto.plan_epoch(),
+                (None, Some(engine)) => engine.plan_epoch(),
+                (None, None) => 0,
+            })
+            .sum()
     }
 
     /// Number of shards.

@@ -34,7 +34,8 @@ pub mod trie;
 
 pub use bktree::BkTree;
 pub use persist::{
-    load_radix, load_radix_with_stats, save_radix, save_radix_with_stats, PersistError,
+    load_radix, load_radix_full, load_radix_with_stats, save_radix, save_radix_with_calibration,
+    save_radix_with_stats, CalibrationRecord, PersistError,
 };
 pub use length_bucket::LengthBuckets;
 pub use qgram::QgramIndex;

@@ -11,9 +11,14 @@
 //! Version 2 appends an optional [`StatsSnapshot`] section — the input
 //! the adaptive planner builds its cost model from — so a deployment
 //! that persists the index can restore the *plan* together with the
-//! structure instead of re-scanning the dataset. Load failures are
-//! reported through the structured [`PersistError`]; a file written by
-//! a different format version yields [`PersistError::VersionMismatch`]
+//! structure instead of re-scanning the dataset. Version 3 appends an
+//! optional [`CalibrationRecord`]: the measured per-(arm, class) cost
+//! multipliers a self-tuning daemon derived from live latency
+//! histograms, together with the [`StatsSnapshot`] they were measured
+//! against so a loader can invalidate stale calibration. Version-2
+//! files still load (they simply carry no calibration). Load failures
+//! are reported through the structured [`PersistError`]; a file written
+//! by an unknown format version yields [`PersistError::VersionMismatch`]
 //! (with both versions named), never a panic and never a misparse.
 
 use crate::radix::{RadixNode, RadixTrie};
@@ -27,9 +32,47 @@ use std::path::Path;
 /// First bytes of every radix dump, any version.
 const MAGIC_PREFIX: &[u8; 7] = b"SSRADIX";
 
-/// The format version this build writes (and the only one it reads).
-/// Version 1 lacked the stats-snapshot section.
-pub const FORMAT_VERSION: u8 = 2;
+/// The format version this build writes. Version 1 lacked the
+/// stats-snapshot section; version 2 lacked the calibration section.
+pub const FORMAT_VERSION: u8 = 3;
+
+/// Oldest format version this build still reads. Version-2 files load
+/// with no calibration record; version-1 files predate the stats
+/// section and must be rebuilt.
+pub const MIN_READ_VERSION: u8 = 2;
+
+/// Measured cost-model state persisted alongside the index: the
+/// per-(arm, class) multipliers a self-tuning daemon learned from live
+/// latency histograms, plus a separate multiplier row for the top-k
+/// iterative-deepening cost curve.
+///
+/// The embedded [`StatsSnapshot`] is the dataset fingerprint the
+/// calibration was measured against. Loaders compare it with a freshly
+/// computed snapshot and discard the record on mismatch — yesterday's
+/// multipliers only transfer to today's daemon when the data
+/// distribution they were measured on is still the data being served.
+///
+/// Arm names are stored as strings (not enum discriminants) so the
+/// index crate stays below the planner in the dependency graph and a
+/// record written by a build with a different arm roster is detected by
+/// name, not silently misassigned by position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRecord {
+    /// Fingerprint of the dataset the multipliers were measured on.
+    pub snapshot: StatsSnapshot,
+    /// Arm names, one per multiplier column, in planner order.
+    pub arms: Vec<String>,
+    /// Per-query-class rows of per-arm multipliers (`rows × arms`).
+    pub class_multipliers: Vec<Vec<f64>>,
+    /// Per-arm multipliers for the top-k deepening cost curve.
+    pub topk_multipliers: Vec<f64>,
+}
+
+/// Hard bounds on a [`CalibrationRecord`] as stored on disk. A file
+/// claiming more is structurally impossible, not merely large.
+const MAX_CALIBRATION_ARMS: usize = 64;
+const MAX_ARM_NAME_LEN: usize = 64;
+const MAX_CALIBRATION_ROWS: usize = 4096;
 
 /// Why a radix index file could not be loaded.
 #[derive(Debug)]
@@ -105,6 +148,28 @@ pub fn save_radix_with_stats(
     trie: &RadixTrie,
     stats: Option<&StatsSnapshot>,
 ) -> io::Result<()> {
+    save_radix_with_calibration(path, trie, stats, None)
+}
+
+/// Writes the tree to `path` with optional stats and calibration
+/// sections. This is the full v3 writer; the narrower save functions
+/// delegate here.
+///
+/// # Errors
+/// Returns any underlying I/O error, or `InvalidData` when the
+/// calibration record exceeds the format's structural bounds (arm
+/// count, name length, row count) or contains non-finite multipliers —
+/// such a record would be rejected as corrupt on load, so refusing to
+/// write it keeps every saved file loadable.
+pub fn save_radix_with_calibration(
+    path: &Path,
+    trie: &RadixTrie,
+    stats: Option<&StatsSnapshot>,
+    calibration: Option<&CalibrationRecord>,
+) -> io::Result<()> {
+    if let Some(record) = calibration {
+        validate_calibration(record).map_err(io::Error::from)?;
+    }
     let mut out = BufWriter::new(File::create(path)?);
     out.write_all(MAGIC_PREFIX)?;
     out.write_all(&[FORMAT_VERSION])?;
@@ -147,7 +212,76 @@ pub fn save_radix_with_stats(
         }
         None => out.write_all(&[0])?,
     }
+    match calibration {
+        Some(record) => {
+            out.write_all(&[1])?;
+            write_u32(&mut out, record.arms.len() as u32)?;
+            for arm in &record.arms {
+                write_u32(&mut out, arm.len() as u32)?;
+                out.write_all(arm.as_bytes())?;
+            }
+            write_u32(&mut out, record.class_multipliers.len() as u32)?;
+            for row in &record.class_multipliers {
+                for &m in row {
+                    out.write_all(&m.to_le_bytes())?;
+                }
+            }
+            for &m in &record.topk_multipliers {
+                out.write_all(&m.to_le_bytes())?;
+            }
+            record.snapshot.write_to(&mut out)?;
+        }
+        None => out.write_all(&[0])?,
+    }
     out.flush()
+}
+
+/// Structural checks shared by the writer (refuse to emit) and the
+/// reader (report [`PersistError::Corrupt`]).
+fn validate_calibration(record: &CalibrationRecord) -> Result<(), PersistError> {
+    if record.arms.is_empty() || record.arms.len() > MAX_CALIBRATION_ARMS {
+        return Err(PersistError::Corrupt(format!(
+            "calibration arm count {} outside 1..={MAX_CALIBRATION_ARMS}",
+            record.arms.len()
+        )));
+    }
+    for arm in &record.arms {
+        if arm.is_empty() || arm.len() > MAX_ARM_NAME_LEN {
+            return Err(PersistError::Corrupt(format!(
+                "calibration arm name length {} outside 1..={MAX_ARM_NAME_LEN}",
+                arm.len()
+            )));
+        }
+    }
+    if record.class_multipliers.len() > MAX_CALIBRATION_ROWS {
+        return Err(PersistError::Corrupt(format!(
+            "calibration row count {} over the {MAX_CALIBRATION_ROWS} cap",
+            record.class_multipliers.len()
+        )));
+    }
+    if record.topk_multipliers.len() != record.arms.len()
+        || record
+            .class_multipliers
+            .iter()
+            .any(|row| row.len() != record.arms.len())
+    {
+        return Err(PersistError::Corrupt(
+            "calibration multiplier row width disagrees with the arm count".into(),
+        ));
+    }
+    let all = record
+        .class_multipliers
+        .iter()
+        .flatten()
+        .chain(record.topk_multipliers.iter());
+    for &m in all {
+        if !m.is_finite() || m <= 0.0 {
+            return Err(PersistError::Corrupt(format!(
+                "calibration multiplier {m} is not finite and positive"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Reads a tree previously written with [`save_radix`], discarding any
@@ -173,15 +307,31 @@ pub fn load_radix(path: &Path) -> io::Result<RadixTrie> {
 /// radix dump or is structurally impossible, [`PersistError::Io`] for
 /// underlying I/O failures (including truncation).
 pub fn load_radix_with_stats(path: &Path) -> Result<(RadixTrie, Option<StatsSnapshot>), PersistError> {
+    load_radix_full(path).map(|(trie, stats, _)| (trie, stats))
+}
+
+/// Reads a tree plus both optional sections: the planner's statistics
+/// snapshot and the persisted [`CalibrationRecord`]. Version-2 files
+/// load with `None` calibration.
+///
+/// # Errors
+/// Same contract as [`load_radix_with_stats`]; a structurally invalid
+/// calibration section (bad bounds, non-finite multipliers, malformed
+/// UTF-8 arm name) is [`PersistError::Corrupt`], truncation inside it
+/// stays [`PersistError::Io`].
+pub fn load_radix_full(
+    path: &Path,
+) -> Result<(RadixTrie, Option<StatsSnapshot>, Option<CalibrationRecord>), PersistError> {
     let mut inp = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
     inp.read_exact(&mut magic)?;
     if &magic[..7] != MAGIC_PREFIX {
         return Err(PersistError::Corrupt("wrong magic".into()));
     }
-    if magic[7] != FORMAT_VERSION {
+    let version = magic[7];
+    if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(PersistError::VersionMismatch {
-            found: magic[7],
+            found: version,
             expected: FORMAT_VERSION,
         });
     }
@@ -290,7 +440,78 @@ pub fn load_radix_with_stats(path: &Path) -> Result<(RadixTrie, Option<StatsSnap
         })?),
         _ => return Err(PersistError::Corrupt("bad stats flag".into())),
     };
-    Ok((RadixTrie::from_parts(nodes, labels, record_count, freq), stats))
+    let calibration = if version >= 3 {
+        let mut calib_flag = [0u8; 1];
+        inp.read_exact(&mut calib_flag)?;
+        match calib_flag[0] {
+            0 => None,
+            1 => Some(read_calibration(&mut inp)?),
+            _ => return Err(PersistError::Corrupt("bad calibration flag".into())),
+        }
+    } else {
+        None
+    };
+    Ok((
+        RadixTrie::from_parts(nodes, labels, record_count, freq),
+        stats,
+        calibration,
+    ))
+}
+
+fn read_calibration<R: Read>(inp: &mut R) -> Result<CalibrationRecord, PersistError> {
+    let arm_count = read_u32(inp)? as usize;
+    if arm_count == 0 || arm_count > MAX_CALIBRATION_ARMS {
+        return Err(PersistError::Corrupt(format!(
+            "calibration arm count {arm_count} outside 1..={MAX_CALIBRATION_ARMS}"
+        )));
+    }
+    let mut arms = Vec::with_capacity(arm_count);
+    for _ in 0..arm_count {
+        let len = read_u32(inp)? as usize;
+        if len == 0 || len > MAX_ARM_NAME_LEN {
+            return Err(PersistError::Corrupt(format!(
+                "calibration arm name length {len} outside 1..={MAX_ARM_NAME_LEN}"
+            )));
+        }
+        let mut bytes = vec![0u8; len];
+        inp.read_exact(&mut bytes)?;
+        let name = String::from_utf8(bytes)
+            .map_err(|_| PersistError::Corrupt("calibration arm name is not UTF-8".into()))?;
+        arms.push(name);
+    }
+    let row_count = read_u32(inp)? as usize;
+    if row_count > MAX_CALIBRATION_ROWS {
+        return Err(PersistError::Corrupt(format!(
+            "calibration row count {row_count} over the {MAX_CALIBRATION_ROWS} cap"
+        )));
+    }
+    let mut class_multipliers = Vec::with_capacity(row_count);
+    for _ in 0..row_count {
+        let mut row = Vec::with_capacity(arm_count);
+        for _ in 0..arm_count {
+            row.push(read_f64(inp)?);
+        }
+        class_multipliers.push(row);
+    }
+    let mut topk_multipliers = Vec::with_capacity(arm_count);
+    for _ in 0..arm_count {
+        topk_multipliers.push(read_f64(inp)?);
+    }
+    let snapshot = StatsSnapshot::read_from(inp).map_err(|e| {
+        if e.kind() == io::ErrorKind::InvalidData {
+            PersistError::Corrupt(e.to_string())
+        } else {
+            PersistError::Io(e)
+        }
+    })?;
+    let record = CalibrationRecord {
+        snapshot,
+        arms,
+        class_multipliers,
+        topk_multipliers,
+    };
+    validate_calibration(&record)?;
+    Ok(record)
 }
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
@@ -311,6 +532,12 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -436,8 +663,13 @@ mod tests {
         let path = tmp("corrupt-stats");
         save_radix_with_stats(&path, &trie, Some(&snapshot)).unwrap();
         let good = std::fs::read(&path).unwrap();
-        let snap_at = good.len() - snap_bytes.len();
-        assert_eq!(&good[snap_at..], &snap_bytes[..], "snapshot is the final section");
+        // v3 layout: … stats snapshot, then the calibration flag (0 here).
+        let snap_at = good.len() - snap_bytes.len() - 1;
+        assert_eq!(
+            &good[snap_at..good.len() - 1],
+            &snap_bytes[..],
+            "snapshot sits just before the calibration flag"
+        );
 
         // Bad snapshot version byte inside an otherwise intact v2 file.
         let mut bad_version = good.clone();
@@ -478,6 +710,158 @@ mod tests {
         let err = load_radix_with_stats(&path).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)), "{err:?}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sample_calibration(snapshot: StatsSnapshot) -> CalibrationRecord {
+        CalibrationRecord {
+            snapshot,
+            arms: vec!["scan-flat".into(), "scan-sorted".into(), "radix".into()],
+            class_multipliers: vec![
+                vec![1.0, 0.25, 3.5],
+                vec![0.125, 2.0, 1.0],
+                vec![1.0 + f64::EPSILON, 1e-9, 1e9],
+            ],
+            topk_multipliers: vec![0.5, 1.0, 7.25],
+        }
+    }
+
+    #[test]
+    fn calibration_round_trip_is_bit_for_bit() {
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm", ""]);
+        let trie = crate::radix::build(&ds);
+        let snapshot = StatsSnapshot::compute(&ds);
+        let record = sample_calibration(snapshot.clone());
+        let path = tmp("calib");
+        save_radix_with_calibration(&path, &trie, Some(&snapshot), Some(&record)).unwrap();
+        let (loaded, stats, restored) = load_radix_full(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.record_count(), trie.record_count());
+        assert_eq!(stats.as_ref(), Some(&snapshot));
+        let restored = restored.expect("calibration section restored");
+        assert_eq!(restored.arms, record.arms);
+        assert_eq!(restored.snapshot, record.snapshot);
+        // f64 equality on purpose: the wire format is to_le_bytes /
+        // from_le_bytes, so the decision table must survive exactly —
+        // a near-tie between two arms must not flip across a restart.
+        for (a, b) in restored
+            .class_multipliers
+            .iter()
+            .flatten()
+            .chain(restored.topk_multipliers.iter())
+            .zip(
+                record
+                    .class_multipliers
+                    .iter()
+                    .flatten()
+                    .chain(record.topk_multipliers.iter()),
+            )
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-for-bit multiplier");
+        }
+        // A calibration-less save restores None, not a default record.
+        save_radix_with_calibration(&path, &trie, Some(&snapshot), None).unwrap();
+        let (_, _, restored) = load_radix_full(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(restored.is_none());
+    }
+
+    #[test]
+    fn version_2_files_load_with_no_calibration() {
+        let ds = Dataset::from_records(["Berlin", "Bern"]);
+        let trie = crate::radix::build(&ds);
+        let snapshot = StatsSnapshot::compute(&ds);
+        let path = tmp("v2-compat");
+        save_radix_with_stats(&path, &trie, Some(&snapshot)).unwrap();
+        // A v2 file is exactly a no-calibration v3 file minus the
+        // trailing calibration flag, with the version byte lowered.
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.pop(), Some(0), "trailing byte is the calibration flag");
+        bytes[7] = 2;
+        std::fs::write(&path, &bytes).unwrap();
+        let (loaded, stats, calibration) = load_radix_full(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.record_count(), trie.record_count());
+        assert_eq!(stats, Some(snapshot));
+        assert!(calibration.is_none(), "v2 carries no calibration");
+    }
+
+    #[test]
+    fn corrupted_calibration_section_is_reported_as_corrupt() {
+        let ds = Dataset::from_records(["Berlin", "Bern", "Ulm", ""]);
+        let trie = crate::radix::build(&ds);
+        let snapshot = StatsSnapshot::compute(&ds);
+        let record = sample_calibration(snapshot.clone());
+        let path = tmp("calib-bad");
+        save_radix_with_calibration(&path, &trie, Some(&snapshot), Some(&record)).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Locate the calibration section: it starts right after the
+        // stats snapshot with flag 1 then the arm count.
+        let mut section = Vec::new();
+        section.push(1u8);
+        section.extend_from_slice(&(record.arms.len() as u32).to_le_bytes());
+        let calib_at = good
+            .windows(section.len())
+            .rposition(|w| w == &section[..])
+            .expect("calibration section present");
+
+        // Absurd arm count.
+        let mut bad = good.clone();
+        bad[calib_at + 1..calib_at + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_radix_full(&path).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("arm count")),
+            "expected Corrupt for an absurd arm count, got {err:?}"
+        );
+
+        // NaN multiplier: first multiplier sits after the flag, the
+        // arm count, the three names (each 4-byte length + bytes), and
+        // the row count.
+        let names_len: usize = record.arms.iter().map(|a| 4 + a.len()).sum();
+        let mult_at = calib_at + 1 + 4 + names_len + 4;
+        let mut bad = good.clone();
+        bad[mult_at..mult_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_radix_full(&path).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("finite")),
+            "expected Corrupt for a NaN multiplier, got {err:?}"
+        );
+
+        // Unknown calibration flag.
+        let mut bad = good.clone();
+        bad[calib_at] = 9;
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_radix_full(&path).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("calibration flag")),
+            "expected Corrupt for a bad calibration flag, got {err:?}"
+        );
+
+        // Truncation inside the calibration section stays an I/O error.
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        let err = load_radix_full(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_refuses_a_record_it_could_not_reload() {
+        let ds = Dataset::from_records(["ab"]);
+        let trie = crate::radix::build(&ds);
+        let snapshot = StatsSnapshot::compute(&ds);
+        let path = tmp("calib-refuse");
+        let mut record = sample_calibration(snapshot.clone());
+        record.class_multipliers[0][1] = f64::INFINITY;
+        let err = save_radix_with_calibration(&path, &trie, Some(&snapshot), Some(&record))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut record = sample_calibration(snapshot.clone());
+        record.topk_multipliers.pop();
+        let err = save_radix_with_calibration(&path, &trie, Some(&snapshot), Some(&record))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "refused before creating the file");
     }
 
     #[test]

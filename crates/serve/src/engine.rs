@@ -14,16 +14,27 @@
 use crate::metrics::Metrics;
 use crate::protocol::JoinAlgo;
 use simsearch_core::{
-    build_backend, min_join_with_stats, pass_join_with_stats, AutoBackend, Backend, EngineKind,
-    JoinPair, JoinStats, LiveEngine, LsmConfig, MinJoinConfig, MutableBackend, ShardedBackend,
-    Strategy,
+    build_backend, calibration, min_join_with_stats, pass_join_with_stats, AutoBackend, Backend,
+    EngineKind, JoinPair, JoinStats, LiveEngine, LsmConfig, MinJoinConfig, MutableBackend,
+    ShardedBackend, Strategy,
 };
 use simsearch_data::{Dataset, Match, MatchSet};
+use std::path::Path;
 use std::sync::Arc;
 
 /// The engine a running `simsearchd` answers with.
 pub(crate) struct ServedEngine<'a> {
     backend: Box<dyn Backend + 'a>,
+    /// Typed handle to the planner-driven unsharded engine, for the
+    /// replan tick and calibration persistence. The same `Arc` sits in
+    /// `backend` (read path); `None` for every other kind.
+    auto: Option<Arc<AutoBackend<'a>>>,
+    /// Typed handle to a sharded composite (frozen or live) — the
+    /// replan tick fans out to every shard through it.
+    sharded: Option<Arc<ShardedBackend>>,
+    /// Typed handle to the unsharded live engine, whose replan flips
+    /// the segment arm between V7 and V8.
+    live_engine: Option<Arc<LiveEngine>>,
     /// Set when the engine is mutable: the mutation surface
     /// (`INSERT`/`DELETE`, compaction) reaches the same engine the read
     /// path queries — an unsharded [`LiveEngine`] or a sharded-live
@@ -45,19 +56,30 @@ impl<'a> ServedEngine<'a> {
     /// request.
     pub fn build(dataset: &'a Dataset, kind: EngineKind) -> Self {
         let mut live = None;
+        let mut auto = None;
+        let mut sharded = None;
+        let mut live_engine = None;
         let backend: Box<dyn Backend + 'a> = match kind {
-            EngineKind::Auto { threads } => Box::new(AutoBackend::calibrated(
-                dataset,
-                threads,
-                &AutoBackend::default_probe(dataset),
-            )),
+            EngineKind::Auto { threads } => {
+                let engine = Arc::new(AutoBackend::calibrated(
+                    dataset,
+                    threads,
+                    &AutoBackend::default_probe(dataset),
+                ));
+                auto = Some(Arc::clone(&engine));
+                Box::new(engine)
+            }
             // A served sharded engine calibrates every shard's planner
             // against that shard's own records at startup.
             EngineKind::Sharded {
                 shards,
                 by,
                 threads,
-            } => Box::new(ShardedBackend::calibrated(dataset, shards, by, threads)),
+            } => {
+                let composite = Arc::new(ShardedBackend::calibrated(dataset, shards, by, threads));
+                sharded = Some(Arc::clone(&composite));
+                Box::new(composite)
+            }
             // Live engines are shared between the read path (this
             // backend slot) and the mutation surface — the same `Arc`
             // serves both, `Backend` on one side and `MutableBackend`
@@ -68,6 +90,7 @@ impl<'a> ServedEngine<'a> {
                     LsmConfig { memtable_cap },
                 ));
                 live = Some(engine.clone() as Arc<dyn MutableBackend>);
+                live_engine = Some(Arc::clone(&engine));
                 Box::new(engine)
             }
             EngineKind::ShardedLive {
@@ -83,6 +106,7 @@ impl<'a> ServedEngine<'a> {
                         .expect("EngineKind::validate rejects invalid sharded-live configs"),
                 );
                 live = Some(composite.clone() as Arc<dyn MutableBackend>);
+                sharded = Some(Arc::clone(&composite));
                 Box::new(composite)
             }
             other => build_backend(dataset, other),
@@ -90,6 +114,9 @@ impl<'a> ServedEngine<'a> {
         backend.prepare();
         Self {
             backend,
+            auto,
+            sharded,
+            live_engine,
             live,
             dataset,
             name: kind.name(),
@@ -203,6 +230,86 @@ impl<'a> ServedEngine<'a> {
         self.backend.plan_counts()
     }
 
+    /// One self-tuning tick: re-derives the decision tables from the
+    /// live observation grids and swaps them in atomically. Returns the
+    /// number of accepted swaps — 0 when the engine has no tunable
+    /// planner, when the grids are still too thin
+    /// ([`simsearch_core::MIN_CELL_OBSERVATIONS`]), or when nothing
+    /// changed (a live engine's segment arm only counts when it flips).
+    /// Sharded engines tick every shard, so a freshly flushed shard can
+    /// move to its V7/V8 segments while a memtable-heavy neighbour
+    /// keeps the flat scan.
+    pub fn replan(&self) -> u64 {
+        if let Some(auto) = &self.auto {
+            return u64::from(auto.replan());
+        }
+        if let Some(sharded) = &self.sharded {
+            return sharded.replan() as u64;
+        }
+        if let Some(engine) = &self.live_engine {
+            return u64::from(engine.replan());
+        }
+        0
+    }
+
+    /// The engine's plan epoch: 0 until the first accepted swap, then
+    /// +1 per swap (summed over shards for sharded engines). A restart
+    /// that installs persisted calibration starts above 0.
+    pub fn plan_epoch(&self) -> u64 {
+        if let Some(auto) = &self.auto {
+            return auto.plan_epoch();
+        }
+        if let Some(sharded) = &self.sharded {
+            return sharded.plan_epoch();
+        }
+        if let Some(engine) = &self.live_engine {
+            return engine.plan_epoch();
+        }
+        0
+    }
+
+    /// Restores persisted calibration into the planner (unsharded
+    /// planner engines only) and swaps it in, bumping the plan epoch
+    /// above 0. Returns `false` — leaving the static table in place —
+    /// when the engine is not an unsharded `auto`, the file is missing
+    /// or unreadable, or the persisted snapshot mismatches the dataset
+    /// being served (stale calibration must not route today's data).
+    pub fn install_calibration(&self, path: &Path) -> bool {
+        let Some(auto) = &self.auto else {
+            return false;
+        };
+        let current = auto.planner();
+        match calibration::load_calibration(path, current.snapshot(), current.candidates()) {
+            Some(restored) => auto.set_planner(restored),
+            None => false,
+        }
+    }
+
+    /// Persists the current calibrated planner next to a freshly built
+    /// radix index (unsharded planner engines only). `Ok(false)` when
+    /// the engine has nothing to persist.
+    ///
+    /// # Errors
+    /// Any underlying I/O error from writing the dump.
+    pub fn save_calibration(&self, path: &Path) -> std::io::Result<bool> {
+        let Some(auto) = &self.auto else {
+            return Ok(false);
+        };
+        calibration::save_calibration(path, self.dataset, &auto.planner())?;
+        Ok(true)
+    }
+
+    /// Mirrors the replanning state into the metrics registry: the
+    /// current plan epoch and (for unsharded planner engines) the
+    /// pooled per-arm observed nanoseconds the next replan will derive
+    /// its multipliers from.
+    pub fn publish_replan(&self, metrics: &Metrics) {
+        metrics.plan_epoch.set(self.plan_epoch());
+        if let Some(auto) = &self.auto {
+            metrics.arm_nanos.publish(&auto.observed_arm_nanos());
+        }
+    }
+
     /// Publishes the engine's routing state into the metrics registry:
     /// `plan_decisions` gets the cross-shard aggregate per arm plus one
     /// `s{i}.{arm}` entry per shard and arm (sharded engines), and
@@ -309,6 +416,102 @@ mod tests {
             .map(|(_, c)| c)
             .sum();
         assert_eq!(after, before + 2);
+    }
+
+    #[test]
+    fn replan_swaps_after_enough_observations_and_fixed_engines_ignore() {
+        let ds = dataset();
+        let fixed = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        assert_eq!(fixed.replan(), 0, "fixed engines have no planner");
+        assert_eq!(fixed.plan_epoch(), 0);
+
+        let auto = ServedEngine::build(&ds, EngineKind::Auto { threads: 1 });
+        assert_eq!(auto.plan_epoch(), 0, "build-time calibration is epoch 0");
+        assert_eq!(auto.replan(), 0, "no observations yet: swap refused");
+        for _ in 0..simsearch_core::MIN_CELL_OBSERVATIONS {
+            let _ = auto.search(b"Berlin", 1);
+            let _ = auto.topk(b"Bern", 2, 8);
+        }
+        assert_eq!(auto.replan(), 1, "grid filled: the swap is accepted");
+        assert_eq!(auto.plan_epoch(), 1);
+        // Replanned routing still answers exactly like the oracle.
+        let reference = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V1Base));
+        for q in ["Berlin", "Urm", ""] {
+            for k in 0..3 {
+                let (want, _) = reference.search(q.as_bytes(), k);
+                let (got, _) = auto.search(q.as_bytes(), k);
+                assert_eq!(got, want, "q={q} k={k}");
+            }
+        }
+        let metrics = Metrics::new();
+        auto.publish_replan(&metrics);
+        assert_eq!(metrics.plan_epoch.get(), 1);
+        let nanos = metrics.arm_nanos.snapshot();
+        assert!(!nanos.is_empty(), "auto engines expose arm nanos");
+        assert!(
+            nanos.iter().any(|(_, n)| *n > 0),
+            "observed latencies are nonzero: {nanos:?}"
+        );
+    }
+
+    #[test]
+    fn calibration_persists_across_an_engine_rebuild() {
+        let ds = dataset();
+        let path = std::env::temp_dir().join(format!(
+            "simsearch-served-calib-{}",
+            std::process::id()
+        ));
+        {
+            let auto = ServedEngine::build(&ds, EngineKind::Auto { threads: 1 });
+            for _ in 0..simsearch_core::MIN_CELL_OBSERVATIONS {
+                let _ = auto.search(b"Berlin", 1);
+            }
+            assert_eq!(auto.replan(), 1);
+            assert!(auto.save_calibration(&path).unwrap());
+        }
+        // The "restarted daemon": a fresh engine over the same dataset
+        // installs yesterday's calibration, starting above epoch 0.
+        let restarted = ServedEngine::build(&ds, EngineKind::Auto { threads: 1 });
+        assert!(restarted.install_calibration(&path));
+        assert!(restarted.plan_epoch() > 0, "restored swap counts as an epoch");
+        // A daemon serving *different* data refuses the stale file.
+        let other = Dataset::from_records(["ACGT", "ACGA", "TTTT"]);
+        let mismatched = ServedEngine::build(&other, EngineKind::Auto { threads: 1 });
+        assert!(!mismatched.install_calibration(&path));
+        assert_eq!(mismatched.plan_epoch(), 0, "fallback keeps the static table");
+        std::fs::remove_file(&path).unwrap();
+        // Frozen engines have nothing to persist.
+        let fixed = ServedEngine::build(&ds, EngineKind::Scan(SeqVariant::V4Flat));
+        assert!(!fixed.save_calibration(&path).unwrap());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn sharded_and_live_engines_replan_per_shard() {
+        let ds = dataset();
+        let sharded = ServedEngine::build(
+            &ds,
+            EngineKind::Sharded {
+                shards: 2,
+                by: simsearch_core::ShardBy::Len,
+                threads: 1,
+            },
+        );
+        assert_eq!(sharded.replan(), 0, "thin grids refuse the swap");
+        for _ in 0..simsearch_core::MIN_CELL_OBSERVATIONS * 4 {
+            let _ = sharded.search(b"Berlin", 1);
+            let _ = sharded.search(b"Ulm", 1);
+        }
+        let swapped = sharded.replan();
+        assert!(swapped > 0, "observed shards accept the swap");
+        assert_eq!(sharded.plan_epoch(), swapped);
+
+        // An unsharded live engine replans its segment arm; with the
+        // whole seed still in one fresh flush of short city strings the
+        // preferred arm stays the sorted scan — no epoch bump.
+        let live = ServedEngine::build(&ds, EngineKind::Live { memtable_cap: 2 });
+        let _ = live.replan();
+        assert_eq!(live.plan_epoch(), 0, "short records keep the V7 arm");
     }
 
     #[test]

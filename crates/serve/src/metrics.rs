@@ -279,6 +279,19 @@ pub struct Metrics {
     pub inserts: Counter,
     /// Live engines: total `DELETE`s that hit a live record (mirrored).
     pub deletes: Counter,
+    /// Replan ticks that swapped a fresh decision table into the
+    /// engine (ticks that found too few observations don't count).
+    pub replans: Counter,
+    /// The engine's current plan epoch: 0 until the first swap, +1 per
+    /// accepted swap; a restart that installs persisted calibration
+    /// starts above 0. Mirrored from the engine via [`Counter::set`].
+    pub plan_epoch: Counter,
+    /// Cumulative measured wall-clock nanoseconds per routed arm, from
+    /// the engine's observation grid (empty for fixed-backend engines).
+    /// These are the pooled latency totals the replan tick derives its
+    /// cost multipliers from, exposed so an operator can see *why* the
+    /// table moved.
+    pub arm_nanos: PlanCounters,
     /// `JOIN` requests served with a pair stream.
     pub joins: Counter,
     /// Join result pairs streamed to clients, cumulative.
@@ -331,10 +344,12 @@ impl Metrics {
              \"connections\": {}, \"uptime_ms\": {}, \
              \"memtable_len\": {}, \"segments\": {}, \"tombstones\": {}, \
              \"compactions\": {}, \"inserts\": {}, \"deletes\": {}, \
+             \"replans\": {}, \"plan_epoch\": {}, \
              \"joins\": {}, \"join_pairs_emitted\": {}, \
              \"join_candidates_verified\": {}, \"join_seg_buckets\": {}, \
              \"join_seg_postings\": {}, \
-             \"plan_decisions\": {{{}}}, \"shard_matches\": {{{}}}, \
+             \"plan_decisions\": {{{}}}, \"arm_nanos\": {{{}}}, \
+             \"shard_matches\": {{{}}}, \
              \"live_shards\": {{{}}}}}}}",
             crate::STATS_SCHEMA,
             json_escape(dataset),
@@ -358,12 +373,20 @@ impl Metrics {
             self.compactions.get(),
             self.inserts.get(),
             self.deletes.get(),
+            self.replans.get(),
+            self.plan_epoch.get(),
             self.joins.get(),
             self.join_pairs_emitted.get(),
             self.join_candidates_verified.get(),
             self.join_seg_buckets.get(),
             self.join_seg_postings.get(),
             self.plan_decisions
+                .snapshot()
+                .iter()
+                .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.arm_nanos
                 .snapshot()
                 .iter()
                 .map(|(name, count)| format!("\"{}\": {count}", json_escape(name)))
@@ -564,6 +587,29 @@ mod tests {
         assert!(json.contains("\"join_candidates_verified\": 99"), "{json}");
         assert!(json.contains("\"join_seg_buckets\": 7"), "{json}");
         assert!(json.contains("\"join_seg_postings\": 16"), "{json}");
+    }
+
+    #[test]
+    fn stats_json_always_carries_replan_keys() {
+        // Present (zeroed) even for engines that never replan, so the
+        // CI smoke can grep unconditionally.
+        let m = Metrics::new();
+        let json = m.stats_json("scan[v7]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"replans\": 0"), "{json}");
+        assert!(json.contains("\"plan_epoch\": 0"), "{json}");
+        assert!(json.contains("\"arm_nanos\": {}"), "{json}");
+        m.replans.add(3);
+        m.plan_epoch.set(4); // mirrored: restart may start above replans
+        m.arm_nanos.publish(&[("scan-flat", 12_345), ("radix", 678)]);
+        let json = m.stats_json("auto[threads=1]", "city", 10, Instant::now());
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"replans\": 3"), "{json}");
+        assert!(json.contains("\"plan_epoch\": 4"), "{json}");
+        assert!(
+            json.contains("\"arm_nanos\": {\"scan-flat\": 12345, \"radix\": 678}"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -54,6 +55,17 @@ pub struct ServerConfig {
     /// Socket read timeout; doubles as the shutdown-poll interval for
     /// idle connections.
     pub read_timeout: Duration,
+    /// Self-tuning cadence: every interval a background tick re-derives
+    /// the per-(arm, class) cost multipliers from the live latency
+    /// grids and swaps a fresh decision table into the engine (see
+    /// DESIGN §16). `None` disables the tick; engines without a
+    /// tunable planner ignore it.
+    pub replan_interval: Option<Duration>,
+    /// Persisted-calibration path (a v3 radix dump). Restored at
+    /// startup — ignored when the embedded snapshot mismatches the
+    /// served dataset — and rewritten with the final calibrated state
+    /// at shutdown. `None` disables persistence.
+    pub calibration_path: Option<PathBuf>,
     /// The batch scheduler and engine-worker tuning.
     pub batch: BatchConfig,
 }
@@ -65,6 +77,8 @@ impl Default for ServerConfig {
             dataset_label: "unnamed".into(),
             conn_threads: 16,
             read_timeout: Duration::from_millis(50),
+            replan_interval: None,
+            calibration_path: None,
             batch: BatchConfig::default(),
         }
     }
@@ -173,6 +187,16 @@ fn run(
     shutdown: &Arc<AtomicBool>,
 ) {
     let engine = ServedEngine::build(dataset, kind);
+    // Restore yesterday's measured routing before the first request:
+    // the install swaps the persisted table in (epoch > 0), or falls
+    // back silently to the static one when the file is missing, stale,
+    // or foreign. Either way STATS shows the truth from frame one.
+    if let Some(path) = &config.calibration_path {
+        if engine.install_calibration(path) {
+            metrics.replans.inc();
+        }
+    }
+    engine.publish_replan(metrics);
     let exec: SubmissionQueue<Chunk> = SubmissionQueue::bounded(config.batch.threads.max(1) * 2);
     let shared = Arc::new(Shared {
         admission: SubmissionQueue::bounded(config.batch.queue_capacity),
@@ -199,6 +223,15 @@ fn run(
             let batch = &config.batch;
             scope.spawn(move || scheduler_loop(&shared.admission, exec, batch, &shared.metrics))
         };
+        // The self-tuning tick: scoped like the workers (it borrows the
+        // engine), polling the shutdown flag between short sleeps so a
+        // long interval never delays the drain.
+        let replanner = config
+            .replan_interval
+            .map(|interval| {
+                let engine = &engine;
+                scope.spawn(move || replan_loop(engine, interval, metrics, shutdown))
+            });
 
         let mut conn_pool = WorkerPool::new(config.conn_threads, config.conn_threads * 4);
         while !shutdown.load(Ordering::Acquire) {
@@ -229,7 +262,44 @@ fn run(
         for worker in workers {
             worker.join().expect("engine worker panicked");
         }
+        if let Some(replanner) = replanner {
+            replanner.join().expect("replan tick panicked");
+        }
     });
+
+    // Persist the final calibrated state so the next daemon starts from
+    // today's measured costs. Best-effort: a full disk must not turn a
+    // clean drain into a crash.
+    if let Some(path) = &config.calibration_path {
+        let _ = engine.save_calibration(path);
+    }
+}
+
+/// The background self-tuning loop: every `interval`, re-derive the
+/// decision tables from the live observation grids and swap them in
+/// ([`ServedEngine::replan`]), then mirror `plan_epoch` and the pooled
+/// per-arm latencies into the metrics registry. Sleeps in short slices
+/// so shutdown is never blocked behind a long interval.
+fn replan_loop(
+    engine: &ServedEngine<'_>,
+    interval: Duration,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) {
+    let slice = Duration::from_millis(10).min(interval);
+    let mut next = Instant::now() + interval;
+    while !shutdown.load(Ordering::Acquire) {
+        if Instant::now() < next {
+            std::thread::sleep(slice);
+            continue;
+        }
+        next = Instant::now() + interval;
+        let swapped = engine.replan();
+        if swapped > 0 {
+            metrics.replans.add(swapped);
+        }
+        engine.publish_replan(metrics);
+    }
 }
 
 /// One frame read from a connection.
